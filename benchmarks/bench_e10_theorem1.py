@@ -1,0 +1,61 @@
+"""E10 — Theorem 1, empirically.
+
+"THEOREM 1: The above algorithm fires the trigger after the i-th update
+iff the formula f is satisfied at state s_i."
+
+Random (formula, history) pairs are evaluated by the incremental algorithm
+and the reference semantics at every position; the table reports the
+number of compared positions and agreements (which must be 100%), for
+plain formulas and for formulas with temporal aggregates, with the
+optimization on and off.
+"""
+
+from conftest import report
+
+from repro.bench import Table
+from repro.ptl import IncrementalEvaluator, answers
+from repro.workloads.generator import random_pair
+
+
+def agreement_run(seeds, length, allow_aggregates, optimize):
+    positions = 0
+    agreements = 0
+    firings = 0
+    for seed in seeds:
+        formula, history = random_pair(
+            seed, length=length, allow_aggregates=allow_aggregates
+        )
+        ev = IncrementalEvaluator(formula, optimize=optimize)
+        for i, state in enumerate(history):
+            fired = ev.step(state).fired
+            expected = bool(answers(history.states, i, formula))
+            positions += 1
+            agreements += fired == expected
+            firings += fired
+    return positions, agreements, firings
+
+
+def test_e10_theorem1(benchmark):
+    seeds = range(150)
+
+    def compute():
+        return {
+            "plain, optimized": agreement_run(seeds, 10, False, True),
+            "plain, unoptimized": agreement_run(seeds, 10, False, False),
+            "with aggregates": agreement_run(range(80), 8, True, True),
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table = Table(
+        "E10: Theorem 1 — incremental firing == reference satisfaction",
+        ["formula class", "positions compared", "agreements", "firings"],
+    )
+    for label, (positions, agreements, firings) in results.items():
+        table.add_row(label, positions, f"{agreements}/{positions}", firings)
+    report(table)
+
+    for positions, agreements, _ in results.values():
+        assert agreements == positions
+    # the workload is non-trivial: plenty of actual firings
+    assert results["plain, optimized"][2] > 100

@@ -1,0 +1,137 @@
+"""E11 — extension ablations (beyond the paper's sections).
+
+* **Detector ladder** on a decomposable condition (the [8] prototype's
+  subclass): DecomposableDetector (O(1) aux records) vs the general
+  incremental evaluator vs the naive full-history detector — identical
+  firings, decreasing cost and state.
+* **Future monitors** (the paper's stated future work): progression cost
+  and state for a bounded response property over a long event stream.
+"""
+
+import random
+
+from conftest import report
+
+from repro.baselines import NaiveDetector
+from repro.bench import Table, per_update_micros, time_best
+from repro.ptl import IncrementalEvaluator, parse_formula
+from repro.ptl.decomposable import DecomposableDetector
+from repro.ptl.future import Always, Atom, Eventually, FutureMonitor, Verdict, fnot, for_
+from repro.workloads.generator import random_history
+
+N = 400
+CONDITION = "previously[10] @e0 & !@e3"
+
+
+def make_history(n=N, seed=13):
+    return random_history(random.Random(seed), n)
+
+
+def run(det, history):
+    return sum(1 for s in history if det.step(s).fired)
+
+
+def test_e11_detector_ladder(benchmark):
+    history = make_history()
+    f = parse_formula(CONDITION)
+
+    def compute():
+        rows = []
+        for label, factory in (
+            ("decomposable (O(1) aux)", lambda: DecomposableDetector(f)),
+            ("incremental (Section 5)", lambda: IncrementalEvaluator(f)),
+            ("naive (full history)", lambda: NaiveDetector(f)),
+        ):
+            det = factory()
+            firings = run(det, history)
+            seconds = time_best(lambda: run(factory(), history), repeat=1)
+            rows.append(
+                (label, firings, per_update_micros(seconds, N), det.state_size())
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table = Table(
+        f"E11: detector ladder on '{CONDITION}' ({N} states)",
+        ["detector", "firings", "us/update", "final state size"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    report(table)
+
+    firings = [r[1] for r in rows]
+    assert len(set(firings)) == 1 and firings[0] > 0  # identical, non-trivial
+    costs = [r[2] for r in rows]
+    assert costs[0] < costs[2]  # decomposable beats naive
+    sizes = [r[3] for r in rows]
+    assert sizes[0] <= 4
+    assert sizes[2] == N  # naive retains the whole history
+
+
+def test_e11_future_monitor(benchmark):
+    """always (req -> eventually[6] ack) over a compliant stream, then a
+    violating one."""
+
+    def build():
+        return FutureMonitor(
+            Always(
+                for_(
+                    [
+                        fnot(Atom(parse_formula("@req"))),
+                        Eventually(Atom(parse_formula("@ack")), 6),
+                    ]
+                )
+            )
+        )
+
+    from repro.events.model import user_event
+    from repro.history.history import SystemHistory
+    from repro.history.state import SystemState
+    from repro.storage.snapshot import DatabaseState
+
+    def stream(violate_at=None, n=300):
+        h = SystemHistory(validate_transaction_time=False)
+        db = DatabaseState({})
+        for t in range(1, n + 1):
+            if t % 10 == 0:
+                name = "req"
+            elif t % 10 == 3 and t != violate_at:
+                name = "ack"
+            else:
+                name = "tick"
+            h.append(SystemState(db, [user_event(name)], t))
+        return h
+
+    def compute():
+        ok = build()
+        max_size = 0
+        for s in stream():
+            verdict = ok.step(s)
+            max_size = max(max_size, ok.state_size())
+        bad = build()
+        bad_verdicts = [bad.step(s) for s in stream(violate_at=103)]
+        first_violation = next(
+            (i for i, v in enumerate(bad_verdicts) if v is Verdict.VIOLATED),
+            None,
+        )
+        return verdict, max_size, first_violation
+
+    verdict, max_size, first_violation = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+
+    table = Table(
+        "E11b: future monitor — always (req -> eventually[6] ack)",
+        ["stream", "outcome"],
+    )
+    table.add_row("compliant (300 states)", f"{verdict.value}, max state {max_size}")
+    table.add_row(
+        "ack at t=103 suppressed", f"violated at state index {first_violation}"
+    )
+    report(table)
+
+    assert verdict is Verdict.PENDING  # obligations keep rolling
+    assert max_size < 60  # progression stays small
+    # the request at t=100 goes unanswered; deadline 106 passes
+    assert first_violation is not None and first_violation >= 105

@@ -1,0 +1,86 @@
+"""E12 — operational substrate: change-log overhead and offline replay.
+
+Not a paper experiment; this measures the cost of the durability layer a
+deployment would run next to the temporal component: per-update recording
+overhead of the change log, JSONL round-trip, and replay + offline
+re-checking of a condition that was never registered live (the audit
+workflow from ``repro.storage.log``).
+"""
+
+from conftest import report
+
+from repro.bench import Table, per_update_micros, time_best
+from repro.ptl import IncrementalEvaluator, parse_formula
+from repro.storage.log import ChangeLog
+from repro.workloads import (
+    SHARP_INCREASE,
+    make_stock_db,
+    random_walk_trace,
+)
+from repro.workloads.stock import apply_trace
+
+N = 400
+TRACE = random_walk_trace(seed=31, n=N)
+
+
+def run_workload(with_log: bool):
+    adb = make_stock_db([("IBM", 50.0)])
+    log = ChangeLog.attach(adb) if with_log else None
+    apply_trace(adb, TRACE)
+    return adb, log
+
+
+def test_e12_changelog(benchmark, tmp_path):
+    def compute():
+        t_plain = time_best(lambda: run_workload(False), repeat=2)
+        t_logged = time_best(lambda: run_workload(True), repeat=2)
+        adb, log = run_workload(True)
+        path = tmp_path / "log.jsonl"
+        t_dump = time_best(lambda: log.to_jsonl(path), repeat=2)
+        t_replay = time_best(
+            lambda: ChangeLog.from_jsonl(path).replay(), repeat=2
+        )
+        history = ChangeLog.from_jsonl(path).replay()
+        ev = IncrementalEvaluator(
+            parse_formula(SHARP_INCREASE, adb.db.queries)
+        )
+        live = IncrementalEvaluator(
+            parse_formula(SHARP_INCREASE, adb.db.queries)
+        )
+        offline_fired = [s.timestamp for s in history if ev.step(s).fired]
+        live_fired = [s.timestamp for s in adb.history if live.step(s).fired]
+        return (
+            t_plain,
+            t_logged,
+            t_dump,
+            t_replay,
+            path.stat().st_size,
+            offline_fired,
+            live_fired,
+        )
+
+    (
+        t_plain,
+        t_logged,
+        t_dump,
+        t_replay,
+        size,
+        offline_fired,
+        live_fired,
+    ) = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table = Table(
+        f"E12: change-log overhead and offline audit ({N} updates)",
+        ["metric", "value"],
+    )
+    table.add_row("workload, no log (us/update)", round(per_update_micros(t_plain, N), 1))
+    table.add_row("workload + log (us/update)", round(per_update_micros(t_logged, N), 1))
+    table.add_row("overhead", f"{(t_logged / t_plain - 1) * 100:.0f}%")
+    table.add_row("JSONL dump (s)", t_dump)
+    table.add_row("replay (s)", t_replay)
+    table.add_row("log size (bytes)", size)
+    table.add_row("offline == live firings", offline_fired == live_fired)
+    report(table)
+
+    assert offline_fired == live_fired
+    assert t_logged < 3 * t_plain  # recording is not the bottleneck

@@ -1,0 +1,82 @@
+"""E2 — the Section 5 optimization example.
+
+Over the history (10,1)(15,2)(18,5)(11,20), the doomed deadline clauses
+are pruned and the stored state formula collapses to the single clause
+``(x >= 22 & t <= 30)`` — the paper's F_{g,4}.  The second half measures
+state size over a long tail with the optimization on/off.
+"""
+
+from conftest import report
+
+from repro.bench import Table
+from repro.ptl import IncrementalEvaluator, parse_formula
+from repro.workloads import (
+    PAPER_TRACE_PRUNED,
+    SHARP_INCREASE,
+    make_stock_db,
+    random_walk_trace,
+)
+from repro.workloads.stock import apply_trace
+
+
+def run_paper_trace(optimize: bool):
+    adb = make_stock_db([("IBM", 10.0)])
+    f = parse_formula(SHARP_INCREASE, adb.db.queries)
+    ev = IncrementalEvaluator(f, optimize=optimize)
+    for price, ts in PAPER_TRACE_PRUNED:
+        apply_trace(adb, [(price, ts)])
+        ev.step(adb.last_state)
+    ((_, stored),) = ev.stored_formulas()
+    return stored, ev.state_size()
+
+
+def run_long_tail(optimize: bool, n: int = 400):
+    adb = make_stock_db([("IBM", 50.0)])
+    f = parse_formula(SHARP_INCREASE, adb.db.queries)
+    ev = IncrementalEvaluator(f, optimize=optimize)
+    trace = random_walk_trace(seed=11, n=n)
+    sizes = []
+    for price, ts in trace:
+        apply_trace(adb, [(price, ts)])
+        ev.step(adb.last_state)
+        sizes.append(ev.state_size())
+    return sizes
+
+
+def test_e2_paper_pruned_formula(benchmark):
+    (stored_opt, size_opt) = benchmark.pedantic(
+        lambda: run_paper_trace(True), rounds=3, iterations=1
+    )
+    stored_raw, size_raw = run_paper_trace(False)
+
+    table = Table(
+        "E2 (Section 5): stored F_g after (10,1)(15,2)(18,5)(11,20)",
+        ["optimization", "stored F_g", "state size"],
+    )
+    table.add_row("on (paper)", str(stored_opt), size_opt)
+    table.add_row("off", str(stored_raw), size_raw)
+    report(table)
+
+    # the paper's simplified F_{g,4}: exactly one surviving clause
+    assert str(stored_opt) == "(x >= 22 & t <= 30)"
+    assert size_opt < size_raw
+
+
+def test_e2_long_tail_state_growth(benchmark):
+    sizes_opt = benchmark.pedantic(
+        lambda: run_long_tail(True), rounds=1, iterations=1
+    )
+    sizes_raw = run_long_tail(False)
+
+    table = Table(
+        "E2b: evaluator state size vs updates (SHARP-INCREASE, random walk)",
+        ["updates", "optimized", "unoptimized"],
+    )
+    for k in (50, 100, 200, 400):
+        table.add_row(k, sizes_opt[k - 1], sizes_raw[k - 1])
+    report(table)
+
+    # bounded window + pruning -> bounded state; unoptimized grows ~linearly
+    assert max(sizes_opt) < 200
+    assert sizes_raw[-1] > 10 * max(sizes_opt)
+    assert sizes_raw[-1] > sizes_raw[99] > sizes_raw[49]

@@ -1,0 +1,95 @@
+"""E6 — temporal and composite actions (Section 7).
+
+Regenerates the firing schedules of the paper's two constructions:
+
+* the two-step composite action (A2 exactly ten units after A1);
+* the periodic temporal action ("execute A every 10 minutes for the next
+  hour"), whose execution trace must be t0, t0+10, ..., t0+60;
+
+and measures the overhead of the ``executed``-predicate machinery as the
+number of retained execution records grows (with and without retention
+GC).
+"""
+
+from conftest import report
+
+from repro.bench import Table, time_best
+from repro.events import user_event
+from repro.rules import RecordingAction, RuleManager, add_periodic, add_sequence
+from repro.workloads import apply_tick, make_stock_db
+
+
+def periodic_schedule():
+    adb = make_stock_db([("IBM", 70.0)])
+    rules = RuleManager(adb)
+    buy = RecordingAction()
+    add_periodic(rules, "buy", "price(IBM) < 60", buy, period=10, horizon=60)
+    apply_tick(adb, "IBM", 55.0, at_time=100)
+    for t in range(101, 180):
+        adb.tick(at_time=t)
+    return [t for _, t in buy.calls]
+
+
+def sequence_schedule():
+    adb = make_stock_db([("IBM", 70.0)])
+    rules = RuleManager(adb)
+    a1, a2 = RecordingAction(), RecordingAction()
+    add_sequence(rules, "seq", "@order(x)", [(a1, 0), (a2, 10)], params=("x",))
+    adb.post_event(user_event("order", "o1"), at_time=7)
+    for t in range(8, 30):
+        adb.tick(at_time=t)
+    return [t for _, t in a1.calls], [t for _, t in a2.calls]
+
+
+def executed_store_cost(retention):
+    adb = make_stock_db([("IBM", 70.0)])
+    rules = RuleManager(adb, executed_retention=retention)
+    fired = RecordingAction()
+    rules.add_trigger("pinger", "@ping", RecordingAction())
+    rules.add_trigger(
+        "echo", "executed(pinger, t) & time = t + 5", fired,
+    )
+    for ts in range(1, 400):
+        adb.post_event(user_event("ping"), at_time=ts)
+    return len(rules.executed.records()), len(fired.calls)
+
+
+def test_e6_schedules(benchmark):
+    buys = benchmark.pedantic(periodic_schedule, rounds=1, iterations=1)
+    (a1_times, a2_times) = sequence_schedule()
+
+    table = Table(
+        "E6: Section 7 action schedules",
+        ["construction", "execution times"],
+    )
+    table.add_row("periodic (every 10 for 60)", str(buys))
+    table.add_row("sequence step A1", str(a1_times))
+    table.add_row("sequence step A2 (+10)", str(a2_times))
+    report(table)
+
+    assert buys == [100, 110, 120, 130, 140, 150, 160]
+    assert a1_times == [7]
+    assert a2_times == [17]
+
+
+def test_e6_executed_store_retention(benchmark):
+    def compute():
+        return {
+            "gc(20)": executed_store_cost(20),
+            "no gc": executed_store_cost(None),
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table = Table(
+        "E6b: executed-store retention ('only information necessary ... "
+        "will be maintained')",
+        ["retention", "records kept", "echo firings"],
+    )
+    for label, (records, fired) in results.items():
+        table.add_row(label, records, fired)
+    report(table)
+
+    # same firings, far fewer retained records with GC
+    assert results["gc(20)"][1] == results["no gc"][1]
+    assert results["gc(20)"][0] < results["no gc"][0] / 5

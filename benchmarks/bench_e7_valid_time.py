@@ -1,0 +1,164 @@
+"""E7 — the valid-time model (Section 9).
+
+Three reproductions:
+
+* the u1/u2 example: a history that is offline-satisfied but not
+  online-satisfied (and the transaction-time collapse where they agree);
+* tentative vs definite triggers: detection latency (firing time minus
+  the state's valid time) as a function of the maximum delay DELTA;
+* Theorem 2 checked empirically on seeded random valid-time histories.
+"""
+
+import random
+
+from conftest import report
+
+from repro.bench import Table
+from repro.ptl import parse_formula
+from repro.validtime import (
+    DefiniteTrigger,
+    TentativeTrigger,
+    ValidTimeDatabase,
+    check_theorem2,
+    offline_satisfied,
+    online_satisfied,
+)
+from repro.workloads.generator import FormulaGenerator
+
+PRECEDES = "throughout_past (!(B = 1) | previously A = 1)"
+
+
+def build_u1_u2():
+    vtdb = ValidTimeDatabase(start_time=0)
+    vtdb.declare_item("A", 0)
+    vtdb.declare_item("B", 0)
+    t1 = vtdb.begin()
+    t1.set_item("A", 1, valid_time=5)
+    t2 = vtdb.begin()
+    t2.set_item("B", 1, valid_time=8)
+    t2.commit(at_time=20)
+    t1.commit(at_time=25)
+    return vtdb
+
+
+def test_e7_online_offline_divergence(benchmark):
+    def compute():
+        vtdb = build_u1_u2()
+        c = parse_formula(PRECEDES, items={"A", "B"})
+        return (
+            online_satisfied(vtdb, c),
+            offline_satisfied(vtdb, c),
+            check_theorem2(vtdb, c),
+        )
+
+    online, offline, theorem2 = benchmark.pedantic(
+        compute, rounds=3, iterations=1
+    )
+
+    table = Table(
+        "E7: online vs offline satisfaction (u1, u2, commit-T2, commit-T1)",
+        ["notion", "satisfied?"],
+    )
+    table.add_row("online (valid time)", online)
+    table.add_row("offline (valid time)", offline)
+    table.add_row("Theorem 2 on collapsed history (online == offline)", theorem2)
+    report(table)
+
+    assert offline and not online and theorem2
+
+
+def latency_for_delta(delta):
+    vtdb = ValidTimeDatabase(start_time=0, max_delay=delta)
+    vtdb.declare_item("PRICE", 40.0)
+    cond = parse_formula("PRICE >= 100", items={"PRICE"})
+    tentative = TentativeTrigger(vtdb, cond)
+    definite = DefiniteTrigger(vtdb, cond)
+
+    # the spike occurs at valid time 50 and is posted with delay 3
+    txn = vtdb.begin()
+    txn.set_item("PRICE", 120.0, valid_time=50)
+    txn.commit(at_time=53)
+    tentative_latency = 53 - 50  # fired during the commit at 53
+
+    definite_fire_time = None
+    t = 53
+    while definite_fire_time is None and t < 300:
+        t += 1
+        vtdb.advance_to(t)
+        definite.poll()
+        if definite.fired_at():
+            definite_fire_time = t
+    assert tentative.fired_at()[0] == 50
+    return tentative_latency, (definite_fire_time - 50)
+
+
+def test_e7_tentative_vs_definite_latency(benchmark):
+    deltas = (5, 10, 20, 40)
+
+    def compute():
+        return {d: latency_for_delta(d) for d in deltas}
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table = Table(
+        "E7b: detection latency after the valid time (posting delay = 3)",
+        ["DELTA", "tentative latency", "definite latency"],
+    )
+    for d in deltas:
+        tent, defn = results[d]
+        table.add_row(d, tent, defn)
+    report(table)
+
+    # tentative latency = posting delay, independent of DELTA;
+    # definite latency >= DELTA ("definite triggers inherently imply a
+    # delayed firing")
+    for d in deltas:
+        tent, defn = results[d]
+        assert tent == 3
+        assert defn >= d
+    assert results[40][1] > results[5][1]
+
+
+def random_vt_database(seed):
+    rng = random.Random(seed)
+    vtdb = ValidTimeDatabase(start_time=0)
+    vtdb.declare_item("V", 0)
+    txns = []
+    vt = 1
+    for _ in range(rng.randint(1, 6)):
+        txn = vtdb.begin()
+        for _ in range(rng.randint(1, 3)):
+            txn.set_item("V", rng.randint(0, 10), valid_time=vt)
+            vt += rng.randint(1, 3)
+        txns.append(txn)
+    rng.shuffle(txns)
+    t = vt + 5
+    for txn in txns:
+        if rng.random() < 0.25:
+            txn.abort(at_time=t)
+        else:
+            txn.commit(at_time=t)
+        t += rng.randint(1, 3)
+    return vtdb, rng
+
+
+def test_e7_theorem2_empirical(benchmark):
+    def compute(n=60):
+        holds = 0
+        for seed in range(n):
+            vtdb, rng = random_vt_database(seed)
+            formula = FormulaGenerator(rng, max_depth=2).formula()
+            if check_theorem2(vtdb, formula):
+                holds += 1
+        return holds, n
+
+    holds, n = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table = Table(
+        "E7c: Theorem 2 on random complete valid-time histories",
+        ["histories x random constraints", "equivalence holds"],
+    )
+    table.add_row(n, f"{holds}/{n}")
+    report(table)
+
+    assert holds == n

@@ -1,0 +1,177 @@
+"""E8 — comparison with event expressions (Section 10).
+
+"Since event expressions use all the operators of regular expressions and
+also use negations, it can easily be shown (see [35]) that the size of the
+automaton can be superexponential in the length of the event-expression
+... In this case, the space complexity of our algorithm does not suffer
+from this super exponential blow up."
+
+We compile event expressions of growing negation-nesting depth to
+(minimized) DFAs and compare the automaton's state count with the size of
+the PTL evaluator's state for the corresponding past-LTL condition, after
+running both over the same event stream.
+"""
+
+import random
+
+from conftest import report
+
+from repro.baselines import compile_event_expr
+from repro.bench import Table
+from repro.events.model import Event
+from repro.history.history import SystemHistory
+from repro.history.state import SystemState
+from repro.ptl import IncrementalEvaluator, parse_formula
+from repro.storage.snapshot import DatabaseState
+
+ALPHABET = ("a", "b", "c")
+
+
+def nested_expressions(depth):
+    """Event expression and corresponding PTL condition, with ``depth``
+    levels of negation nesting around an a-then-b ordering pattern."""
+    expr = "a . b"
+    ptl = "previously @a & previously @b"
+    for _ in range(depth):
+        expr = f"!( {expr} (a|b|c) ) b !( a {expr} )"
+        ptl = f"!( ({ptl}) & previously @c ) & previously @b & !( previously @a & {ptl} )"
+    return expr, ptl
+
+
+def event_stream(n, seed=7):
+    rng = random.Random(seed)
+    history = SystemHistory(validate_transaction_time=False)
+    db = DatabaseState({})
+    for i in range(n):
+        history.append(
+            SystemState(db, [Event(rng.choice(ALPHABET))], i + 1)
+        )
+    return history
+
+
+def test_e8_negation_blowup(benchmark):
+    depths = (0, 1, 2, 3)
+    stream = event_stream(200)
+
+    def compute():
+        rows = []
+        for depth in depths:
+            expr, ptl = nested_expressions(depth)
+            dfa = compile_event_expr(expr, ALPHABET)
+            raw = compile_event_expr(expr, ALPHABET, minimize=False)
+            ev = IncrementalEvaluator(parse_formula(ptl))
+            for state in stream:
+                ev.step(state)
+            rows.append(
+                (
+                    depth,
+                    len(expr),
+                    raw.state_count,
+                    dfa.state_count,
+                    ev.state_size(),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table = Table(
+        "E8: automaton size vs PTL evaluator state, by negation depth",
+        [
+            "negation depth",
+            "expr length",
+            "DFA states (raw)",
+            "DFA states (minimized)",
+            "PTL state size (after 200 events)",
+        ],
+    )
+    for row in rows:
+        table.add_row(*row)
+    report(table)
+
+    raw_sizes = [r[2] for r in rows]
+    ptl_sizes = [r[4] for r in rows]
+    # the automaton grows rapidly with nesting depth ...
+    assert raw_sizes[1] > raw_sizes[0]
+    assert raw_sizes[3] > 4 * raw_sizes[1]
+    # ... while the PTL evaluator's state stays bounded by a small constant
+    # times the formula size (ground event formulas collapse to booleans)
+    assert max(ptl_sizes) <= 64
+
+
+def test_e8_kth_from_end_family(benchmark):
+    """The classic inherent-blow-up family: 'the k-th event from the end
+    is an a'.  Even the *minimal* DFA needs 2^k states, while the PTL
+    condition ``lasttime^k @a`` carries k stored booleans."""
+    stream = event_stream(100)
+
+    def compute():
+        rows = []
+        for k in (2, 4, 6, 8):
+            expr = ".* a" + " ." * (k - 1)
+            dfa = compile_event_expr(expr, ALPHABET)
+            ptl = "@a"
+            for _ in range(k - 1):
+                ptl = f"lasttime ({ptl})"
+            ev = IncrementalEvaluator(parse_formula(ptl))
+            for state in stream:
+                ev.step(state)
+            rows.append((k, dfa.state_count, ev.state_size()))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table = Table(
+        "E8b: 'k-th event from the end is a' — minimal DFA vs PTL state",
+        ["k", "minimal DFA states", "PTL state size"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    report(table)
+
+    # exponential vs linear in k
+    for (k, dfa_states, ptl_size) in rows:
+        assert dfa_states >= 2 ** (k - 1)
+        assert ptl_size <= 2 * k
+
+
+def test_e8_relative_time_span(benchmark):
+    """Section 10: 'Three events A, B, C occur in that order within a span
+    of 60 minutes' — PTL states it in one line with a window independent
+    of its width; the EE baseline needs a clock-tick alphabet and an
+    automaton whose size grows with the window."""
+    from repro.baselines.historyless import in_fragment
+    from tests.test_expressiveness import ABC_WITHIN_60, unrolled_abc_expression
+
+    def compute():
+        rows = []
+        for window in (2, 4, 8, 12):
+            expr = unrolled_abc_expression(window)
+            dfa = compile_event_expr(expr, ("a", "b", "c", "t"))
+            ptl = parse_formula(ABC_WITHIN_60.replace("60", str(window)))
+            ev = IncrementalEvaluator(ptl)
+            for state in event_stream(60):
+                ev.step(state)
+            rows.append((window, dfa.state_count, ev.state_size()))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table = Table(
+        "E8c: 'A then B then C within w' — EE automaton vs PTL state",
+        ["window w", "EE DFA states (tick-unrolled)", "PTL state size"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    report(table)
+
+    ee_sizes = [r[1] for r in rows]
+    ptl_sizes = [r[2] for r in rows]
+    assert ee_sizes == sorted(ee_sizes) and ee_sizes[-1] > 2 * ee_sizes[0]
+    # PTL state is bounded by the events *inside* the window (pruning),
+    # small in absolute terms, and far below the automaton size
+    assert max(ptl_sizes) <= 40
+    assert all(p < e for e, p in zip(ee_sizes[2:], ptl_sizes[2:]))
+    # and the history-less fragment cannot express it at all... actually
+    # the span condition is value-capturing (t crosses 'previously'):
+    assert not in_fragment(parse_formula(ABC_WITHIN_60))

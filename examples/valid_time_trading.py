@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Valid time vs transaction time (Section 9).
+
+A stock sale can occur at 12:50 and only be posted to the database at
+1:00pm — the valid time precedes the transaction time.  This example
+shows each of the paper's Section 9 phenomena:
+
+* a retroactive update changing the past of the committed history;
+* a trigger that fires with respect to valid time but not transaction
+  time ("the stock price remains constant for seven minutes");
+* tentative triggers (act on tentative values, may act early) vs
+  definite triggers (wait out the maximum delay DELTA);
+* the online/offline satisfaction divergence and Theorem 2.
+
+Run:  python examples/valid_time_trading.py
+"""
+
+from repro.ptl import parse_formula, satisfies
+from repro.validtime import (
+    DefiniteTrigger,
+    TentativeTrigger,
+    ValidTimeDatabase,
+    check_theorem2,
+    offline_satisfied,
+    online_satisfied,
+)
+
+
+def main() -> None:
+    # -- 1. a trigger that differs between the two time models ------------
+    print("1. 'price constant for 7 minutes' under the two time models")
+    vtdb = ValidTimeDatabase(start_time=0, max_delay=15)
+    vtdb.declare_item("PRICE", 72.0)
+
+    def post(price, valid_time, commit_time):
+        txn = vtdb.begin()
+        txn.set_item("PRICE", price, valid_time=valid_time)
+        txn.commit(at_time=commit_time)
+
+    # a neutral market tick at t=56 gives both histories a state inside
+    # the 7-minute window ending at the evaluation point
+    from repro.events import user_event
+
+    vtdb.post_event(user_event("market_tick"), at_time=56)
+    # sales at 12:50 (t=50) and 12:53 (t=53), posted late at 1:00/1:01
+    post(75.0, valid_time=50, commit_time=60)
+    post(75.0, valid_time=53, commit_time=61)
+
+    constant_7 = parse_formula(
+        "[p := PRICE] [u := time] "
+        "!previously (time >= u - 7 & !(PRICE = p))",
+        items={"PRICE"},
+    )
+    vt_history = vtdb.committed_history()
+    tt_history = vtdb.collapsed_committed_history()
+    vt = satisfies(vt_history.states, len(vt_history) - 1, constant_7)
+    tt = satisfies(tt_history.states, len(tt_history) - 1, constant_7)
+    print(f"   valid time      : {'satisfied' if vt else 'not satisfied'}")
+    print(f"   transaction time: {'satisfied' if tt else 'not satisfied'}")
+    assert vt and not tt  # the change happened >7 min before the commits
+
+    # -- 2. tentative vs definite triggers ---------------------------------
+    print("\n2. tentative vs definite triggers (DELTA = 15)")
+    vtdb2 = ValidTimeDatabase(start_time=0, max_delay=15)
+    vtdb2.declare_item("PRICE", 40.0)
+    spike = parse_formula("PRICE >= 100", items={"PRICE"})
+    tentative = TentativeTrigger(vtdb2, spike)
+    definite = DefiniteTrigger(vtdb2, spike)
+
+    txn = vtdb2.begin()
+    txn.set_item("PRICE", 120.0, valid_time=20)
+    txn.commit(at_time=25)
+    definite.poll()
+    print(f"   at now=25: tentative fired at {tentative.fired_at()}, "
+          f"definite fired at {definite.fired_at()}")
+    # the condition holds at the update state (t=20) and the commit state
+    assert tentative.fired_at() == [20, 25] and definite.fired_at() == []
+
+    vtdb2.advance_to(41)  # both states now strictly older than DELTA
+    definite.poll()
+    print(f"   at now=41: definite fired at {definite.fired_at()}")
+    assert definite.fired_at() == [20, 25]
+
+    # -- 3. online vs offline satisfaction ------------------------------------
+    print("\n3. online vs offline satisfaction (the u1/u2 example)")
+    vtdb3 = ValidTimeDatabase(start_time=0)
+    vtdb3.declare_item("A", 0)
+    vtdb3.declare_item("B", 0)
+    precedes = parse_formula(
+        "throughout_past (!(B = 1) | previously A = 1)", items={"A", "B"}
+    )
+    t1 = vtdb3.begin()
+    t1.set_item("A", 1, valid_time=5)     # u1 (T1)
+    t2 = vtdb3.begin()
+    t2.set_item("B", 1, valid_time=8)     # u2 (T2)
+    t2.commit(at_time=20)                 # commit-T2 before commit-T1
+    t1.commit(at_time=25)
+    online = online_satisfied(vtdb3, precedes)
+    offline = offline_satisfied(vtdb3, precedes)
+    print(f"   online : {'satisfied' if online else 'NOT satisfied'}")
+    print(f"   offline: {'satisfied' if offline else 'NOT satisfied'}")
+    assert offline and not online
+
+    # -- 4. Theorem 2 -----------------------------------------------------------
+    holds = check_theorem2(vtdb3, precedes)
+    print(f"\n4. Theorem 2 on the collapsed committed history: "
+          f"{'online == offline holds' if holds else 'VIOLATED'}")
+    assert holds
+    print("\nall valid-time assertions hold")
+
+
+if __name__ == "__main__":
+    main()

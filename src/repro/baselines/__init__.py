@@ -1,0 +1,20 @@
+"""Baselines: naive full-history detection, event-expression automata."""
+
+from repro.baselines.eventexpr import (
+    DFA,
+    EventExprDetector,
+    compile_event_expr,
+    parse_event_expr,
+)
+from repro.baselines.historyless import HistorylessChecker, in_fragment
+from repro.baselines.naive import NaiveDetector
+
+__all__ = [
+    "NaiveDetector",
+    "EventExprDetector",
+    "compile_event_expr",
+    "parse_event_expr",
+    "DFA",
+    "HistorylessChecker",
+    "in_fragment",
+]

@@ -1,0 +1,51 @@
+"""Naive full-history trigger detection — the comparator the paper's
+*incremental* algorithm is implicitly measured against.
+
+"The evaluation is incremental in the sense that when a new database state
+is created ... the algorithm only considers the changes in the new
+database state ... *instead of considering the whole database history*."
+
+The naive detector does consider the whole history: it appends each state
+and re-runs the reference (offline) semantics from scratch.  Per-update
+cost grows with history length (the ``Since`` check alone walks the whole
+prefix), which benchmark E3 measures against the incremental evaluator's
+flat per-update cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.history.state import SystemState
+from repro.ptl import ast
+from repro.ptl.context import EvalContext
+from repro.ptl.incremental import FireResult
+from repro.ptl.semantics import answers
+
+
+class NaiveDetector:
+    """Drop-in replacement for
+    :class:`~repro.ptl.incremental.IncrementalEvaluator` with O(history)
+    per-update cost."""
+
+    def __init__(
+        self,
+        formula: ast.Formula,
+        ctx: Optional[EvalContext] = None,
+    ):
+        self.formula = formula
+        self.ctx = ctx or EvalContext()
+        self.history: list[SystemState] = []
+        self.steps = 0
+
+    def step(self, state: SystemState) -> FireResult:
+        self.history.append(state)
+        self.steps += 1
+        found = answers(self.history, len(self.history) - 1, self.formula, self.ctx)
+        if not found:
+            return FireResult(False)
+        return FireResult(True, tuple(found))
+
+    def state_size(self) -> int:
+        """The naive detector's 'state' is the entire retained history."""
+        return len(self.history)

@@ -1,0 +1,5 @@
+"""Benchmark support: timing helpers and result tables."""
+
+from repro.bench.harness import Table, per_update_micros, summarize, time_best, time_once
+
+__all__ = ["Table", "time_once", "time_best", "per_update_micros", "summarize"]

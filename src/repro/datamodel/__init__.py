@@ -1,0 +1,27 @@
+"""Relational data model: value types, schemas, rows, relations."""
+
+from repro.datamodel.relation import Relation
+from repro.datamodel.schema import Attribute, Schema
+from repro.datamodel.tuples import Row
+from repro.datamodel.types import ValueType, check_value, infer_type
+
+INT = ValueType.INT
+FLOAT = ValueType.FLOAT
+STRING = ValueType.STRING
+BOOL = ValueType.BOOL
+TIME = ValueType.TIME
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Row",
+    "Relation",
+    "ValueType",
+    "check_value",
+    "infer_type",
+    "INT",
+    "FLOAT",
+    "STRING",
+    "BOOL",
+    "TIME",
+]

@@ -1,0 +1,90 @@
+"""Immutable rows bound to a schema."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.datamodel.schema import Schema
+from repro.errors import UnknownAttributeError
+
+
+class Row:
+    """An immutable tuple of values typed by a :class:`Schema`.
+
+    Rows hash and compare by (schema names are *not* part of identity —
+    two rows are equal iff their value tuples are equal and arities match),
+    which is what relational set semantics needs after renames.
+    """
+
+    __slots__ = ("_schema", "_values", "_hash")
+
+    def __init__(self, schema: Schema, values: Sequence[Any]):
+        self._schema = schema
+        self._values = schema.check_row_values(values)
+        self._hash = hash(self._values)
+
+    @classmethod
+    def from_mapping(cls, schema: Schema, mapping: Mapping[str, Any]) -> "Row":
+        """Build a row from an attribute-name -> value mapping."""
+        return cls(schema, [mapping[name] for name in schema.names])
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def values(self) -> tuple:
+        return self._values
+
+    def __getitem__(self, key) -> Any:
+        if isinstance(key, str):
+            return self._values[self._schema.position(key)]
+        return self._values[key]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        try:
+            return self[name]
+        except UnknownAttributeError:
+            return default
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(zip(self._schema.names, self._values))
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- identity ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._values == other._values
+        if isinstance(other, tuple):
+            return self._values == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{n}={v!r}" for n, v in zip(self._schema.names, self._values)
+        )
+        return f"Row({pairs})"
+
+    # -- derivations -------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Row":
+        sub = self._schema.project(names)
+        return Row(sub, [self[n] for n in names])
+
+    def concat(self, other: "Row") -> "Row":
+        return Row(self._schema.concat(other._schema), self._values + other._values)
+
+    def with_schema(self, schema: Schema) -> "Row":
+        """Rebind to a compatible schema (same arity), e.g. after a rename."""
+        return Row(schema, self._values)

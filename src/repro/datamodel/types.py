@@ -1,0 +1,101 @@
+"""Value domains for the relational data model.
+
+The paper's model (Section 2) maps each *database item* to "a value from the
+appropriate domain".  We support the domains needed by the paper's examples
+and by PTL's arithmetic: integers, floats, strings, booleans, and TIME
+(an alias of INT holding clock timestamps — the paper assumes a ``time``
+data item whose values strictly increase).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import TypeMismatchError
+
+
+class ValueType(enum.Enum):
+    """Attribute domains supported by the engine."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+    TIME = "time"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ValueType.{self.name}"
+
+
+#: Python types accepted for each domain (before coercion).
+_ACCEPTED: dict[ValueType, tuple[type, ...]] = {
+    ValueType.INT: (int,),
+    ValueType.FLOAT: (int, float),
+    ValueType.STRING: (str,),
+    ValueType.BOOL: (bool,),
+    ValueType.TIME: (int,),
+}
+
+#: Domains whose values can be compared with < <= > >=.
+ORDERED_TYPES = frozenset(
+    {ValueType.INT, ValueType.FLOAT, ValueType.STRING, ValueType.TIME}
+)
+
+#: Domains usable in arithmetic.
+NUMERIC_TYPES = frozenset({ValueType.INT, ValueType.FLOAT, ValueType.TIME})
+
+
+def check_value(value: Any, vtype: ValueType) -> Any:
+    """Validate (and coerce) ``value`` into domain ``vtype``.
+
+    Returns the possibly-coerced value.  Raises
+    :class:`~repro.errors.TypeMismatchError` if the value does not belong to
+    the domain.  ``bool`` is deliberately *not* accepted for INT/FLOAT even
+    though ``bool`` subclasses ``int`` in Python.
+    """
+    if vtype is ValueType.BOOL:
+        if isinstance(value, bool):
+            return value
+        raise TypeMismatchError(f"expected BOOL, got {value!r}")
+    if isinstance(value, bool):
+        raise TypeMismatchError(f"expected {vtype.value}, got boolean {value!r}")
+    accepted = _ACCEPTED[vtype]
+    if not isinstance(value, accepted):
+        raise TypeMismatchError(
+            f"expected {vtype.value}, got {type(value).__name__} {value!r}"
+        )
+    if vtype is ValueType.FLOAT:
+        return float(value)
+    return value
+
+
+def infer_type(value: Any) -> ValueType:
+    """Infer the tightest domain for a Python value."""
+    if isinstance(value, bool):
+        return ValueType.BOOL
+    if isinstance(value, int):
+        return ValueType.INT
+    if isinstance(value, float):
+        return ValueType.FLOAT
+    if isinstance(value, str):
+        return ValueType.STRING
+    raise TypeMismatchError(f"no domain for {type(value).__name__} {value!r}")
+
+
+def compatible(a: ValueType, b: ValueType) -> bool:
+    """Whether values of domains ``a`` and ``b`` may be compared/combined."""
+    if a == b:
+        return True
+    return a in NUMERIC_TYPES and b in NUMERIC_TYPES
+
+
+def merge_types(a: ValueType, b: ValueType) -> ValueType:
+    """Result domain when combining values of domains ``a`` and ``b``."""
+    if a == b:
+        return a
+    if a in NUMERIC_TYPES and b in NUMERIC_TYPES:
+        if ValueType.FLOAT in (a, b):
+            return ValueType.FLOAT
+        return ValueType.INT
+    raise TypeMismatchError(f"incompatible domains {a.value} and {b.value}")

@@ -1,0 +1,236 @@
+"""The active database engine: storage + clock + events + history.
+
+:class:`ActiveDatabase` is the transaction-time system of Section 2.  It
+owns the :class:`~repro.storage.database.Database`, the global
+:class:`~repro.events.clock.Clock`, the
+:class:`~repro.events.bus.EventBus` feeding the temporal component, and
+(optionally) the full :class:`~repro.history.history.SystemHistory`.
+
+Lifecycle of a committing transaction::
+
+    txn = adb.begin()                  # system state with transaction_begin
+    txn.insert("STOCK", (...,))        # buffered
+    txn.commit()                       # candidate state built; integrity
+                                       # constraints checked at the
+                                       # attempts_to_commit event; on
+                                       # success the commit state is
+                                       # appended and published
+
+Integrity-constraint checking is pluggable: the rule manager registers a
+*commit validator* receiving the candidate system state and returning
+violations; any violation turns the commit into an abort (Section 3: an
+integrity constraint "is a rule in which the action is abort(X)").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
+
+from repro.errors import ClockError, HistoryError, TransactionAborted
+from repro.events import model as ev
+from repro.events.bus import EventBus
+from repro.events.clock import Clock
+from repro.history.history import SystemHistory
+from repro.history.state import SystemState
+from repro.storage.database import Database
+from repro.storage.transactions import Transaction, TransactionManager, TxnStatus
+
+#: A commit validator inspects the candidate commit state and returns
+#: human-readable violations (empty sequence = transaction may commit).
+CommitValidator = Callable[[SystemState, Transaction], Sequence[str]]
+
+
+class ActiveDatabase:
+    """Transaction-time active database engine."""
+
+    def __init__(
+        self,
+        start_time: int = 0,
+        keep_history: bool = True,
+        begin_states: bool = False,
+    ):
+        """``begin_states=True`` records a system state for every
+        ``transaction_begin`` event (the paper's model records a state per
+        event occurrence).  The default omits them: most conditions only
+        observe commit points and user events, and workloads then control
+        commit timestamps directly."""
+        self.db = Database()
+        self.begin_states = begin_states
+        self.clock = Clock(start_time)
+        self.bus = EventBus()
+        self.history: Optional[SystemHistory] = (
+            SystemHistory() if keep_history else None
+        )
+        self.txns = TransactionManager()
+        self._commit_validators: list[CommitValidator] = []
+        self._last_state: Optional[SystemState] = None
+        self._state_count = 0
+
+    # -- catalog delegation ---------------------------------------------------
+
+    def create_relation(self, name, schema, rows=()):
+        return self.db.create_relation(name, schema, rows)
+
+    def define_query(self, name, params, text):
+        return self.db.define_query(name, params, text)
+
+    def declare_item(self, name, initial):
+        return self.db.declare_item(name, initial)
+
+    def declare_indexed_item(self, name, default=None):
+        return self.db.declare_indexed_item(name, default)
+
+    @property
+    def state(self):
+        """Current committed database state."""
+        return self.db.state
+
+    @property
+    def now(self) -> int:
+        return self.clock.now
+
+    @property
+    def last_state(self) -> Optional[SystemState]:
+        """Most recently appended system state (kept even without history)."""
+        return self._last_state
+
+    def as_of(self, timestamp: int) -> Optional[SystemState]:
+        """The system state as of ``timestamp`` (the latest state at or
+        before it) — point-in-time querying over the kept history."""
+        if self.history is None:
+            raise HistoryError("as_of needs keep_history=True")
+        best = None
+        for state in self.history:
+            if state.timestamp <= timestamp:
+                best = state
+            else:
+                break
+        return best
+
+    @property
+    def state_count(self) -> int:
+        return self._state_count
+
+    # -- integrity-constraint hook ------------------------------------------------
+
+    def add_commit_validator(self, validator: CommitValidator) -> None:
+        self._commit_validators.append(validator)
+
+    def remove_commit_validator(self, validator: CommitValidator) -> None:
+        self._commit_validators.remove(validator)
+
+    # -- time ----------------------------------------------------------------------
+
+    def _next_timestamp(self, at_time: Optional[int]) -> int:
+        last_ts = self._last_state.timestamp if self._last_state else None
+        if at_time is not None:
+            if at_time > self.clock.now:
+                self.clock.advance_to(at_time)
+            elif at_time < self.clock.now:
+                raise ClockError(
+                    f"cannot schedule event at {at_time}: clock is at "
+                    f"{self.clock.now}"
+                )
+            if last_ts is not None and at_time <= last_ts:
+                raise ClockError(
+                    f"timestamp {at_time} not after last system state "
+                    f"({last_ts})"
+                )
+            return at_time
+        if last_ts is None or self.clock.now > last_ts:
+            return self.clock.now
+        return self.clock.advance_by(1)
+
+    # -- state appends ----------------------------------------------------------------
+
+    def _append(self, db_state, events: Iterable[ev.Event], ts: int) -> SystemState:
+        state = SystemState(db_state, events, ts, index=self._state_count)
+        if self.history is not None:
+            state = self.history.append(state)
+        self._state_count += 1
+        self._last_state = state
+        self.bus.publish(state)
+        return state
+
+    def post_event(
+        self,
+        event: Union[ev.Event, Iterable[ev.Event]],
+        at_time: Optional[int] = None,
+    ) -> SystemState:
+        """Record one event (or a set of simultaneous events) occurring
+        outside any transaction; appends one system state."""
+        events = [event] if isinstance(event, ev.Event) else list(event)
+        ts = self._next_timestamp(at_time)
+        return self._append(self.db.state, events, ts)
+
+    def tick(self, at_time: Optional[int] = None) -> SystemState:
+        """Advance time and record a clock-tick event (so conditions like
+        ``time = 540`` have a state at which to be observed)."""
+        return self.post_event(ev.Event(ev.CLOCK_TICK), at_time)
+
+    # -- transactions --------------------------------------------------------------------
+
+    def begin(self, at_time: Optional[int] = None) -> Transaction:
+        txn = self.txns.begin(self.db, self)
+        if self.begin_states:
+            ts = self._next_timestamp(at_time)
+            state = self._append(
+                self.db.state, [ev.transaction_begin(txn.id)], ts
+            )
+            txn.begin_time = state.timestamp
+        else:
+            if at_time is not None and at_time > self.clock.now:
+                self.clock.advance_to(at_time)
+            txn.begin_time = self.clock.now
+        return txn
+
+    def execute(
+        self,
+        work: Callable[[Transaction], Any],
+        at_time: Optional[int] = None,
+        commit_time: Optional[int] = None,
+    ) -> Transaction:
+        """Run ``work`` inside a fresh transaction and commit it."""
+        txn = self.begin(at_time)
+        try:
+            work(txn)
+        except Exception:
+            if txn.status is TxnStatus.ACTIVE:
+                txn.abort(reason="exception in transaction body")
+            raise
+        txn.commit(commit_time)
+        return txn
+
+    def _commit(self, txn: Transaction, at_time: Optional[int]) -> SystemState:
+        ts = self._next_timestamp(at_time)
+        candidate_db = txn.apply_to(self.db.state)
+        events = (
+            [ev.attempts_to_commit(txn.id), ev.transaction_commit(txn.id)]
+            + txn.events
+        )
+        candidate = SystemState(candidate_db, events, ts, index=self._state_count)
+
+        violations: list[str] = []
+        for validator in self._commit_validators:
+            violations.extend(validator(candidate, txn))
+
+        if violations:
+            self.txns.finish(txn, TxnStatus.ABORTED)
+            self._append(
+                self.db.state,
+                [ev.attempts_to_commit(txn.id), ev.transaction_abort(txn.id)],
+                ts,
+            )
+            raise TransactionAborted(txn.id, "; ".join(violations))
+
+        self.db._set_state(candidate_db)
+        state = self._append(candidate_db, events, ts)
+        self.txns.finish(txn, TxnStatus.COMMITTED)
+        return state
+
+    def _abort(
+        self, txn: Transaction, at_time: Optional[int], reason: str
+    ) -> SystemState:
+        ts = self._next_timestamp(at_time)
+        self.txns.finish(txn, TxnStatus.ABORTED)
+        return self._append(self.db.state, [ev.transaction_abort(txn.id)], ts)

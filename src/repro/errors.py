@@ -1,0 +1,186 @@
+"""Exception hierarchy for the ``repro`` active-database library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  Sub-hierarchies mirror the
+subsystems: data model, query processing, storage/transactions, PTL, rules,
+and the valid-time model.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+# --------------------------------------------------------------------------
+# Data model
+# --------------------------------------------------------------------------
+
+
+class DataModelError(ReproError):
+    """Base class for schema/type/relation errors."""
+
+
+class TypeMismatchError(DataModelError):
+    """A value does not belong to the declared attribute domain."""
+
+
+class SchemaError(DataModelError):
+    """Malformed schema, duplicate attribute, or schema incompatibility."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name was referenced that the schema does not define."""
+
+
+# --------------------------------------------------------------------------
+# Query processing
+# --------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for query parsing/compilation/evaluation errors."""
+
+
+class QueryParseError(QueryError):
+    """The QUEL-like query text could not be parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class UnknownRelationError(QueryError):
+    """A query referenced a relation absent from the catalog."""
+
+
+class UnknownFunctionError(QueryError):
+    """A scalar or aggregate function name is not registered."""
+
+
+class QueryEvaluationError(QueryError):
+    """Runtime failure while evaluating a query (e.g. division by zero)."""
+
+
+class NotScalarError(QueryError):
+    """A scalar value was required but the query produced a relation."""
+
+
+# --------------------------------------------------------------------------
+# Storage and transactions
+# --------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for catalog/storage errors."""
+
+
+class DuplicateRelationError(StorageError):
+    """Attempt to create a relation that already exists."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction lifecycle errors."""
+
+
+class TransactionStateError(TransactionError):
+    """Operation invalid in the transaction's current state."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (e.g. by an integrity constraint).
+
+    Carries the constraint (or reason) that caused the abort.
+    """
+
+    def __init__(self, txn_id: int, reason: str = ""):
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+# --------------------------------------------------------------------------
+# Histories and clock
+# --------------------------------------------------------------------------
+
+
+class HistoryError(ReproError):
+    """Violation of the system-history well-formedness constraints."""
+
+
+class ClockError(ReproError):
+    """Timestamps must strictly increase along a history."""
+
+
+# --------------------------------------------------------------------------
+# PTL
+# --------------------------------------------------------------------------
+
+
+class PTLError(ReproError):
+    """Base class for Past Temporal Logic errors."""
+
+
+class PTLParseError(PTLError):
+    """The PTL formula text could not be parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class PTLTypeError(PTLError):
+    """Ill-typed PTL term or formula."""
+
+
+class UnsafeFormulaError(PTLError):
+    """The formula is unsafe: some free variable is never bound by an
+    assignment operator, an event parameter, or a positive equality."""
+
+
+class EvaluationError(PTLError):
+    """Runtime failure inside a PTL evaluator."""
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+
+class RuleError(ReproError):
+    """Base class for rule system errors."""
+
+
+class DuplicateRuleError(RuleError):
+    """A rule with the same name is already registered."""
+
+
+class UnknownRuleError(RuleError):
+    """Reference to a rule name that is not registered."""
+
+
+class ActionError(RuleError):
+    """An action failed while executing."""
+
+
+# --------------------------------------------------------------------------
+# Valid time
+# --------------------------------------------------------------------------
+
+
+class ValidTimeError(ReproError):
+    """Base class for valid-time model errors."""
+
+
+class RetroactiveLimitError(ValidTimeError):
+    """An update's valid time precedes current time by more than DELTA."""
+
+
+# --------------------------------------------------------------------------
+# Event expressions (baseline)
+# --------------------------------------------------------------------------
+
+
+class EventExprError(ReproError):
+    """Errors in the event-expression baseline (parse or compile)."""

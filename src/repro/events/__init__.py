@@ -1,0 +1,43 @@
+"""Events, the global clock, and the event bus."""
+
+from repro.events.bus import EventBus, Subscription
+from repro.events.clock import TIME_ITEM, Clock
+from repro.events.model import (
+    ATTEMPTS_TO_COMMIT,
+    CLOCK_TICK,
+    DELETE_TUPLE,
+    INSERT_TUPLE,
+    RULE_EXECUTE,
+    TRANSACTION_ABORT,
+    TRANSACTION_BEGIN,
+    TRANSACTION_COMMIT,
+    UPDATE_ITEM,
+    Event,
+    attempts_to_commit,
+    transaction_abort,
+    transaction_begin,
+    transaction_commit,
+    user_event,
+)
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "Subscription",
+    "Clock",
+    "TIME_ITEM",
+    "TRANSACTION_BEGIN",
+    "TRANSACTION_COMMIT",
+    "TRANSACTION_ABORT",
+    "ATTEMPTS_TO_COMMIT",
+    "INSERT_TUPLE",
+    "DELETE_TUPLE",
+    "UPDATE_ITEM",
+    "RULE_EXECUTE",
+    "CLOCK_TICK",
+    "transaction_begin",
+    "transaction_commit",
+    "transaction_abort",
+    "attempts_to_commit",
+    "user_event",
+]

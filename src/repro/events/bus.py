@@ -1,0 +1,76 @@
+"""Event bus: connects the DBMS to the temporal component.
+
+Section 8: "whenever an event occurs the database management system invokes
+the temporal component".  Subscribers receive each appended
+:class:`~repro.history.state.SystemState`; a subscriber may additionally
+declare the event names it is *relevant* to, enabling the paper's
+optimization of "consider only the relevant triggers".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+Listener = Callable[..., None]
+
+
+class Subscription:
+    """Handle for a registered listener; ``cancel()`` unsubscribes."""
+
+    __slots__ = ("listener", "event_names", "_bus", "active")
+
+    def __init__(self, bus: "EventBus", listener: Listener, event_names):
+        self.listener = listener
+        self.event_names: Optional[frozenset[str]] = (
+            None if event_names is None else frozenset(event_names)
+        )
+        self._bus = bus
+        self.active = True
+
+    def cancel(self) -> None:
+        self.active = False
+        self._bus._prune()
+
+    def wants(self, event_names: Iterable[str]) -> bool:
+        if self.event_names is None:
+            return True
+        return any(name in self.event_names for name in event_names)
+
+
+class EventBus:
+    """Dispatches appended system states to subscribers."""
+
+    def __init__(self) -> None:
+        self._subscriptions: list[Subscription] = []
+        self.dispatch_count = 0
+        self.delivery_count = 0
+
+    def subscribe(
+        self,
+        listener: Listener,
+        event_names: Optional[Iterable[str]] = None,
+    ) -> Subscription:
+        """Register ``listener``; if ``event_names`` is given, the listener
+        is only invoked for states whose event set intersects it (the
+        Section 8 relevance filter)."""
+        sub = Subscription(self, listener, event_names)
+        self._subscriptions.append(sub)
+        return sub
+
+    def publish(self, state) -> None:
+        """Deliver a newly-appended system state to relevant subscribers."""
+        self.dispatch_count += 1
+        names = [e.name for e in state.events]
+        for sub in list(self._subscriptions):
+            if not sub.active:
+                continue
+            if not sub.wants(names):
+                continue
+            self.delivery_count += 1
+            sub.listener(state)
+
+    def _prune(self) -> None:
+        self._subscriptions = [s for s in self._subscriptions if s.active]
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)

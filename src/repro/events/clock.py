@@ -1,0 +1,46 @@
+"""The global clock.
+
+The paper assumes "a fixed global clock" whose value is exposed as a data
+item called ``time`` (Section 2), and that timestamps along a history are
+strictly increasing (simultaneous events share one system state).  The
+clock is *logical*: workloads and tests advance it explicitly, which makes
+every experiment deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClockError
+
+#: Name of the data item exposing the clock (Section 2).
+TIME_ITEM = "time"
+
+
+class Clock:
+    """A strictly-increasing integer clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0):
+        self._now = int(start)
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def advance_to(self, timestamp: int) -> int:
+        """Move the clock forward to ``timestamp`` (must be > now)."""
+        if timestamp <= self._now:
+            raise ClockError(
+                f"clock cannot move to {timestamp} (now is {self._now})"
+            )
+        self._now = int(timestamp)
+        return self._now
+
+    def advance_by(self, delta: int = 1) -> int:
+        if delta <= 0:
+            raise ClockError(f"clock delta must be positive, got {delta}")
+        self._now += int(delta)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now})"

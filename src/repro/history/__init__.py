@@ -1,0 +1,6 @@
+"""System states and histories (the paper's Section 2 model)."""
+
+from repro.history.history import SystemHistory
+from repro.history.state import SystemState
+
+__all__ = ["SystemState", "SystemHistory"]

@@ -1,0 +1,492 @@
+"""Abstract syntax of Past Temporal Logic (Section 4 of the paper).
+
+Terms
+-----
+* :class:`Var` — a variable.  Bound if some enclosing assignment operator
+  ``[x := q]`` assigns it; otherwise *free* (any satisfying assignment fires
+  the rule, with the values passed to the action part).
+* :class:`ConstT` — a literal.
+* :class:`FuncT` — application of a scalar function to terms.
+* :class:`QueryT` — a database query used as a term; evaluated at the state
+  where the enclosing atom is evaluated.  The paper's "function symbols ...
+  used to denote queries".
+* :class:`AggT` — a temporal aggregate ``f(q, phi, psi)`` (Section 6):
+  aggregate of query ``q`` since the latest state satisfying the *starting
+  formula* ``phi``, sampled at states satisfying the *sampling formula*
+  ``psi``.  ``phi``/``psi`` are full PTL formulas and may themselves contain
+  aggregates (nesting).
+
+Formulas
+--------
+Comparisons between terms, event atoms (``@name(args)``), membership atoms
+(tuple-in-query), the ``executed`` predicate (Section 7), boolean
+connectives, and the past temporal operators ``Since`` and ``Lasttime``
+(primitive) plus ``Previously`` and ``ThroughoutPast`` (derived, Section
+4.1), the assignment operator ``[x := q] f``, and bounded sugar
+``previously[w] f`` / ``throughout_past[w] f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.query.ast import Query
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+class Term:
+    __slots__ = ()
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    name: str
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ConstT(Term):
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class FuncT(Term):
+    func: str
+    args: tuple[Term, ...]
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.variables()
+        return out
+
+    def __str__(self) -> str:
+        if self.func in ("+", "-", "*", "/", "mod") and len(self.args) == 2:
+            return f"({self.args[0]} {self.func} {self.args[1]})"
+        return f"{self.func}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class QueryT(Term):
+    """A database query as a term.  Query parameters (``$v``) refer to PTL
+    variables; they must be *domain-instantiated free variables* (the
+    evaluators ground them before any query runs)."""
+
+    query: Query
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(self.query.params())
+
+    def __str__(self) -> str:
+        return f"{{{self.query}}}"
+
+
+@dataclass(frozen=True)
+class AggT(Term):
+    """Temporal aggregate ``func(query; start; sample)`` (Section 6)."""
+
+    func: str
+    query: Query
+    start: "Formula"
+    sample: "Formula"
+
+    def variables(self) -> frozenset[str]:
+        return (
+            frozenset(self.query.params())
+            | self.start.variables()
+            | self.sample.variables()
+        )
+
+    def __str__(self) -> str:
+        return f"{self.func}({self.query}; {self.start}; {self.sample})"
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+class Formula:
+    __slots__ = ()
+
+    def variables(self) -> frozenset[str]:
+        """All variable names appearing in the formula."""
+        return frozenset()
+
+    def children(self) -> tuple["Formula", ...]:
+        return ()
+
+    # Convenience combinators -------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class BoolConst(Formula):
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+@dataclass(frozen=True)
+class Comparison(Formula):
+    op: str  # = != < <= > >=
+    left: Term
+    right: Term
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class EventAtom(Formula):
+    """``@name(p1, ..., pn)`` — satisfied at a state whose event set
+    contains an event named ``name`` whose parameters match the argument
+    terms.  Variable arguments *bind* to the event's parameter values."""
+
+    name: str
+    args: tuple[Term, ...] = ()
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.variables()
+        return out
+
+    def __str__(self) -> str:
+        if not self.args:
+            return f"@{self.name}"
+        return f"@{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class InQuery(Formula):
+    """``(t1, ..., tn) in q`` — membership of a tuple of terms in the
+    relation retrieved by ``q`` at the current state (the paper's relation
+    atoms, e.g. ``OVERPRICED(x)``).  Variable arguments bind to attribute
+    values of matching rows."""
+
+    args: tuple[Term, ...]
+    query: Query
+
+    def variables(self) -> frozenset[str]:
+        out = frozenset(self.query.params())
+        for a in self.args:
+            out |= a.variables()
+        return out
+
+    def __str__(self) -> str:
+        return f"({', '.join(map(str, self.args))}) in {{{self.query}}}"
+
+
+@dataclass(frozen=True)
+class ExecutedAtom(Formula):
+    """``executed(r, x1, ..., xk, t)`` (Section 7): satisfied at time T if
+    rule ``r`` was executed with parameters ``x1..xk`` at time ``t < T``.
+    Variable arguments (including the time argument) bind against the
+    rule-execution store."""
+
+    rule: str
+    args: tuple[Term, ...]
+    time: Term
+
+    def variables(self) -> frozenset[str]:
+        out = self.time.variables()
+        for a in self.args:
+            out |= a.variables()
+        return out
+
+    def __str__(self) -> str:
+        inner = ", ".join([self.rule, *map(str, self.args), str(self.time)])
+        return f"executed({inner})"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    operands: tuple[Formula, ...]
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for f in self.operands:
+            out |= f.variables()
+        return out
+
+    def children(self) -> tuple[Formula, ...]:
+        return self.operands
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    operands: tuple[Formula, ...]
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for f in self.operands:
+            out |= f.variables()
+        return out
+
+    def children(self) -> tuple[Formula, ...]:
+        return self.operands
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Since(Formula):
+    """``lhs since rhs`` — ``rhs`` held at some state j <= i and ``lhs``
+    held at every state in (j, i].  One of the two basic operators."""
+
+    lhs: Formula
+    rhs: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.lhs.variables() | self.rhs.variables()
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        return f"({self.lhs} since {self.rhs})"
+
+
+@dataclass(frozen=True)
+class Lasttime(Formula):
+    """``lasttime f`` — f held at the previous state (false at the first
+    state).  The other basic operator."""
+
+    operand: Formula
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"lasttime ({self.operand})"
+
+
+@dataclass(frozen=True)
+class Previously(Formula):
+    """Derived: ``previously f == true since f`` (f held at some state
+    <= i, including the current one)."""
+
+    operand: Formula
+    #: Optional window: ``previously[w] f`` — f held at a past state whose
+    #: timestamp is within ``w`` time units of the current timestamp.
+    window: Optional[int] = None
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        w = f"[{self.window}]" if self.window is not None else ""
+        return f"previously{w} ({self.operand})"
+
+
+@dataclass(frozen=True)
+class ThroughoutPast(Formula):
+    """Derived: ``throughout_past f == !previously !f``."""
+
+    operand: Formula
+    window: Optional[int] = None
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        w = f"[{self.window}]" if self.window is not None else ""
+        return f"throughout_past{w} ({self.operand})"
+
+
+@dataclass(frozen=True)
+class Assign(Formula):
+    """The assignment operator ``[x := q] f``: bind ``x`` to the value of
+    query ``q`` at the *current* state, then evaluate ``f`` under the
+    binding.  The paper's alternative to first-order quantification; it
+    naturally ensures safety (Section 10)."""
+
+    var: str
+    query: Query
+    body: Formula
+
+    def variables(self) -> frozenset[str]:
+        return (
+            frozenset({self.var})
+            | frozenset(self.query.params())
+            | self.body.variables()
+        )
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"[{self.var} := {self.query}] {self.body}"
+
+
+# ---------------------------------------------------------------------------
+# Structural helpers
+# ---------------------------------------------------------------------------
+
+
+def walk(formula: Formula):
+    """Yield every subformula, pre-order (including aggregate start/sample
+    formulas nested inside terms)."""
+    yield formula
+    if isinstance(formula, Comparison):
+        for term in (formula.left, formula.right):
+            yield from _walk_term(term)
+    elif isinstance(formula, (EventAtom, ExecutedAtom)):
+        pass
+    elif isinstance(formula, Assign):
+        yield from walk(formula.body)
+    else:
+        for child in formula.children():
+            yield from walk(child)
+
+
+def _walk_term(term: Term):
+    if isinstance(term, AggT):
+        yield from walk(term.start)
+        yield from walk(term.sample)
+    elif isinstance(term, FuncT):
+        for a in term.args:
+            yield from _walk_term(a)
+
+
+def aggregate_terms(formula: Formula) -> list[AggT]:
+    """All temporal-aggregate terms appearing in ``formula`` (shallow:
+    aggregates nested inside other aggregates' start/sample formulas are
+    reported by recursion when those formulas are compiled)."""
+    out: list[AggT] = []
+
+    def visit_term(term: Term) -> None:
+        if isinstance(term, AggT):
+            out.append(term)
+        elif isinstance(term, FuncT):
+            for a in term.args:
+                visit_term(a)
+
+    def visit(f: Formula) -> None:
+        if isinstance(f, Comparison):
+            visit_term(f.left)
+            visit_term(f.right)
+        elif isinstance(f, Assign):
+            visit(f.body)
+        else:
+            for child in f.children():
+                visit(child)
+
+    visit(formula)
+    return out
+
+
+def assigned_variables(formula: Formula) -> dict[str, Query]:
+    """Map of variable -> query for every assignment operator in the
+    formula (after renaming, each variable is assigned at most once)."""
+    out: dict[str, Query] = {}
+
+    def visit(f: Formula) -> None:
+        if isinstance(f, Assign):
+            out[f.var] = f.query
+            visit(f.body)
+        else:
+            for child in f.children():
+                visit(child)
+
+    visit(formula)
+    return out
+
+
+def free_variables(formula: Formula) -> frozenset[str]:
+    """Variables not bound by any enclosing assignment operator.
+
+    Event/executed-atom variables *are* free in the binding sense used here
+    (they are bound dynamically, by matching); "free" means "not
+    assignment-bound", matching the paper's usage.
+    """
+
+    def visit(f: Formula, bound: frozenset[str]) -> frozenset[str]:
+        if isinstance(f, Assign):
+            inner = visit(f.body, bound | {f.var})
+            return inner | (frozenset(f.query.params()) - bound)
+        if isinstance(f, Comparison):
+            return (
+                _term_vars_with_nested(f.left) | _term_vars_with_nested(f.right)
+            ) - bound
+        if isinstance(f, (EventAtom, ExecutedAtom, InQuery)):
+            return f.variables() - bound
+        out: frozenset[str] = frozenset()
+        for child in f.children():
+            out |= visit(child, bound)
+        return out
+
+    def _term_vars_with_nested(term: Term) -> frozenset[str]:
+        if isinstance(term, AggT):
+            return (
+                frozenset(term.query.params())
+                | visit(term.start, frozenset())
+                | visit(term.sample, frozenset())
+            )
+        if isinstance(term, FuncT):
+            out: frozenset[str] = frozenset()
+            for a in term.args:
+                out |= _term_vars_with_nested(a)
+            return out
+        return term.variables()
+
+    return visit(formula, frozenset())

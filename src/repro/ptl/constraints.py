@@ -1,0 +1,479 @@
+"""State formulas ``F_{g,i}`` — the paper's incrementally-maintained values.
+
+Section 5 maintains, for each subformula g, a formula ``F_{g,i}`` over the
+free variables, "maintained as an and-or graph" with constant database
+values from past states folded in.  This module provides that
+representation: boolean combinations (:class:`CAnd`/:class:`COr`/
+:class:`CNot`) of atomic comparisons (:class:`CAtom`) over symbolic terms,
+with aggressive simplification on construction:
+
+* constant folding (a fully-ground atom becomes :data:`CTRUE`/:data:`CFALSE`);
+* ``and``/``or`` flattening, absorption, duplicate elimination, and
+  complementary-literal detection;
+* negation pushed into atoms (``!(x <= 3)`` becomes ``x > 3``);
+* *linear normalization*: atoms are rearranged into the canonical form
+  ``var <op> constant`` whenever possible (``11 <= .5*x`` becomes
+  ``x >= 22``), which is both what the paper's worked examples display and
+  what makes the Section 5 time-bound pruning (:mod:`repro.ptl.optimize`)
+  applicable.
+
+Everything is immutable and hashable; sharing makes the "and-or graph".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.errors import EvaluationError, QueryEvaluationError
+from repro.query.evaluator import apply_comparison
+from repro.query.functions import scalar_function
+
+# ---------------------------------------------------------------------------
+# Symbolic terms
+# ---------------------------------------------------------------------------
+
+
+class STerm:
+    __slots__ = ()
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class SConst(STerm):
+    value: Any
+
+    def __str__(self) -> str:
+        if isinstance(self.value, float) and self.value == int(self.value):
+            return str(int(self.value))
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class SVar(STerm):
+    name: str
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SApp(STerm):
+    func: str
+    args: tuple[STerm, ...]
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.variables()
+        return out
+
+    def __str__(self) -> str:
+        if self.func in ("+", "-", "*", "/", "mod") and len(self.args) == 2:
+            return f"({self.args[0]} {self.func} {self.args[1]})"
+        return f"{self.func}({', '.join(map(str, self.args))})"
+
+
+def sapp(func: str, args: tuple[STerm, ...]) -> STerm:
+    """Build an application, constant-folding when all arguments are ground."""
+    if all(isinstance(a, SConst) for a in args):
+        fn = scalar_function(func)
+        return SConst(fn(*(a.value for a in args)))
+    return SApp(func, args)
+
+
+def subst_term(term: STerm, env: Mapping[str, Any]) -> STerm:
+    if isinstance(term, SVar):
+        if term.name in env:
+            return SConst(env[term.name])
+        return term
+    if isinstance(term, SApp):
+        return sapp(term.func, tuple(subst_term(a, env) for a in term.args))
+    return term
+
+
+def term_size(term: STerm) -> int:
+    if isinstance(term, SApp):
+        return 1 + sum(term_size(a) for a in term.args)
+    return 1
+
+
+# ---------------------------------------------------------------------------
+# Constraint formulas
+# ---------------------------------------------------------------------------
+
+
+class C:
+    """Base class of constraint formulas."""
+
+    __slots__ = ()
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class CBool(C):
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+CTRUE = CBool(True)
+CFALSE = CBool(False)
+
+_NEGATED_OP = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+_FLIPPED_OP = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclass(frozen=True)
+class CAtom(C):
+    op: str
+    left: STerm
+    right: STerm
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class CAnd(C):
+    operands: tuple[C, ...]
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for c in self.operands:
+            out |= c.variables()
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class COr(C):
+    operands: tuple[C, ...]
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for c in self.operands:
+            out |= c.variables()
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class CNot(C):
+    operand: C
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+
+def catom(op: str, left: STerm, right: STerm) -> C:
+    """Build an atom: fold if ground, else normalize to ``var <op> const``
+    when the atom is linear in a single variable occurrence."""
+    if isinstance(left, SConst) and isinstance(right, SConst):
+        try:
+            return CTRUE if apply_comparison(op, left.value, right.value) else CFALSE
+        except QueryEvaluationError:
+            # Incomparable values (e.g. string vs int ordering): the atom
+            # cannot hold.
+            return CFALSE
+    op, left, right = _normalize_linear(op, left, right)
+    return CAtom(op, left, right)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _normalize_linear(op: str, left: STerm, right: STerm):
+    """Rearrange toward ``var <op> const``: flip constant-on-left, move
+    additive constants across, divide out positive multiplicative
+    constants (flipping the comparison for negative ones)."""
+    if isinstance(left, SConst) and not isinstance(right, SConst):
+        op, left, right = _FLIPPED_OP[op], right, left
+
+    changed = True
+    while changed and isinstance(right, SConst) and _is_number(right.value):
+        changed = False
+        if isinstance(left, SApp) and len(left.args) == 2:
+            a, b = left.args
+            if left.func in ("+", "-") and isinstance(b, SConst) and _is_number(b.value):
+                # (X +/- c) op d  ->  X op d -/+ c
+                d = right.value - b.value if left.func == "+" else right.value + b.value
+                left, right = a, SConst(d)
+                changed = True
+            elif left.func == "+" and isinstance(a, SConst) and _is_number(a.value):
+                left, right = b, SConst(right.value - a.value)
+                changed = True
+            elif left.func == "*" and isinstance(a, SConst) and _is_number(a.value) and a.value != 0:
+                left, right, op = _divide(b, right.value, a.value, op)
+                changed = True
+            elif left.func == "*" and isinstance(b, SConst) and _is_number(b.value) and b.value != 0:
+                left, right, op = _divide(a, right.value, b.value, op)
+                changed = True
+            elif left.func == "/" and isinstance(b, SConst) and _is_number(b.value) and b.value != 0:
+                # (X / c) op d  ->  X op d*c   (flip if c < 0)
+                new_right = right.value * b.value
+                if b.value < 0 and op not in ("=", "!="):
+                    op = _FLIPPED_OP[op]
+                left, right = a, SConst(_intify(new_right))
+                changed = True
+    return op, left, right
+
+
+def _divide(var_side: STerm, const: float, coeff: float, op: str):
+    value = const / coeff
+    if coeff < 0 and op not in ("=", "!="):
+        op = _FLIPPED_OP[op]
+    return var_side, SConst(_intify(value)), op
+
+
+def _intify(value: float):
+    if isinstance(value, float) and value == int(value):
+        return int(value)
+    return value
+
+
+def cnot(operand: C) -> C:
+    if isinstance(operand, CBool):
+        return CFALSE if operand.value else CTRUE
+    if isinstance(operand, CNot):
+        return operand.operand
+    if isinstance(operand, CAtom):
+        return CAtom(_NEGATED_OP[operand.op], operand.left, operand.right)
+    if isinstance(operand, CAnd):
+        return cor(tuple(cnot(c) for c in operand.operands))
+    if isinstance(operand, COr):
+        return cand(tuple(cnot(c) for c in operand.operands))
+    return CNot(operand)
+
+
+def cand(operands: Iterable[C]) -> C:
+    flat: list[C] = []
+    seen: set[C] = set()
+    for c in operands:
+        if isinstance(c, CBool):
+            if not c.value:
+                return CFALSE
+            continue
+        children = c.operands if isinstance(c, CAnd) else (c,)
+        for child in children:
+            if isinstance(child, CBool):
+                if not child.value:
+                    return CFALSE
+                continue
+            if child in seen:
+                continue
+            seen.add(child)
+            flat.append(child)
+    for c in flat:
+        if cnot(c) in seen:
+            return CFALSE
+    if not flat:
+        return CTRUE
+    if len(flat) == 1:
+        return flat[0]
+    return CAnd(tuple(flat))
+
+
+def cor(operands: Iterable[C]) -> C:
+    flat: list[C] = []
+    seen: set[C] = set()
+    for c in operands:
+        if isinstance(c, CBool):
+            if c.value:
+                return CTRUE
+            continue
+        children = c.operands if isinstance(c, COr) else (c,)
+        for child in children:
+            if isinstance(child, CBool):
+                if child.value:
+                    return CTRUE
+                continue
+            if child in seen:
+                continue
+            seen.add(child)
+            flat.append(child)
+    for c in flat:
+        if cnot(c) in seen:
+            return CTRUE
+    if not flat:
+        return CFALSE
+    if len(flat) == 1:
+        return flat[0]
+    return COr(tuple(flat))
+
+
+def cbool(value: bool) -> C:
+    return CTRUE if value else CFALSE
+
+
+# ---------------------------------------------------------------------------
+# Operations
+# ---------------------------------------------------------------------------
+
+
+def substitute(c: C, env: Mapping[str, Any]) -> C:
+    """Replace variables by values and re-simplify."""
+    if isinstance(c, CBool):
+        return c
+    if isinstance(c, CAtom):
+        return catom(c.op, subst_term(c.left, env), subst_term(c.right, env))
+    if isinstance(c, CAnd):
+        return cand(substitute(x, env) for x in c.operands)
+    if isinstance(c, COr):
+        return cor(substitute(x, env) for x in c.operands)
+    if isinstance(c, CNot):
+        return cnot(substitute(c.operand, env))
+    raise EvaluationError(f"unknown constraint node {c!r}")
+
+
+def evaluate(c: C, env: Mapping[str, Any]) -> bool:
+    """Fully evaluate; raises if variables remain unbound."""
+    result = substitute(c, env)
+    if isinstance(result, CBool):
+        return result.value
+    raise EvaluationError(
+        f"constraint not ground after substitution: {result} "
+        f"(unbound: {sorted(result.variables())})"
+    )
+
+
+def size(c: C) -> int:
+    """Node count (formula + term nodes) — the paper's state-size metric."""
+    if isinstance(c, CBool):
+        return 1
+    if isinstance(c, CAtom):
+        return 1 + term_size(c.left) + term_size(c.right)
+    if isinstance(c, CNot):
+        return 1 + size(c.operand)
+    if isinstance(c, (CAnd, COr)):
+        return 1 + sum(size(x) for x in c.operands)
+    raise EvaluationError(f"unknown constraint node {c!r}")
+
+
+def equality_candidates(c: C) -> dict[str, set]:
+    """Candidate values for each variable, harvested from ``var = const``
+    atoms (answer extraction for event/executed-bound variables)."""
+    out: dict[str, set] = {}
+
+    def visit(node: C) -> None:
+        if isinstance(node, CAtom):
+            if (
+                node.op == "="
+                and isinstance(node.left, SVar)
+                and isinstance(node.right, SConst)
+            ):
+                out.setdefault(node.left.name, set()).add(node.right.value)
+            elif (
+                node.op == "="
+                and isinstance(node.right, SVar)
+                and isinstance(node.left, SConst)
+            ):
+                out.setdefault(node.right.name, set()).add(node.left.value)
+        elif isinstance(node, (CAnd, COr)):
+            for x in node.operands:
+                visit(x)
+        elif isinstance(node, CNot):
+            visit(node.operand)
+
+    visit(c)
+    return out
+
+
+class FreshValue:
+    """Witness for a variable no positive atom constrains: it equals
+    nothing, differs from everything, and is unordered (ordering
+    comparisons involving it fail, making those atoms false).  Both the
+    reference answer semantics and the incremental solver use the same
+    witness, so 'the condition holds for any value of x' fires in both,
+    with the binding reported as FRESH."""
+
+    _instance: Optional["FreshValue"] = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __eq__(self, other):
+        return other is self
+
+    def __ne__(self, other):
+        return other is not self
+
+    def __hash__(self):
+        return 0x5EED
+
+    def __repr__(self):
+        return "<fresh>"
+
+
+FRESH = FreshValue()
+
+
+def solve(
+    c: C,
+    domains: Optional[Mapping[str, Iterable]] = None,
+    max_solutions: int = 10_000,
+) -> list[dict[str, Any]]:
+    """Satisfying assignments of ``c`` over its free variables.
+
+    Candidate values come from equality atoms inside ``c`` plus any
+    declared ``domains``; a variable with neither gets the :data:`FRESH`
+    witness (it can only satisfy the formula if no positive atom
+    constrains it).
+    """
+    if c is CTRUE:
+        return [{}]
+    if c is CFALSE:
+        return []
+    variables = sorted(c.variables())
+    candidates = equality_candidates(c)
+    if domains:
+        for name, values in domains.items():
+            candidates.setdefault(name, set()).update(values)
+    for name in variables:
+        candidates.setdefault(name, set()).add(FRESH)
+
+    solutions: list[dict[str, Any]] = []
+
+    def rec(i: int, env: dict[str, Any], current: C) -> None:
+        if len(solutions) >= max_solutions:
+            return
+        if current is CFALSE:
+            return
+        if i == len(variables):
+            if current is CTRUE:
+                solutions.append(dict(env))
+            return
+        name = variables[i]
+        for value in sorted(candidates[name], key=repr):
+            env[name] = value
+            rec(i + 1, env, substitute(current, {name: value}))
+            del env[name]
+
+    rec(0, {}, c)
+    return solutions

@@ -1,0 +1,132 @@
+"""Textual syntax for the future-operator extension.
+
+Grammar (keywords case-insensitive)::
+
+    fformula := forexpr (UNTIL forexpr)*            # left-associative
+    forexpr  := fand (('|' | OR) fand)*
+    fand     := funary (('&' | AND) funary)*
+    funary   := ('!' | NOT) funary
+              | NEXT funary
+              | EVENTUALLY ['[' N ']'] funary
+              | ALWAYS ['[' N ']'] funary
+              | fprimary
+    fprimary := '(' fformula ')'                    # or a parenthesized
+              | <past-PTL unary formula>            #   past formula
+
+Any primary that is not a future construct is parsed as one *past-PTL
+unary formula* by the ordinary PTL parser sharing the same token cursor —
+so event atoms, comparisons, ``previously``/``since`` (inside
+parentheses), assignments, and aggregates all embed directly::
+
+    parse_future_formula("always (!@req | eventually[5] @ack)")
+    parse_future_formula("eventually (previously @a & @b)")
+    parse_future_formula("@armed until price(IBM) > 50", registry)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import PTLParseError, UnsafeFormulaError
+from repro.ptl import ast as past_ast
+from repro.ptl import future as fut
+from repro.ptl.parser import _Parser
+from repro.query.lexer import NUMBER, TokenStream, tokenize
+from repro.query.subst import QueryRegistry
+
+
+def parse_future_formula(
+    text: str,
+    registry: Optional[QueryRegistry] = None,
+    items: Iterable[str] = (),
+) -> fut.FFormula:
+    """Parse future-operator text into a
+    :class:`~repro.ptl.future.FFormula` (atoms must be ground)."""
+    err = lambda m, p: PTLParseError(m, p)
+    stream = TokenStream(tokenize(text, err), err)
+    parser = _FutureParser(text, registry, frozenset(items), stream)
+    formula = parser.parse()
+    stream.expect_eof()
+    return formula
+
+
+class _FutureParser:
+    def __init__(self, text, registry, items, stream):
+        self.stream = stream
+        self._past = _Parser(text, registry, items, stream=stream)
+
+    def parse(self) -> fut.FFormula:
+        left = self._or()
+        while self.stream.at_keyword("UNTIL"):
+            self.stream.advance()
+            right = self._or()
+            left = fut.Until(left, right)
+        return left
+
+    def _or(self) -> fut.FFormula:
+        operands = [self._and()]
+        while self.stream.at_op("|") or self.stream.at_keyword("OR"):
+            self.stream.advance()
+            operands.append(self._and())
+        return fut.for_(operands) if len(operands) > 1 else operands[0]
+
+    def _and(self) -> fut.FFormula:
+        operands = [self._unary()]
+        while self.stream.at_op("&") or self.stream.at_keyword("AND"):
+            self.stream.advance()
+            operands.append(self._unary())
+        return fut.fand(operands) if len(operands) > 1 else operands[0]
+
+    def _unary(self) -> fut.FFormula:
+        s = self.stream
+        if s.at_op("!") or s.at_keyword("NOT"):
+            s.advance()
+            return fut.fnot(self._unary())
+        if s.at_keyword("NEXT"):
+            s.advance()
+            return fut.Next(self._unary())
+        if s.at_keyword("EVENTUALLY"):
+            s.advance()
+            window = self._parse_window()
+            return fut.Eventually(self._unary(), window)
+        if s.at_keyword("ALWAYS"):
+            s.advance()
+            window = self._parse_window()
+            return fut.Always(self._unary(), window)
+        return self._primary()
+
+    def _parse_window(self) -> Optional[int]:
+        s = self.stream
+        if s.accept_op("["):
+            tok = s.current
+            if tok.kind != NUMBER:
+                s.fail("expected a number in temporal window")
+            s.advance()
+            s.expect_op("]")
+            return int(float(tok.text))
+        return None
+
+    def _primary(self) -> fut.FFormula:
+        s = self.stream
+        if s.at_keyword("TRUE"):
+            s.advance()
+            return fut.FTRUE
+        if s.at_keyword("FALSE"):
+            s.advance()
+            return fut.FFALSE
+        if s.at_op("("):
+            saved = s._pos
+            s.advance()
+            try:
+                inner = self.parse()
+                s.expect_op(")")
+                return inner
+            except PTLParseError:
+                s._pos = saved
+        # fall back to one past-PTL unary formula
+        past = self._past.parse_unary()
+        if past_ast.free_variables(past):
+            raise UnsafeFormulaError(
+                f"future-formula atoms must be ground: {past}"
+            )
+        return fut.Atom(past)

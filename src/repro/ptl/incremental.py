@@ -1,0 +1,986 @@
+"""The paper's incremental trigger-detection algorithm (Section 5).
+
+For each subformula g of the condition f, the evaluator maintains a state
+formula ``F_{g,i}`` (over the formula's free variables) such that an
+assignment rho satisfies ``F_{g,i}`` iff the history prefix ending at the
+i-th state satisfies g under rho.  After each update only the *new* system
+state is examined:
+
+* atoms evaluate against the newest state, folding current query values,
+  event parameters and execution records into constants;
+* ``F_{lasttime g, i} = F_{g, i-1}``;
+* ``F_{g since h, i} = F_{h,i} | (F_{g,i} & F_{g since h, i-1})``;
+* ``F_{[x := q] g, i} = F_{g,i}[x -> value of q at state i]``;
+* boolean connectives combine their children's values;
+* temporal aggregates (Section 6) are maintained directly: a running
+  aggregate that resets when the starting formula fires and samples the
+  query when the sampling formula fires (the rewriting pipeline of Section
+  6.1.1 is in :mod:`repro.ptl.aggregates`).
+
+"After the i-th update it simply computes F_{g,i} for each subformula g and
+fires the trigger iff the formula F_{f,i} evaluates to true.  Also, it
+discards the previous values F_{g,i-1}."  (THEOREM 1 — equivalence with the
+reference semantics — is property-tested in the test suite and measured in
+benchmark E10.)
+
+Free variables
+--------------
+* Variables bound by event/``executed`` matching or by equality with
+  constants stay *symbolic* in the state formulas; satisfying assignments
+  are extracted by :func:`repro.ptl.constraints.solve`.
+* Variables used as *query parameters* (``price($x)``) cannot stay
+  symbolic — a query cannot run half-bound.  Following Section 6.1.1
+  ("multiple database items, indexed with different values for the free
+  variables"), the evaluator *instantiates* one sub-evaluator per
+  combination of domain values, created eagerly for list domains and
+  lazily as values appear for query domains.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.datamodel.relation import Relation
+from repro.errors import EvaluationError, PTLError, UnsafeFormulaError
+from repro.history.state import SystemState
+from repro.ptl import ast
+from repro.ptl import constraints as cs
+from repro.ptl.context import EvalContext
+from repro.ptl.optimize import prune_time_bounds
+from repro.ptl.rewrite import TIME_QUERY, normalize
+from repro.ptl.semantics import UNDEFINED, eval_query_value
+from repro.query import ast as qast
+from repro.query.functions import RunningAggregate
+from repro.query.subst import substitute_query
+
+
+@dataclass(frozen=True)
+class FireResult:
+    """Outcome of one evaluation step: whether the condition fired and the
+    satisfying assignments for its free variables ("parameter passing from
+    the condition part to the action part", Section 3)."""
+
+    fired: bool
+    bindings: tuple[dict, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.fired
+
+
+# ---------------------------------------------------------------------------
+# Formula instantiation (domain-indexed evaluators)
+# ---------------------------------------------------------------------------
+
+
+def instantiate_formula(f: ast.Formula, env: Mapping[str, Any]) -> ast.Formula:
+    """Substitute concrete values for free variables, both as terms
+    (``Var``) and as query parameters (``$x``)."""
+
+    qmap = {name: qast.Const(value) for name, value in env.items()}
+
+    def iq(query):
+        return substitute_query(query, qmap)
+
+    def it(term: ast.Term) -> ast.Term:
+        if isinstance(term, ast.Var) and term.name in env:
+            return ast.ConstT(env[term.name])
+        if isinstance(term, ast.FuncT):
+            return ast.FuncT(term.func, tuple(it(a) for a in term.args))
+        if isinstance(term, ast.QueryT):
+            return ast.QueryT(iq(term.query))
+        if isinstance(term, ast.AggT):
+            return ast.AggT(term.func, iq(term.query), rec(term.start), rec(term.sample))
+        return term
+
+    def rec(g: ast.Formula) -> ast.Formula:
+        if isinstance(g, ast.Comparison):
+            return ast.Comparison(g.op, it(g.left), it(g.right))
+        if isinstance(g, ast.EventAtom):
+            return ast.EventAtom(g.name, tuple(it(a) for a in g.args))
+        if isinstance(g, ast.ExecutedAtom):
+            return ast.ExecutedAtom(g.rule, tuple(it(a) for a in g.args), it(g.time))
+        if isinstance(g, ast.InQuery):
+            return ast.InQuery(tuple(it(a) for a in g.args), iq(g.query))
+        if isinstance(g, ast.Not):
+            return ast.Not(rec(g.operand))
+        if isinstance(g, ast.And):
+            return ast.And(tuple(rec(c) for c in g.operands))
+        if isinstance(g, ast.Or):
+            return ast.Or(tuple(rec(c) for c in g.operands))
+        if isinstance(g, ast.Since):
+            return ast.Since(rec(g.lhs), rec(g.rhs))
+        if isinstance(g, ast.Lasttime):
+            return ast.Lasttime(rec(g.operand))
+        if isinstance(g, ast.Assign):
+            return ast.Assign(g.var, iq(g.query), rec(g.body))
+        return g
+
+    return rec(f)
+
+
+def query_param_vars(f: ast.Formula) -> frozenset[str]:
+    """Free variables used as query parameters anywhere in the formula."""
+    out: set[str] = set()
+
+    def visit_term(term: ast.Term) -> None:
+        if isinstance(term, ast.QueryT):
+            out.update(term.query.params())
+        elif isinstance(term, ast.AggT):
+            out.update(term.query.params())
+            visit(term.start)
+            visit(term.sample)
+        elif isinstance(term, ast.FuncT):
+            for a in term.args:
+                visit_term(a)
+
+    def visit(g: ast.Formula) -> None:
+        if isinstance(g, ast.Comparison):
+            visit_term(g.left)
+            visit_term(g.right)
+        elif isinstance(g, ast.InQuery):
+            out.update(g.query.params())
+        elif isinstance(g, ast.Assign):
+            out.update(g.query.params())
+            visit(g.body)
+        else:
+            for child in g.children():
+                visit(child)
+
+    visit(f)
+    return frozenset(out) & ast.free_variables(f)
+
+
+# ---------------------------------------------------------------------------
+# Compiled node tree
+# ---------------------------------------------------------------------------
+
+
+class _Node:
+    """A compiled subformula.  ``compute(state)`` returns the node's state
+    formula at the new system state, updating any persistent storage."""
+
+    __slots__ = ()
+
+    def compute(self, state: SystemState) -> cs.C:
+        raise NotImplementedError
+
+    def get_state(self):
+        return None
+
+    def set_state(self, snapshot) -> None:
+        pass
+
+    def stored_size(self) -> int:
+        return 0
+
+    def prune(self, now: int, time_vars: frozenset[str]) -> None:
+        pass
+
+    def stored_formulas(self):
+        """(label, stored C) pairs for inspection (the E1 table)."""
+        return ()
+
+
+class _BoolNode(_Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = cs.CTRUE if value else cs.CFALSE
+
+    def compute(self, state):
+        return self.value
+
+
+class _ComparisonNode(_Node):
+    __slots__ = ("formula", "evaluator")
+
+    def __init__(self, formula: ast.Comparison, evaluator: "_CoreEvaluator"):
+        self.formula = formula
+        self.evaluator = evaluator
+
+    def compute(self, state):
+        left = self.evaluator._term_value(self.formula.left, state)
+        right = self.evaluator._term_value(self.formula.right, state)
+        if left is None or right is None:  # undefined subterm
+            return cs.CFALSE
+        return cs.catom(self.formula.op, left, right)
+
+
+class _EventNode(_Node):
+    __slots__ = ("formula", "evaluator")
+
+    def __init__(self, formula: ast.EventAtom, evaluator):
+        self.formula = formula
+        self.evaluator = evaluator
+
+    def compute(self, state):
+        disjuncts = []
+        for event in state.events:
+            if event.name != self.formula.name:
+                continue
+            if len(event.params) != len(self.formula.args):
+                continue
+            conjuncts = []
+            for arg, value in zip(self.formula.args, event.params):
+                sym = self.evaluator._term_value(arg, state)
+                if sym is None:
+                    conjuncts = [cs.CFALSE]
+                    break
+                conjuncts.append(cs.catom("=", sym, cs.SConst(value)))
+            disjuncts.append(cs.cand(conjuncts))
+        return cs.cor(disjuncts)
+
+
+class _ExecutedNode(_Node):
+    __slots__ = ("formula", "evaluator")
+
+    def __init__(self, formula: ast.ExecutedAtom, evaluator):
+        self.formula = formula
+        self.evaluator = evaluator
+
+    def compute(self, state):
+        records = self.evaluator.ctx.executed.records(
+            rule=self.formula.rule, before=state.timestamp
+        )
+        disjuncts = []
+        for rec in records:
+            if len(rec.params) != len(self.formula.args):
+                continue
+            conjuncts = []
+            for arg, value in zip(self.formula.args, rec.params):
+                sym = self.evaluator._term_value(arg, state)
+                if sym is None:
+                    conjuncts = [cs.CFALSE]
+                    break
+                conjuncts.append(cs.catom("=", sym, cs.SConst(value)))
+            tsym = self.evaluator._term_value(self.formula.time, state)
+            if tsym is None:
+                continue
+            conjuncts.append(cs.catom("=", tsym, cs.SConst(rec.time)))
+            disjuncts.append(cs.cand(conjuncts))
+        return cs.cor(disjuncts)
+
+
+class _InQueryNode(_Node):
+    __slots__ = ("formula", "evaluator")
+
+    def __init__(self, formula: ast.InQuery, evaluator):
+        self.formula = formula
+        self.evaluator = evaluator
+
+    def compute(self, state):
+        from repro.query.evaluator import eval_query
+
+        try:
+            result = eval_query(self.formula.query, state, {})
+        except Exception:
+            return cs.CFALSE
+        if not isinstance(result, Relation):
+            rows_values = [(result,)]
+        else:
+            rows_values = [row.values for row in result.sorted_rows()]
+        disjuncts = []
+        for values in rows_values:
+            if len(values) != len(self.formula.args):
+                return cs.CFALSE
+            conjuncts = []
+            for arg, value in zip(self.formula.args, values):
+                sym = self.evaluator._term_value(arg, state)
+                if sym is None:
+                    conjuncts = [cs.CFALSE]
+                    break
+                conjuncts.append(cs.catom("=", sym, cs.SConst(value)))
+            disjuncts.append(cs.cand(conjuncts))
+        return cs.cor(disjuncts)
+
+
+class _NotNode(_Node):
+    __slots__ = ("child",)
+
+    def __init__(self, child: _Node):
+        self.child = child
+
+    def compute(self, state):
+        return cs.cnot(self.child.compute(state))
+
+
+class _AndNode(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self, children: list[_Node]):
+        self.children = children
+
+    def compute(self, state):
+        # Every child must compute at every step — temporal descendants
+        # update their stored state as a side effect, so no short-circuit.
+        results = [c.compute(state) for c in self.children]
+        return cs.cand(results)
+
+
+class _OrNode(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self, children: list[_Node]):
+        self.children = children
+
+    def compute(self, state):
+        results = [c.compute(state) for c in self.children]
+        return cs.cor(results)
+
+
+class _LasttimeNode(_Node):
+    __slots__ = ("child", "stored", "label")
+
+    def __init__(self, child: _Node, label: str):
+        self.child = child
+        self.stored: cs.C = cs.CFALSE
+        self.label = label
+
+    def compute(self, state):
+        result = self.stored
+        self.stored = self.child.compute(state)
+        return result
+
+    def get_state(self):
+        return self.stored
+
+    def set_state(self, snapshot):
+        self.stored = snapshot
+
+    def stored_size(self):
+        return cs.size(self.stored)
+
+    def prune(self, now, time_vars):
+        self.stored = prune_time_bounds(self.stored, now, time_vars)
+
+    def stored_formulas(self):
+        return ((self.label, self.stored),)
+
+
+class _SinceNode(_Node):
+    __slots__ = ("lhs", "rhs", "stored", "started", "label")
+
+    def __init__(self, lhs: _Node, rhs: _Node, label: str):
+        self.lhs = lhs
+        self.rhs = rhs
+        self.stored: cs.C = cs.CFALSE
+        self.started = False
+        self.label = label
+
+    def compute(self, state):
+        f_lhs = self.lhs.compute(state)
+        f_rhs = self.rhs.compute(state)
+        if not self.started:
+            current = f_rhs
+            self.started = True
+        else:
+            current = cs.cor((f_rhs, cs.cand((f_lhs, self.stored))))
+        self.stored = current
+        return current
+
+    def get_state(self):
+        return (self.stored, self.started)
+
+    def set_state(self, snapshot):
+        self.stored, self.started = snapshot
+
+    def stored_size(self):
+        return cs.size(self.stored)
+
+    def prune(self, now, time_vars):
+        self.stored = prune_time_bounds(self.stored, now, time_vars)
+
+    def stored_formulas(self):
+        return ((self.label, self.stored),)
+
+
+class _AssignNode(_Node):
+    __slots__ = ("var", "query", "child")
+
+    def __init__(self, var: str, query, child: _Node):
+        self.var = var
+        self.query = query
+        self.child = child
+
+    def compute(self, state):
+        inner = self.child.compute(state)
+        value = eval_query_value(self.query, state, {})
+        if value is UNDEFINED:
+            return cs.CFALSE
+        return cs.substitute(inner, {self.var: value})
+
+
+# ---------------------------------------------------------------------------
+# Temporal aggregates (direct pipeline)
+# ---------------------------------------------------------------------------
+
+
+def _is_time_pred(f: ast.Formula, avail: frozenset[str]) -> bool:
+    """A *pure time predicate*: boolean combinations of comparisons whose
+    terms use only the ``time`` item, constants, and variables in ``avail``
+    (outer variables assigned from ``time``).  Such starting formulas are
+    the paper's moving-window aggregates ("time <= u - 60")."""
+
+    def term_ok(term: ast.Term) -> bool:
+        if isinstance(term, ast.ConstT):
+            return True
+        if isinstance(term, ast.Var):
+            return term.name in avail
+        if isinstance(term, ast.QueryT):
+            return term.query == TIME_QUERY
+        if isinstance(term, ast.FuncT):
+            return all(term_ok(a) for a in term.args)
+        return False
+
+    if isinstance(f, ast.BoolConst):
+        return True
+    if isinstance(f, ast.Comparison):
+        return term_ok(f.left) and term_ok(f.right)
+    if isinstance(f, ast.Not):
+        return _is_time_pred(f.operand, avail)
+    if isinstance(f, (ast.And, ast.Or)):
+        return all(_is_time_pred(c, avail) for c in f.operands)
+    return False
+
+
+def _eval_time_pred(f: ast.Formula, ts: int, env: Mapping[str, int]) -> bool:
+    """Evaluate a pure time predicate at a state with timestamp ``ts``."""
+    from repro.query.evaluator import apply_comparison
+    from repro.query.functions import scalar_function
+
+    def term(t: ast.Term):
+        if isinstance(t, ast.ConstT):
+            return t.value
+        if isinstance(t, ast.Var):
+            return env[t.name]
+        if isinstance(t, ast.QueryT):
+            return ts
+        if isinstance(t, ast.FuncT):
+            return scalar_function(t.func)(*(term(a) for a in t.args))
+        raise EvaluationError(f"not a time-predicate term: {t!r}")
+
+    if isinstance(f, ast.BoolConst):
+        return f.value
+    if isinstance(f, ast.Comparison):
+        return apply_comparison(f.op, term(f.left), term(f.right))
+    if isinstance(f, ast.Not):
+        return not _eval_time_pred(f.operand, ts, env)
+    if isinstance(f, ast.And):
+        return all(_eval_time_pred(c, ts, env) for c in f.operands)
+    if isinstance(f, ast.Or):
+        return any(_eval_time_pred(c, ts, env) for c in f.operands)
+    raise EvaluationError(f"not a time predicate: {f!r}")
+
+
+def _is_monotone_window(f: ast.Formula, avail: frozenset[str]) -> bool:
+    """Detect ``time <= u - c`` / ``time < u - c`` starting formulas, whose
+    satisfying set only grows as the clock advances — entries before the
+    current start index can then be pruned (bounded memory)."""
+    if not isinstance(f, ast.Comparison) or f.op not in ("<=", "<"):
+        return False
+    if not (isinstance(f.left, ast.QueryT) and f.left.query == TIME_QUERY):
+        return False
+    right = f.right
+    if isinstance(right, ast.Var):
+        return right.name in avail
+    return (
+        isinstance(right, ast.FuncT)
+        and right.func in ("-", "+")
+        and isinstance(right.args[0], ast.Var)
+        and right.args[0].name in avail
+        and isinstance(right.args[1], ast.ConstT)
+    )
+
+
+class _AggregateState:
+    """Running state for one temporal-aggregate term.
+
+    Two modes:
+
+    * **running** — ground starting formula: a sub-evaluator fires resets,
+      a :class:`RunningAggregate` accumulates samples (O(1) per step).
+    * **windowed** — starting formula is a pure time predicate over outer
+      variables assigned from ``time`` (the paper's moving hourly
+      average): a log of (timestamp, sampled, value) entries; at read time
+      the start index is the latest entry satisfying the predicate with
+      the outer variables bound to the *current* timestamp.  For monotone
+      windows the log is pruned below the start index.
+    """
+
+    __slots__ = (
+        "term",
+        "mode",
+        "avail",
+        "start_eval",
+        "sample_eval",
+        "agg",
+        "started",
+        "poisoned",
+        "log",
+        "prunable",
+        "now",
+    )
+
+    def __init__(
+        self,
+        term: ast.AggT,
+        ctx: EvalContext,
+        optimize: bool,
+        avail_time_vars: frozenset[str] = frozenset(),
+    ):
+        start_free = ast.free_variables(term.start)
+        if ast.free_variables(term.sample):
+            raise UnsafeFormulaError(
+                f"aggregate sampling formula must be ground: {term}"
+            )
+        self.term = term
+        self.avail = frozenset(avail_time_vars)
+        self.sample_eval = _CoreEvaluator(term.sample, ctx, optimize)
+        self.poisoned = False
+        if not start_free:
+            self.mode = "running"
+            self.start_eval = _CoreEvaluator(term.start, ctx, optimize)
+            self.agg = RunningAggregate(term.func)
+            self.started = False
+            self.log = None
+            self.prunable = False
+        else:
+            if not start_free <= self.avail or not _is_time_pred(
+                term.start, self.avail
+            ):
+                raise UnsafeFormulaError(
+                    "aggregate starting formula may only reference outer "
+                    "variables assigned from 'time' (with no temporal "
+                    f"operator in between): {term}"
+                )
+            self.mode = "windowed"
+            self.start_eval = None
+            self.agg = None
+            self.started = False
+            #: (timestamp, sampled, value) per state.
+            self.log = []
+            self.prunable = _is_monotone_window(term.start, self.avail)
+        self.now = None
+
+    def step(self, state: SystemState) -> None:
+        self.now = state.timestamp
+        if self.mode == "running":
+            if self.start_eval.step(state).fired:
+                self.agg.reset()
+                self.started = True
+                self.poisoned = False
+            sampled = self.sample_eval.step(state).fired
+            if sampled and self.started:
+                value = eval_query_value(self.term.query, state, {})
+                if value is UNDEFINED:
+                    self.poisoned = True
+                else:
+                    self.agg.add(value)
+            return
+        # windowed mode: record, then evaluate lazily at read time.
+        sampled = self.sample_eval.step(state).fired
+        value = None
+        if sampled:
+            v = eval_query_value(self.term.query, state, {})
+            if v is UNDEFINED:
+                self.poisoned = True
+            else:
+                value = v
+        self.log.append((state.timestamp, sampled, value))
+        if self.prunable:
+            self._prune()
+
+    def _start_index(self) -> Optional[int]:
+        env = {name: self.now for name in self.avail}
+        for k in range(len(self.log) - 1, -1, -1):
+            if _eval_time_pred(self.term.start, self.log[k][0], env):
+                return k
+        return None
+
+    def _prune(self) -> None:
+        j = self._start_index()
+        if j and j > 0:
+            del self.log[:j]
+
+    def value(self):
+        if self.poisoned:
+            return UNDEFINED
+        if self.mode == "running":
+            if not self.started:
+                return UNDEFINED
+            return self.agg.value_or(UNDEFINED)
+        j = self._start_index()
+        if j is None:
+            return UNDEFINED
+        samples = [v for (_, sampled, v) in self.log[j:] if sampled]
+        from repro.query.functions import aggregate_function
+        from repro.errors import QueryEvaluationError
+
+        try:
+            return aggregate_function(self.term.func)(samples)
+        except QueryEvaluationError:
+            return UNDEFINED
+
+    def get_state(self):
+        if self.mode == "running":
+            return (
+                "running",
+                self.started,
+                self.poisoned,
+                list(self.agg._samples),
+                self.start_eval.snapshot(),
+                self.sample_eval.snapshot(),
+            )
+        return (
+            "windowed",
+            self.poisoned,
+            list(self.log),
+            self.now,
+            self.sample_eval.snapshot(),
+        )
+
+    def set_state(self, snap) -> None:
+        if snap[0] == "running":
+            _, started, poisoned, samples, start_snap, sample_snap = snap
+            self.started = started
+            self.poisoned = poisoned
+            self.agg.reset()
+            self.agg.add_all(samples)
+            self.start_eval.restore(start_snap)
+            self.sample_eval.restore(sample_snap)
+        else:
+            _, poisoned, log, now, sample_snap = snap
+            self.poisoned = poisoned
+            self.log = list(log)
+            self.now = now
+            self.sample_eval.restore(sample_snap)
+
+    def state_size(self) -> int:
+        total = self.sample_eval.state_size()
+        if self.mode == "running":
+            total += self.start_eval.state_size() + self.agg.count
+        else:
+            total += len(self.log)
+        return total
+
+
+# ---------------------------------------------------------------------------
+# Core evaluator (formula with all queries ground)
+# ---------------------------------------------------------------------------
+
+
+class _CoreEvaluator:
+    """Evaluator for one (instantiated) formula.
+
+    Assumes every query in the formula is ground (no unresolved ``$x``
+    parameters) — the public :class:`IncrementalEvaluator` guarantees this
+    by domain instantiation.
+    """
+
+    def __init__(
+        self,
+        formula: ast.Formula,
+        ctx: EvalContext,
+        optimize: bool = True,
+    ):
+        self.formula = formula
+        self.ctx = ctx
+        self.optimize = optimize
+        self.steps = 0
+        self.last_top: cs.C = cs.CFALSE
+        self._temporal_nodes: list[_Node] = []
+        self._aggregates: dict[ast.AggT, _AggregateState] = {}
+        #: Variables assigned from the ``time`` item (monotone — prunable).
+        self.time_vars: frozenset[str] = frozenset(
+            var
+            for var, query in ast.assigned_variables(formula).items()
+            if query == TIME_QUERY
+        )
+        self._root = self._compile(formula, frozenset())
+
+    # -- compilation --------------------------------------------------------
+
+    def _compile(self, f: ast.Formula, avail: frozenset[str]) -> _Node:
+        """``avail`` tracks variables assigned from ``time`` on the path
+        from the root with no temporal operator in between — at every step
+        their binding equals the current timestamp, which is what lets
+        windowed aggregates resolve them."""
+        if isinstance(f, ast.BoolConst):
+            return _BoolNode(f.value)
+        if isinstance(f, ast.Comparison):
+            self._register_aggregates_of(f, avail)
+            return _ComparisonNode(f, self)
+        if isinstance(f, ast.EventAtom):
+            return _EventNode(f, self)
+        if isinstance(f, ast.ExecutedAtom):
+            return _ExecutedNode(f, self)
+        if isinstance(f, ast.InQuery):
+            return _InQueryNode(f, self)
+        if isinstance(f, ast.Not):
+            return _NotNode(self._compile(f.operand, avail))
+        if isinstance(f, ast.And):
+            return _AndNode([self._compile(c, avail) for c in f.operands])
+        if isinstance(f, ast.Or):
+            return _OrNode([self._compile(c, avail) for c in f.operands])
+        if isinstance(f, ast.Lasttime):
+            node = _LasttimeNode(self._compile(f.operand, frozenset()), str(f))
+            self._temporal_nodes.append(node)
+            return node
+        if isinstance(f, ast.Since):
+            node = _SinceNode(
+                self._compile(f.lhs, frozenset()),
+                self._compile(f.rhs, frozenset()),
+                str(f),
+            )
+            self._temporal_nodes.append(node)
+            return node
+        if isinstance(f, ast.Assign):
+            if f.query.params():
+                raise UnsafeFormulaError(
+                    f"assignment query {f.query} has unresolved parameters"
+                )
+            inner_avail = avail
+            if f.query == TIME_QUERY:
+                inner_avail = avail | {f.var}
+            return _AssignNode(f.var, f.query, self._compile(f.body, inner_avail))
+        raise PTLError(f"cannot compile formula node {f!r}")
+
+    def _register_aggregates_of(self, f: ast.Comparison, avail) -> None:
+        for term in (f.left, f.right):
+            self._register_aggregate_terms(term, avail)
+
+    def _register_aggregate_terms(self, term: ast.Term, avail) -> None:
+        if isinstance(term, ast.AggT):
+            if term not in self._aggregates:
+                self._aggregates[term] = _AggregateState(
+                    term, self.ctx, self.optimize, avail
+                )
+        elif isinstance(term, ast.FuncT):
+            for a in term.args:
+                self._register_aggregate_terms(a, avail)
+
+    # -- term evaluation ------------------------------------------------------
+
+    def _term_value(self, term: ast.Term, state: SystemState):
+        """Symbolic value of a term at the current state, or None if the
+        term is undefined there."""
+        if isinstance(term, ast.ConstT):
+            return cs.SConst(term.value)
+        if isinstance(term, ast.Var):
+            return cs.SVar(term.name)
+        if isinstance(term, ast.FuncT):
+            args = []
+            for a in term.args:
+                sym = self._term_value(a, state)
+                if sym is None:
+                    return None
+                args.append(sym)
+            try:
+                return cs.sapp(term.func, tuple(args))
+            except Exception:
+                return None
+        if isinstance(term, ast.QueryT):
+            value = eval_query_value(term.query, state, {})
+            if value is UNDEFINED:
+                return None
+            return cs.SConst(value)
+        if isinstance(term, ast.AggT):
+            value = self._aggregates[term].value()
+            if value is UNDEFINED:
+                return None
+            return cs.SConst(value)
+        raise EvaluationError(f"unknown term {term!r}")
+
+    # -- stepping ----------------------------------------------------------------
+
+    def step(self, state: SystemState) -> FireResult:
+        """Process one new system state; returns the firing result."""
+        for agg in self._aggregates.values():
+            agg.step(state)
+        top = self._root.compute(state)
+        self.last_top = top
+        self.steps += 1
+        if self.optimize and self.time_vars:
+            for node in self._temporal_nodes:
+                node.prune(state.timestamp, self.time_vars)
+        return self._fire_result(top, state)
+
+    def _fire_result(self, top: cs.C, state: SystemState) -> FireResult:
+        if top is cs.CTRUE:
+            return FireResult(True, ({},))
+        if top is cs.CFALSE:
+            return FireResult(False)
+        domains = {}
+        for name in top.variables():
+            values = self.ctx.domain_for(name, state)
+            if values is not None:
+                domains[name] = values
+        solutions = cs.solve(top, domains)
+        return FireResult(bool(solutions), tuple(solutions))
+
+    # -- inspection / snapshot -----------------------------------------------------
+
+    def state_size(self) -> int:
+        total = sum(node.stored_size() for node in self._temporal_nodes)
+        total += sum(agg.state_size() for agg in self._aggregates.values())
+        return total
+
+    def stored_formulas(self) -> list[tuple[str, cs.C]]:
+        out = []
+        for node in self._temporal_nodes:
+            out.extend(node.stored_formulas())
+        return out
+
+    def snapshot(self):
+        return (
+            self.steps,
+            self.last_top,
+            [node.get_state() for node in self._temporal_nodes],
+            {term: agg.get_state() for term, agg in self._aggregates.items()},
+        )
+
+    def restore(self, snap) -> None:
+        steps, last_top, node_states, agg_states = snap
+        self.steps = steps
+        self.last_top = last_top
+        for node, stored in zip(self._temporal_nodes, node_states):
+            node.set_state(stored)
+        for term, stored in agg_states.items():
+            self._aggregates[term].set_state(stored)
+
+
+# ---------------------------------------------------------------------------
+# Public evaluator (handles domains / instantiation)
+# ---------------------------------------------------------------------------
+
+
+class IncrementalEvaluator:
+    """Incremental detector for one PTL condition.
+
+    Parameters
+    ----------
+    formula:
+        The PTL condition (an :mod:`repro.ptl.ast` formula; use
+        :func:`repro.ptl.parser.parse_formula` for the textual syntax).
+    ctx:
+        Shared :class:`~repro.ptl.context.EvalContext` (executed store and
+        free-variable domains).
+    optimize:
+        Apply the Section 5 time-bound pruning after each step.
+
+    Call :meth:`step` with each appended system state; the result reports
+    firing and free-variable bindings.
+    """
+
+    def __init__(
+        self,
+        formula: ast.Formula,
+        ctx: Optional[EvalContext] = None,
+        optimize: bool = True,
+    ):
+        self.ctx = ctx or EvalContext()
+        self.optimize = optimize
+        self.original = formula
+        self.formula = normalize(formula)
+        self.steps = 0
+
+        self._qvars = tuple(sorted(query_param_vars(self.formula)))
+        for name in self._qvars:
+            if name not in self.ctx.domains:
+                raise UnsafeFormulaError(
+                    f"free variable {name!r} parameterizes a query; it "
+                    f"needs a domain (EvalContext.domains[{name!r}])"
+                )
+        if not self._qvars:
+            self._core: Optional[_CoreEvaluator] = _CoreEvaluator(
+                self.formula, self.ctx, optimize
+            )
+            self._instances: dict[tuple, _CoreEvaluator] = {}
+        else:
+            self._core = None
+            self._instances = {}
+
+    # -- stepping ------------------------------------------------------------
+
+    def step(self, state: SystemState) -> FireResult:
+        """Process one new system state."""
+        self.steps += 1
+        if self._core is not None:
+            return self._core.step(state)
+
+        self._refresh_instances(state)
+        fired = False
+        bindings: list[dict] = []
+        for key, core in self._instances.items():
+            result = core.step(state)
+            if result.fired:
+                fired = True
+                for b in result.bindings:
+                    merged = dict(zip(self._qvars, key))
+                    merged.update(b)
+                    bindings.append(merged)
+        return FireResult(fired, tuple(bindings))
+
+    def _refresh_instances(self, state: SystemState) -> None:
+        per_var: list[list] = []
+        for name in self._qvars:
+            values = self.ctx.domain_for(name, state)
+            per_var.append(values or [])
+        for combo in itertools.product(*per_var):
+            if combo in self._instances:
+                continue
+            env = dict(zip(self._qvars, combo))
+            inst = instantiate_formula(self.formula, env)
+            self._instances[combo] = _CoreEvaluator(
+                inst, self.ctx, self.optimize
+            )
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def last_top(self) -> cs.C:
+        if self._core is not None:
+            return self._core.last_top
+        tops = [core.last_top for core in self._instances.values()]
+        return cs.cor(tops)
+
+    def state_size(self) -> int:
+        """Total stored-formula size — the paper's space metric (E2/E4)."""
+        if self._core is not None:
+            return self._core.state_size()
+        return sum(core.state_size() for core in self._instances.values())
+
+    def stored_formulas(self) -> list[tuple[str, cs.C]]:
+        if self._core is not None:
+            return self._core.stored_formulas()
+        out = []
+        for key, core in self._instances.items():
+            for label, stored in core.stored_formulas():
+                out.append((f"{label}@{key!r}", stored))
+        return out
+
+    def snapshot(self):
+        if self._core is not None:
+            return ("core", self.steps, self._core.snapshot())
+        return (
+            "indexed",
+            self.steps,
+            {key: core.snapshot() for key, core in self._instances.items()},
+        )
+
+    def restore(self, snap) -> None:
+        kind, steps, payload = snap
+        self.steps = steps
+        if kind == "core":
+            self._core.restore(payload)
+            return
+        # Instances created after the snapshot are dropped.
+        self._instances = {
+            key: core
+            for key, core in self._instances.items()
+            if key in payload
+        }
+        for key, core in self._instances.items():
+            core.restore(payload[key])

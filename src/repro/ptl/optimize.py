@@ -1,0 +1,67 @@
+"""The Section 5 optimization: pruning doomed time-bounded clauses.
+
+"Suppose g has a clause of the form t <= c where t is a free variable in g,
+c is a constant, and t is assigned the value of time ... If the value of
+time in s_i is greater than c, then it clearly is the case that the clause
+t <= c will never get satisfied in the future.  In this case, we can
+replace the clause t <= c by the constant false and simplify the formula."
+
+Because timestamps strictly increase, a variable assigned from the ``time``
+item is only ever substituted with values > now in future steps; any atom
+``t <= c`` / ``t < c`` / ``t = c`` with ``now >= c`` is therefore
+unsatisfiable from now on and collapses to false.  "The above method
+applied to triggers formed using only bounded temporal operators allows us
+to keep only bounded information from the past history" — benchmark E4
+measures exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet
+
+from repro.ptl import constraints as cs
+
+#: Comparison operators whose ``time_var <op> const`` atom is doomed once
+#: the clock passes the constant.
+_DOOMED_OPS = frozenset({"<=", "<", "="})
+#: ... and those that become tautological (their negations): pruning them to
+#: true collapses bounded ``throughout_past`` windows, whose desugaring
+#: nests the deadline atom under a negation.
+_SETTLED_OPS = frozenset({">", ">=", "!="})
+
+
+def prune_time_bounds(
+    c: cs.C, now: int, time_vars: AbstractSet[str]
+) -> cs.C:
+    """Replace doomed deadline atoms with false and re-simplify.
+
+    ``time_vars`` are the variables assigned from the ``time`` data item
+    (detected at compile time); ``now`` is the current timestamp, i.e. all
+    future bindings of those variables are strictly greater.
+    """
+    if not time_vars:
+        return c
+    if isinstance(c, cs.CBool):
+        return c
+    if isinstance(c, cs.CAtom):
+        if (
+            isinstance(c.left, cs.SVar)
+            and c.left.name in time_vars
+            and isinstance(c.right, cs.SConst)
+            and cs._is_number(c.right.value)
+            and now >= c.right.value
+        ):
+            # Future bindings of the variable are strictly greater than
+            # ``now``, hence strictly greater than the constant.
+            if c.op in _DOOMED_OPS:
+                return cs.CFALSE
+            if c.op in _SETTLED_OPS:
+                return cs.CTRUE
+        return c
+    if isinstance(c, cs.CAnd):
+        return cs.cand(prune_time_bounds(x, now, time_vars) for x in c.operands)
+    if isinstance(c, cs.COr):
+        return cs.cor(prune_time_bounds(x, now, time_vars) for x in c.operands)
+    if isinstance(c, cs.CNot):
+        return cs.cnot(prune_time_bounds(c.operand, now, time_vars))
+    return c

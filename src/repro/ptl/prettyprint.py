@@ -1,0 +1,116 @@
+"""Canonical textual form of PTL formulas.
+
+:func:`pretty` emits text that :func:`repro.ptl.parser.parse_formula`
+parses back to the *same* AST (property-tested) — the contract ``str()``
+does not make (it favours readability).  Queries are always braced
+(``{V}``, ``{RETRIEVE ...}``) so no identifier-resolution context is
+needed to re-parse; binary structure is fully parenthesized.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PTLError
+from repro.ptl import ast
+from repro.query import ast as qast
+
+
+def pretty(formula: ast.Formula) -> str:
+    """Round-trippable text for ``formula``."""
+    return _formula(formula)
+
+
+def pretty_term(term: ast.Term) -> str:
+    return _term(term)
+
+
+def _formula(f: ast.Formula) -> str:
+    if isinstance(f, ast.BoolConst):
+        return "true" if f.value else "false"
+    if isinstance(f, ast.Comparison):
+        return f"{_term(f.left)} {f.op} {_term(f.right)}"
+    if isinstance(f, ast.EventAtom):
+        if not f.args:
+            return f"@{f.name}"
+        return f"@{f.name}({', '.join(_term(a) for a in f.args)})"
+    if isinstance(f, ast.ExecutedAtom):
+        parts = [f.rule, *(_term(a) for a in f.args), _term(f.time)]
+        return f"executed({', '.join(parts)})"
+    if isinstance(f, ast.InQuery):
+        if len(f.args) != 1:
+            raise PTLError(
+                "only single-term membership atoms have a textual form; "
+                "build n-ary InQuery via the AST"
+            )
+        return f"{_term(f.args[0])} in {_query(f.query)}"
+    if isinstance(f, ast.Not):
+        return f"!({_formula(f.operand)})"
+    if isinstance(f, ast.And):
+        return "(" + " & ".join(_formula(c) for c in f.operands) + ")"
+    if isinstance(f, ast.Or):
+        return "(" + " | ".join(_formula(c) for c in f.operands) + ")"
+    if isinstance(f, ast.Since):
+        return f"(({_formula(f.lhs)}) since ({_formula(f.rhs)}))"
+    if isinstance(f, ast.Lasttime):
+        return f"lasttime ({_formula(f.operand)})"
+    if isinstance(f, ast.Previously):
+        w = f"[{f.window}]" if f.window is not None else ""
+        return f"previously{w} ({_formula(f.operand)})"
+    if isinstance(f, ast.ThroughoutPast):
+        w = f"[{f.window}]" if f.window is not None else ""
+        return f"throughout_past{w} ({_formula(f.operand)})"
+    if isinstance(f, ast.Assign):
+        return f"[{f.var} := {_query(f.query)}] ({_formula(f.body)})"
+    raise PTLError(f"cannot pretty-print {f!r}")
+
+
+_INFIX = {"+", "-", "*", "/", "mod"}
+
+
+def _term(t: ast.Term) -> str:
+    if isinstance(t, ast.ConstT):
+        return _literal(t.value)
+    if isinstance(t, ast.Var):
+        return t.name
+    if isinstance(t, ast.FuncT):
+        if t.func == "neg" and len(t.args) == 1:
+            return f"(-{_term(t.args[0])})"
+        if t.func in _INFIX and len(t.args) == 2:
+            op = "mod" if t.func == "mod" else t.func
+            return f"({_term(t.args[0])} {op} {_term(t.args[1])})"
+        raise PTLError(f"no textual form for function {t.func!r}")
+    if isinstance(t, ast.QueryT):
+        return _query(t.query)
+    if isinstance(t, ast.AggT):
+        return (
+            f"{t.func}({_query_inner(t.query)}; "
+            f"{_formula(t.start)}; {_formula(t.sample)})"
+        )
+    raise PTLError(f"cannot pretty-print term {t!r}")
+
+
+def _literal(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        escaped = value.replace("'", "")  # the lexer has no escapes
+        return f"'{escaped}'"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    raise PTLError(f"no literal form for {value!r}")
+
+
+def _query(q: qast.Query) -> str:
+    """Braced query text (context-free to re-parse)."""
+    return "{" + str(q) + "}"
+
+
+def _query_inner(q: qast.Query) -> str:
+    """Query position inside an aggregate: simple forms stay bare, the
+    rest are braced."""
+    if isinstance(q, qast.ItemRef) and not q.index:
+        return q.name
+    if isinstance(q, qast.ConstQuery):
+        return repr(q.value)
+    if isinstance(q, qast.ParamQuery):
+        return f"${q.name}"
+    return _query(q)

@@ -1,0 +1,98 @@
+"""Safety analysis for PTL formulas.
+
+The assignment operator "can be viewed as a form of quantification that
+naturally ensures safety" (Section 10).  What remains to check is that the
+*free* (non-assignment-bound) variables are groundable — each must get its
+candidate values from somewhere:
+
+* a declared domain (Section 6.1.1's indexing by free-variable values);
+* an event-atom argument position (binds from event parameters);
+* an ``executed``-atom argument or time position (binds from the
+  execution store);
+* a membership-atom argument position (binds from query rows);
+* equality with a constant.
+
+A formula with an ungroundable free variable cannot fire with concrete
+bindings; :func:`check_safety` rejects it up front with a precise message.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable
+
+from repro.errors import UnsafeFormulaError
+from repro.ptl import ast
+
+
+def binding_positions(formula: ast.Formula) -> dict[str, list[str]]:
+    """For each variable, the list of binding positions it occurs in."""
+    out: dict[str, list[str]] = {}
+
+    def note(name: str, kind: str) -> None:
+        out.setdefault(name, []).append(kind)
+
+    def visit(f: ast.Formula) -> None:
+        if isinstance(f, ast.EventAtom):
+            for arg in f.args:
+                if isinstance(arg, ast.Var):
+                    note(arg.name, f"event @{f.name}")
+        elif isinstance(f, ast.ExecutedAtom):
+            for arg in f.args:
+                if isinstance(arg, ast.Var):
+                    note(arg.name, f"executed({f.rule})")
+            if isinstance(f.time, ast.Var):
+                note(f.time.name, f"executed({f.rule}) time")
+        elif isinstance(f, ast.InQuery):
+            for arg in f.args:
+                if isinstance(arg, ast.Var):
+                    note(arg.name, "membership")
+        elif isinstance(f, ast.Comparison) and f.op == "=":
+            for a, b in ((f.left, f.right), (f.right, f.left)):
+                if isinstance(a, ast.Var) and isinstance(b, ast.ConstT):
+                    note(a.name, "equality with constant")
+        if isinstance(f, ast.Assign):
+            visit(f.body)
+        else:
+            for child in f.children():
+                visit(child)
+        # aggregate start/sample formulas:
+        if isinstance(f, ast.Comparison):
+            for term in (f.left, f.right):
+                _visit_term(term)
+
+    def _visit_term(term: ast.Term) -> None:
+        if isinstance(term, ast.AggT):
+            visit(term.start)
+            visit(term.sample)
+        elif isinstance(term, ast.FuncT):
+            for a in term.args:
+                _visit_term(a)
+
+    visit(formula)
+    return out
+
+
+def unsafe_variables(
+    formula: ast.Formula, domains: AbstractSet[str] = frozenset()
+) -> list[str]:
+    """Free variables with no binding position and no domain."""
+    free = ast.free_variables(formula)
+    positions = binding_positions(formula)
+    return sorted(
+        name for name in free if name not in domains and name not in positions
+    )
+
+
+def check_safety(
+    formula: ast.Formula, domains: Iterable[str] = ()
+) -> None:
+    """Raise :class:`~repro.errors.UnsafeFormulaError` if any free variable
+    is ungroundable."""
+    bad = unsafe_variables(formula, frozenset(domains))
+    if bad:
+        raise UnsafeFormulaError(
+            "free variable(s) "
+            + ", ".join(repr(b) for b in bad)
+            + " are never bound by an event, executed record, membership, "
+            "equality with a constant, or a declared domain"
+        )

@@ -1,0 +1,315 @@
+"""Abstract syntax for the QUEL-like query language.
+
+Two layers:
+
+* *Scalar expressions* (:class:`Expr`): constants, column references,
+  parameters, function applications, comparisons, boolean connectives.
+* *Queries* (:class:`Query`): whole-relation and scalar-item references,
+  QUEL-style ``RETRIEVE (targets) [FROM ranges] WHERE cond``, and scalar
+  aggregate queries ``AVG(expr) WHERE cond``.
+
+Queries may contain :class:`Param` leaves — free parameters supplied at
+evaluation time.  PTL uses parameters for free-variable-indexed aggregates
+such as ``price(x)`` (Section 6.1.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+# --------------------------------------------------------------------------
+# Scalar expressions
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of scalar expressions."""
+
+    __slots__ = ()
+
+    def params(self) -> frozenset[str]:
+        """Names of :class:`Param` leaves appearing in this expression."""
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal value."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Col(Expr):
+    """A column reference, possibly qualified: ``S.price`` or ``price``."""
+
+    name: str
+
+    @property
+    def relation(self) -> Optional[str]:
+        if "." in self.name:
+            return self.name.split(".", 1)[0]
+        return None
+
+    @property
+    def attribute(self) -> str:
+        if "." in self.name:
+            return self.name.split(".", 1)[1]
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A free parameter bound at evaluation time (written ``$name``)."""
+
+    name: str
+
+    def params(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    """Application of a registered scalar function."""
+
+    func: str
+    args: tuple[Expr, ...]
+
+    def params(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.params()
+        return out
+
+    def __str__(self) -> str:
+        if self.func in ("+", "-", "*", "/", "mod") and len(self.args) == 2:
+            return f"({self.args[0]} {self.func} {self.args[1]})"
+        return f"{self.func}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    """A comparison; evaluates to a boolean."""
+
+    op: str  # one of = != < <= > >=
+    left: Expr
+    right: Expr
+
+    def params(self) -> frozenset[str]:
+        return self.left.params() | self.right.params()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    """Conjunction or disjunction of boolean expressions."""
+
+    op: str  # "and" | "or"
+    operands: tuple[Expr, ...]
+
+    def params(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self.operands:
+            out |= a.params()
+        return out
+
+    def __str__(self) -> str:
+        return "(" + f" {self.op} ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def params(self) -> frozenset[str]:
+        return self.operand.params()
+
+    def __str__(self) -> str:
+        return f"not {self.operand}"
+
+
+# --------------------------------------------------------------------------
+# Queries
+# --------------------------------------------------------------------------
+
+
+class Query:
+    """Base class of queries.
+
+    A query evaluates, against a database state and a parameter environment,
+    to either a :class:`~repro.datamodel.relation.Relation` or a scalar.
+    """
+
+    __slots__ = ()
+
+    def params(self) -> frozenset[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class RelationRef(Query):
+    """The full contents of a named relation."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ItemRef(Query):
+    """A scalar database item (e.g. ``time``, or an aggregate-rewriting
+    item like ``CUM_PRICE``), optionally indexed by parameter expressions
+    (``CUM_PRICE[$x]``, Section 6.1.1)."""
+
+    name: str
+    index: tuple[Expr, ...] = ()
+
+    def params(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for e in self.index:
+            out |= e.params()
+        return out
+
+    def __str__(self) -> str:
+        if self.index:
+            return f"{self.name}[{', '.join(map(str, self.index))}]"
+        return self.name
+
+
+@dataclass(frozen=True)
+class RangeVar:
+    """A range variable over a relation: ``STOCK S`` (alias optional)."""
+
+    relation: str
+    alias: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.alias or self.relation
+
+    def __str__(self) -> str:
+        if self.alias:
+            return f"{self.relation} {self.alias}"
+        return self.relation
+
+
+@dataclass(frozen=True)
+class Retrieve(Query):
+    """QUEL-style retrieval.
+
+    ``RETRIEVE (t1, t2, ...) FROM ranges WHERE cond`` — the paper's own
+    example syntax (Section 4.1) omits FROM; ranges are then inferred from
+    the qualified column names.
+    """
+
+    targets: tuple[tuple[str, Expr], ...]  # (output name, expression)
+    ranges: tuple[RangeVar, ...]
+    where: Optional[Expr] = None
+
+    def params(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for _, e in self.targets:
+            out |= e.params()
+        if self.where is not None:
+            out |= self.where.params()
+        return out
+
+    def __str__(self) -> str:
+        targets = ", ".join(str(e) for _, e in self.targets)
+        s = f"RETRIEVE ({targets})"
+        if self.ranges:
+            s += " FROM " + ", ".join(map(str, self.ranges))
+        if self.where is not None:
+            s += f" WHERE {self.where}"
+        return s
+
+
+@dataclass(frozen=True)
+class AggregateQuery(Query):
+    """An aggregate over the rows selected by a retrieval:
+    ``AVG(S.price) FROM STOCK S WHERE S.cat = 'tech'`` (scalar), or with
+    ``GROUP BY`` a relation of (group columns..., aggregate value):
+    ``SUM(S.price) FROM STOCK S GROUP BY S.cat``."""
+
+    func: str
+    expr: Expr
+    ranges: tuple[RangeVar, ...]
+    where: Optional[Expr] = None
+    group_by: tuple["Col", ...] = ()
+
+    def params(self) -> frozenset[str]:
+        out = self.expr.params()
+        if self.where is not None:
+            out |= self.where.params()
+        return out
+
+    def __str__(self) -> str:
+        s = f"{self.func.upper()}({self.expr})"
+        if self.ranges:
+            s += " FROM " + ", ".join(map(str, self.ranges))
+        if self.where is not None:
+            s += f" WHERE {self.where}"
+        if self.group_by:
+            s += " GROUP BY " + ", ".join(map(str, self.group_by))
+        return s
+
+
+@dataclass(frozen=True)
+class ParamQuery(Query):
+    """A query whose value is a free parameter itself (``$x`` used as a
+    query, e.g. inside ``sum($x, phi, psi)``)."""
+
+    name: str
+
+    def params(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class ConstQuery(Query):
+    """A constant query (e.g. the literal ``1`` in ``sum(1, phi, psi)``,
+    which the paper uses to count sampling points)."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ExprQuery(Query):
+    """A scalar query computed from other queries by a scalar function,
+    e.g. ``price(IBM) * 2`` or ``CUM_PRICE / TOTAL_UPDATES``."""
+
+    func: str
+    args: tuple[Query, ...]
+
+    def params(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for q in self.args:
+            out |= q.params()
+        return out
+
+    def __str__(self) -> str:
+        if self.func in ("+", "-", "*", "/", "mod") and len(self.args) == 2:
+            return f"({self.args[0]} {self.func} {self.args[1]})"
+        return f"{self.func}({', '.join(map(str, self.args))})"
+
+
+QueryLike = Union[Query, str]

@@ -1,0 +1,47 @@
+"""The rule system: triggers, integrity constraints, composite actions."""
+
+from repro.rules.actions import (
+    AbortAction,
+    Action,
+    ActionContext,
+    DbAction,
+    PyAction,
+    RecordingAction,
+    as_action,
+)
+from repro.rules.composite import (
+    CompositeStep,
+    add_composite,
+    add_periodic,
+    add_sequence,
+)
+from repro.rules.manager import RuleManager, TemporalComponent, infer_relevant_events
+from repro.rules.rule import (
+    CouplingMode,
+    FireMode,
+    FiringRecord,
+    Rule,
+    make_integrity_constraint,
+)
+
+__all__ = [
+    "Action",
+    "ActionContext",
+    "PyAction",
+    "DbAction",
+    "AbortAction",
+    "RecordingAction",
+    "as_action",
+    "Rule",
+    "FiringRecord",
+    "CouplingMode",
+    "FireMode",
+    "make_integrity_constraint",
+    "RuleManager",
+    "TemporalComponent",
+    "infer_relevant_events",
+    "CompositeStep",
+    "add_sequence",
+    "add_periodic",
+    "add_composite",
+]

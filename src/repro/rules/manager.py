@@ -1,0 +1,480 @@
+"""The rule manager — the paper's *temporal component* (Sections 3, 8).
+
+"Whenever an event occurs the database management system invokes the
+temporal component, i.e. a system that executes the temporal condition
+evaluation algorithm for each trigger."  The manager:
+
+* subscribes to the engine's event bus and steps every registered rule's
+  incremental evaluator on each new system state;
+* enforces integrity constraints at the ``attempts_to_commit`` event by
+  *trial evaluation* (snapshot -> step candidate -> restore), vetoing the
+  commit when the IC condition (``attempts_to_commit(X) & !c``) fires;
+* executes trigger actions according to their coupling mode, records
+  executions in the ``executed`` store (Section 7), and garbage-collects
+  records past their retention;
+* implements the Section 8 optimizations: *relevance filtering* (rules
+  considered only when their events occur — automatically inferred only
+  for stateless, event-guarded conditions, where it is sound) and
+  *batched invocation* ("trigger firing may be delayed, but not go
+  unrecognized").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.errors import DuplicateRuleError, UnknownRuleError
+from repro.ptl import ast
+from repro.ptl.aggregates import RewrittenEvaluator
+from repro.ptl.context import EvalContext, ExecutedStore
+from repro.ptl.incremental import IncrementalEvaluator
+from repro.ptl.parser import parse_formula
+from repro.ptl.safety import check_safety
+from repro.query.parser import parse_query
+from repro.rules.actions import Action, ActionContext, as_action
+from repro.rules.rule import (
+    CouplingMode,
+    FireMode,
+    FiringRecord,
+    Rule,
+    make_integrity_constraint,
+)
+
+ConditionLike = Union[str, ast.Formula]
+
+
+class _RegisteredMonitor:
+    """A future-obligation monitor attached to the manager (extension)."""
+
+    __slots__ = (
+        "name",
+        "formula",
+        "monitor",
+        "on_satisfied",
+        "on_violated",
+        "respawn",
+        "resolutions",
+        "_ctx",
+    )
+
+    def __init__(self, name, formula, ctx, on_satisfied, on_violated, respawn):
+        from repro.ptl.future import FutureMonitor
+
+        self.name = name
+        self.formula = formula
+        self._ctx = ctx
+        self.monitor = FutureMonitor(formula, ctx)
+        self.on_satisfied = on_satisfied
+        self.on_violated = on_violated
+        self.respawn = respawn
+        #: (verdict, timestamp) per resolution.
+        self.resolutions: list[tuple[str, int]] = []
+
+    def step(self, state, engine):
+        from repro.ptl.future import FutureMonitor, Verdict
+
+        already_resolved = self.monitor.verdict is not Verdict.PENDING
+        verdict = self.monitor.step(state)
+        if verdict is Verdict.PENDING or already_resolved:
+            return
+        self.resolutions.append((verdict.value, state.timestamp))
+        callback = (
+            self.on_satisfied
+            if verdict is Verdict.SATISFIED
+            else self.on_violated
+        )
+        if callback is not None:
+            callback.execute(ActionContext(engine, {}, state, self.name))
+        if self.respawn:
+            # a fresh obligation starts with the next state
+            self.monitor = FutureMonitor(self.formula, self._ctx)
+
+
+def infer_relevant_events(formula: ast.Formula) -> Optional[frozenset[str]]:
+    """Event names that gate a *stateless* condition.
+
+    Sound only when the condition has no temporal operators or aggregates
+    (its evaluator carries no state across steps, so skipping states
+    cannot corrupt it) and is a conjunction with at least one top-level
+    event atom (so states without those events cannot satisfy it).
+    Returns None when filtering would be unsound.
+    """
+    for sub in ast.walk(formula):
+        if isinstance(sub, (ast.Since, ast.Lasttime, ast.Previously, ast.ThroughoutPast)):
+            return None
+    for agg in ast.aggregate_terms(formula):
+        return None
+    if isinstance(formula, ast.EventAtom):
+        return frozenset({formula.name})
+    if isinstance(formula, ast.And):
+        names = {
+            c.name for c in formula.operands if isinstance(c, ast.EventAtom)
+        }
+        if names:
+            return frozenset(names)
+    return None
+
+
+@dataclass
+class RuleStats:
+    evaluations: int = 0
+    skips: int = 0
+    firings: int = 0
+
+
+class _RegisteredRule:
+    __slots__ = ("rule", "evaluator", "stats", "_prev_bindings", "stateless")
+
+    def __init__(self, rule: Rule, evaluator, stateless: bool):
+        self.rule = rule
+        self.evaluator = evaluator
+        self.stats = RuleStats()
+        self.stateless = stateless
+        self._prev_bindings: frozenset = frozenset()
+
+    def step(self, state):
+        result = self.evaluator.step(state)
+        self.stats.evaluations += 1
+        bindings = [dict(b) for b in result.bindings] if result.fired else []
+        if self.rule.fire_mode is FireMode.RISING_EDGE:
+            current = frozenset(
+                tuple(sorted(b.items(), key=lambda kv: kv[0])) for b in bindings
+            )
+            fresh = current - self._prev_bindings
+            self._prev_bindings = current
+            bindings = [dict(t) for t in sorted(fresh)]
+        elif result.fired:
+            self._prev_bindings = frozenset(
+                tuple(sorted(b.items(), key=lambda kv: kv[0])) for b in bindings
+            )
+        else:
+            self._prev_bindings = frozenset()
+        return bindings
+
+
+class RuleManager:
+    """The temporal component, attached to one
+    :class:`~repro.engine.ActiveDatabase`."""
+
+    def __init__(
+        self,
+        engine,
+        relevance_filtering: bool = False,
+        batch_size: int = 1,
+        executed_retention: Optional[int] = None,
+    ):
+        self.engine = engine
+        self.relevance_filtering = relevance_filtering
+        self.batch_size = max(1, batch_size)
+        self.executed_retention = executed_retention
+        self.executed = ExecutedStore()
+
+        self._rules: dict[str, _RegisteredRule] = {}
+        self._ics: dict[str, _RegisteredRule] = {}
+        self._monitors: dict[str, _RegisteredMonitor] = {}
+        self._firings: list[FiringRecord] = []
+        self._pending_actions: list[tuple[Rule, dict, Any]] = []
+        self._queue: list = []
+        self._batch: list = []
+        self._draining = False
+        self._validator_installed = False
+        self.states_seen = 0
+
+        self._subscription = engine.bus.subscribe(self._on_state)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def _parse_condition(self, condition: ConditionLike) -> ast.Formula:
+        if isinstance(condition, ast.Formula):
+            return condition
+        items = set()
+        state = self.engine.db.state
+        for name in state.item_names():
+            if not state.has_relation(name):
+                items.add(name)
+        return parse_formula(condition, self.engine.db.queries, items)
+
+    def _parse_domains(self, domains) -> dict:
+        out = {}
+        for name, spec in (domains or {}).items():
+            if isinstance(spec, str):
+                spec = parse_query(spec)
+            out[name] = spec
+        return out
+
+    def add_trigger(
+        self,
+        name: str,
+        condition: ConditionLike,
+        action,
+        params: Sequence[str] = (),
+        domains: Optional[Mapping] = None,
+        coupling: CouplingMode = CouplingMode.T_CA,
+        fire_mode: FireMode = FireMode.ALWAYS,
+        relevant_events: Optional[Iterable[str]] = None,
+        rewrite_aggregates: bool = False,
+        record_executions: bool = True,
+        priority: int = 0,
+    ) -> Rule:
+        """Register a trigger; the condition may be PTL text or a formula.
+
+        ``priority`` orders evaluation and action execution within one
+        state (higher first; ties by registration order).
+        """
+        if name in self._rules or name in self._ics or name in self._monitors:
+            raise DuplicateRuleError(f"rule {name!r} already registered")
+        formula = self._parse_condition(condition)
+        domain_map = self._parse_domains(domains)
+        check_safety(formula, domain_map.keys())
+        rule = Rule(
+            name=name,
+            condition=formula,
+            action=as_action(action),
+            params=tuple(params),
+            coupling=coupling,
+            fire_mode=fire_mode,
+            relevant_events=(
+                frozenset(relevant_events) if relevant_events is not None else None
+            ),
+            rewrite_aggregates=rewrite_aggregates,
+            record_executions=record_executions,
+            priority=priority,
+        )
+        ctx = EvalContext(executed=self.executed, domains=domain_map)
+        if rewrite_aggregates:
+            evaluator = RewrittenEvaluator(formula, ctx)
+        else:
+            evaluator = IncrementalEvaluator(formula, ctx)
+        stateless = infer_relevant_events(formula) is not None
+        registered = _RegisteredRule(rule, evaluator, stateless)
+        if (
+            rule.relevant_events is None
+            and self.relevance_filtering
+        ):
+            inferred = infer_relevant_events(formula)
+            if inferred is not None:
+                rule.relevant_events = inferred
+        self._rules[name] = registered
+        return rule
+
+    def add_integrity_constraint(
+        self,
+        name: str,
+        constraint: ConditionLike,
+        domains: Optional[Mapping] = None,
+    ) -> Rule:
+        """Register a temporal integrity constraint (Section 3): the
+        condition must hold at every commit point; violating transactions
+        are aborted."""
+        if name in self._rules or name in self._ics or name in self._monitors:
+            raise DuplicateRuleError(f"rule {name!r} already registered")
+        formula = self._parse_condition(constraint)
+        domain_map = self._parse_domains(domains)
+        rule = make_integrity_constraint(name, formula)
+        check_safety(rule.condition, domain_map.keys())
+        ctx = EvalContext(executed=self.executed, domains=domain_map)
+        evaluator = IncrementalEvaluator(rule.condition, ctx)
+        self._ics[name] = _RegisteredRule(rule, evaluator, stateless=False)
+        if not self._validator_installed:
+            self.engine.add_commit_validator(self._validate)
+            self._validator_installed = True
+        return rule
+
+    def add_future_monitor(
+        self,
+        name: str,
+        formula,
+        on_satisfied=None,
+        on_violated=None,
+        respawn: bool = False,
+    ) -> "_RegisteredMonitor":
+        """Attach a future-obligation monitor (the future-operator
+        extension): ``formula`` is an FFormula or future-syntax text
+        (``"always (!@req | eventually[5] @ack)"``).  The matching
+        callback action runs when the obligation resolves; with
+        ``respawn=True`` a fresh monitor starts at the next state
+        (continuous enforcement)."""
+        from repro.ptl.future import FFormula
+        from repro.ptl.future_parser import parse_future_formula
+
+        if name in self._rules or name in self._ics or name in self._monitors:
+            raise DuplicateRuleError(f"rule {name!r} already registered")
+        if not isinstance(formula, FFormula):
+            items = {
+                n
+                for n in self.engine.db.state.item_names()
+                if not self.engine.db.state.has_relation(n)
+            }
+            formula = parse_future_formula(
+                formula, self.engine.db.queries, items
+            )
+        ctx = EvalContext(executed=self.executed)
+        registered = _RegisteredMonitor(
+            name,
+            formula,
+            ctx,
+            None if on_satisfied is None else as_action(on_satisfied),
+            None if on_violated is None else as_action(on_violated),
+            respawn,
+        )
+        self._monitors[name] = registered
+        return registered
+
+    def monitor_resolutions(self, name: str) -> list[tuple[str, int]]:
+        if name not in self._monitors:
+            raise UnknownRuleError(f"no monitor named {name!r}")
+        return list(self._monitors[name].resolutions)
+
+    def remove_rule(self, name: str) -> None:
+        if name in self._rules:
+            del self._rules[name]
+        elif name in self._ics:
+            del self._ics[name]
+        elif name in self._monitors:
+            del self._monitors[name]
+        else:
+            raise UnknownRuleError(f"no rule named {name!r}")
+
+    def rule_names(self) -> list[str]:
+        return sorted(
+            list(self._rules) + list(self._ics) + list(self._monitors)
+        )
+
+    # ------------------------------------------------------------------
+    # Integrity-constraint enforcement (trial evaluation)
+    # ------------------------------------------------------------------
+
+    def _validate(self, candidate, txn) -> list[str]:
+        violations = []
+        for reg in self._ics.values():
+            snap = reg.evaluator.snapshot()
+            result = reg.evaluator.step(candidate)
+            reg.evaluator.restore(snap)
+            if result.fired:
+                violations.append(
+                    f"integrity constraint {reg.rule.name!r} violated"
+                )
+        return violations
+
+    # ------------------------------------------------------------------
+    # State processing
+    # ------------------------------------------------------------------
+
+    def _on_state(self, state) -> None:
+        self._queue.append(state)
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self._queue:
+                next_state = self._queue.pop(0)
+                self._process_state(next_state)
+        finally:
+            self._draining = False
+
+    def _process_state(self, state) -> None:
+        self.states_seen += 1
+        # Integrity constraints are never batched: their evaluators must be
+        # current at the next attempts_to_commit.
+        for reg in self._ics.values():
+            reg.evaluator.step(state)
+            reg.stats.evaluations += 1
+        self._batch.append(state)
+        if len(self._batch) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        """Process any batched states now (Section 8: batched invocation
+        delays firing but never loses it)."""
+        batch, self._batch = self._batch, []
+        for state in batch:
+            self._step_triggers(state)
+        if self.executed_retention is not None and batch:
+            horizon = batch[-1].timestamp - self.executed_retention
+            self.executed.discard_before(horizon)
+
+    def _ordered_rules(self) -> list[_RegisteredRule]:
+        """Registration order, stably re-ordered by descending priority."""
+        return sorted(
+            self._rules.values(), key=lambda reg: -reg.rule.priority
+        )
+
+    def _step_triggers(self, state) -> None:
+        to_execute: list[tuple[Rule, dict]] = []
+        names = state.event_names()
+        for reg in self._ordered_rules():
+            rule = reg.rule
+            if rule.relevant_events is not None and not (
+                rule.relevant_events & names
+            ):
+                reg.stats.skips += 1
+                continue
+            bindings = reg.step(state)
+            for binding in bindings:
+                reg.stats.firings += 1
+                self._firings.append(
+                    FiringRecord(
+                        rule.name,
+                        tuple(sorted(binding.items(), key=lambda kv: kv[0])),
+                        state.index,
+                        state.timestamp,
+                    )
+                )
+                if rule.coupling is CouplingMode.T_CA:
+                    to_execute.append((rule, binding))
+                elif rule.coupling is CouplingMode.T_C_A:
+                    self._pending_actions.append((rule, binding, state))
+        for rule, binding in to_execute:
+            self._execute(rule, binding, state)
+        for monitor in list(self._monitors.values()):
+            monitor.step(state, self.engine)
+
+    def _execute(self, rule: Rule, binding: dict, state) -> None:
+        if rule.record_executions:
+            params = tuple(binding.get(p) for p in rule.params)
+            self.executed.record(rule.name, params, state.timestamp)
+        rule.action.execute(
+            ActionContext(self.engine, binding, state, rule.name)
+        )
+
+    def run_pending(self) -> int:
+        """Execute queued T-C-A actions; returns how many ran."""
+        pending, self._pending_actions = self._pending_actions, []
+        for rule, binding, state in pending:
+            self._execute(rule, binding, state)
+        return len(pending)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def firings(self) -> list[FiringRecord]:
+        return list(self._firings)
+
+    def firings_of(self, rule: str) -> list[FiringRecord]:
+        return [f for f in self._firings if f.rule == rule]
+
+    def stats_of(self, rule: str) -> RuleStats:
+        if rule in self._rules:
+            return self._rules[rule].stats
+        if rule in self._ics:
+            return self._ics[rule].stats
+        raise UnknownRuleError(f"no rule named {rule!r}")
+
+    def total_state_size(self) -> int:
+        return sum(
+            reg.evaluator.state_size()
+            for reg in list(self._rules.values()) + list(self._ics.values())
+        )
+
+    def detach(self) -> None:
+        """Unsubscribe from the engine (rules stop being evaluated)."""
+        self._subscription.cancel()
+
+
+#: The paper's name for this component.
+TemporalComponent = RuleManager

@@ -1,0 +1,14 @@
+"""Storage engine: snapshots, catalog, transactions."""
+
+from repro.storage.database import Database
+from repro.storage.snapshot import DatabaseState, IndexedItem
+from repro.storage.transactions import Transaction, TransactionManager, TxnStatus
+
+__all__ = [
+    "Database",
+    "DatabaseState",
+    "IndexedItem",
+    "Transaction",
+    "TransactionManager",
+    "TxnStatus",
+]

@@ -1,0 +1,131 @@
+"""Change log: a durable record of every system state, replayable offline.
+
+The engine keeps the current state; the temporal component keeps only what
+its conditions need.  For *offline* auditing — checking a new temporal
+constraint against last week's activity, or re-running the reference
+semantics over an incident window — a durable log of (timestamp, events,
+changed items) suffices to reconstruct the full system history:
+
+    log = ChangeLog.attach(engine)          # record as the system runs
+    log.to_jsonl(path)                      # persist
+    history = ChangeLog.from_jsonl(path).replay()
+    satisfies(history.states, i, constraint)
+
+Replay reproduces timestamps, event names/parameters, and database states
+exactly (values are serialized with the same codec as snapshots).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import StorageError
+from repro.events.model import Event
+from repro.history.history import SystemHistory
+from repro.history.state import SystemState
+from repro.storage.persist import _decode_item, _encode_item, _encode_value
+from repro.storage.snapshot import DatabaseState
+
+PathLike = Union[str, Path]
+
+
+class ChangeLog:
+    """Per-state deltas captured off the engine's event bus."""
+
+    def __init__(self) -> None:
+        #: Each record: {"ts", "events": [[name, [params]]], "changes":
+        #: {item: encoded}} — the first record carries the full base state.
+        self.records: list[dict] = []
+        self._prev: Optional[DatabaseState] = None
+        self._subscription = None
+
+    # -- recording ------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, engine) -> "ChangeLog":
+        """Start recording the engine's published states (the base state
+        is captured now; attach before the workload runs)."""
+        log = cls()
+        log._prev = engine.db.state
+        log.records.append(
+            {
+                "ts": None,
+                "events": [],
+                "changes": {
+                    name: _encode_item(engine.db.state.raw_item(name))
+                    for name in engine.db.state.item_names()
+                },
+            }
+        )
+        log._subscription = engine.bus.subscribe(log._on_state)
+        return log
+
+    def _on_state(self, state: SystemState) -> None:
+        changed = state.db.changed_items(self._prev)
+        self.records.append(
+            {
+                "ts": state.timestamp,
+                "events": [
+                    [e.name, [_encode_value(p) for p in e.params]]
+                    for e in sorted(state.events, key=str)
+                ],
+                "changes": {
+                    name: _encode_item(state.db.raw_item(name))
+                    for name in changed
+                },
+            }
+        )
+        self._prev = state.db
+
+    def detach(self) -> None:
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_jsonl(self, path: PathLike) -> None:
+        with open(path, "w") as fp:
+            for record in self.records:
+                fp.write(json.dumps(record, sort_keys=True) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: PathLike) -> "ChangeLog":
+        log = cls()
+        with open(path) as fp:
+            for line in fp:
+                line = line.strip()
+                if line:
+                    log.records.append(json.loads(line))
+        if not log.records:
+            raise StorageError(f"empty change log {path!r}")
+        return log
+
+    # -- replay -----------------------------------------------------------------------
+
+    def replay(self) -> SystemHistory:
+        """Reconstruct the system history the log recorded."""
+        if not self.records or self.records[0]["ts"] is not None:
+            raise StorageError("log has no base-state record")
+        base = self.records[0]
+        db = DatabaseState(
+            {name: _decode_item(item) for name, item in base["changes"].items()}
+        )
+        history = SystemHistory(validate_transaction_time=False)
+        for record in self.records[1:]:
+            changes = {
+                name: _decode_item(item)
+                for name, item in record["changes"].items()
+            }
+            if changes:
+                db = db.with_updates(changes)
+            events = [
+                Event(name, tuple(params)) for name, params in record["events"]
+            ]
+            history.append(SystemState(db, events, record["ts"]))
+        return history
+
+    def __len__(self) -> int:
+        return max(0, len(self.records) - 1)

@@ -1,0 +1,112 @@
+"""JSON persistence for the database: catalog + current committed state.
+
+The paper's model keeps "only the current information" in the database
+(Section 10 — history is the temporal component's business), so a snapshot
+is exactly the catalog and the current state.  Histories, rules, and
+evaluator states are runtime artifacts and deliberately not serialized;
+reload and re-register rules to resume monitoring from the restored state.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.datamodel.relation import Relation
+from repro.datamodel.schema import Attribute, Schema
+from repro.datamodel.types import ValueType
+from repro.errors import StorageError
+from repro.storage.snapshot import IndexedItem
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_value(value: Any):
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    raise StorageError(f"cannot serialize value {value!r}")
+
+
+def _encode_item(value: Any):
+    if isinstance(value, Relation):
+        return {
+            "kind": "relation",
+            "schema": [[a.name, a.vtype.value] for a in value.schema],
+            "rows": [list(map(_encode_value, r.values)) for r in value.sorted_rows()],
+        }
+    if isinstance(value, IndexedItem):
+        return {
+            "kind": "indexed",
+            "default": _encode_value(value._default),
+            "entries": [
+                [list(map(_encode_value, k)), _encode_value(value.get(k))]
+                for k in value.indices()
+            ],
+        }
+    return {"kind": "scalar", "value": _encode_value(value)}
+
+
+def _decode_item(payload: dict):
+    kind = payload.get("kind")
+    if kind == "relation":
+        schema = Schema(
+            Attribute(name, ValueType(vtype)) for name, vtype in payload["schema"]
+        )
+        return Relation.from_values(schema, [tuple(r) for r in payload["rows"]])
+    if kind == "indexed":
+        return IndexedItem(
+            {tuple(k): v for k, v in payload["entries"]},
+            payload["default"],
+        )
+    if kind == "scalar":
+        return payload["value"]
+    raise StorageError(f"unknown item kind {kind!r}")
+
+
+def dump_database(engine, path: PathLike) -> None:
+    """Write the engine's catalog, current state, queries, and clock to
+    ``path`` as JSON."""
+    state = engine.db.state
+    payload = {
+        "format": _FORMAT_VERSION,
+        "clock": engine.now,
+        "items": {
+            name: _encode_item(state.raw_item(name))
+            for name in state.item_names()
+        },
+        "queries": {
+            name: {
+                "params": list(engine.db.queries.get(name).params),
+                "text": str(engine.db.queries.get(name).body),
+            }
+            for name in engine.db.queries.names()
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_database(path: PathLike):
+    """Reconstitute an :class:`~repro.engine.ActiveDatabase` from a dump
+    (fresh history; rules must be re-registered)."""
+    from repro.engine import ActiveDatabase
+
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != _FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported snapshot format {payload.get('format')!r}"
+        )
+    engine = ActiveDatabase(start_time=payload["clock"])
+    for name, item in sorted(payload["items"].items()):
+        value = _decode_item(item)
+        if isinstance(value, Relation):
+            engine.create_relation(
+                name, value.schema, [r.values for r in value.sorted_rows()]
+            )
+        else:
+            engine.declare_item(name, value)
+    for name, qdef in sorted(payload["queries"].items()):
+        engine.define_query(name, qdef["params"], qdef["text"])
+    return engine

@@ -1,0 +1,28 @@
+"""The valid-time model: retroactive updates, committed histories,
+tentative/definite triggers, online/offline constraint satisfaction."""
+
+from repro.validtime.constraints import (
+    ConstraintEnforcer,
+    check_theorem2,
+    offline_satisfied,
+    online_satisfied,
+    online_satisfied_on,
+)
+from repro.validtime.manager import ValidTimeRuleManager
+from repro.validtime.model import ValidTimeDatabase, VTTransaction, VTUpdate
+from repro.validtime.triggers import DefiniteTrigger, TentativeTrigger, VTFiring
+
+__all__ = [
+    "ValidTimeDatabase",
+    "VTTransaction",
+    "VTUpdate",
+    "TentativeTrigger",
+    "DefiniteTrigger",
+    "VTFiring",
+    "online_satisfied",
+    "offline_satisfied",
+    "online_satisfied_on",
+    "check_theorem2",
+    "ConstraintEnforcer",
+    "ValidTimeRuleManager",
+]

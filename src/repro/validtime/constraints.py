@@ -1,0 +1,152 @@
+"""Online vs offline satisfaction of temporal integrity constraints in the
+valid-time model, their enforcement, and Theorem 2 (Section 9.3).
+
+* **online-satisfied**: at every commit point t, the *committed history at
+  time t* (only updates of transactions committed by t) satisfies c.
+* **offline-satisfied**: at every commit point t, the prefix up to t of
+  the committed history *at time infinity* (all updates, including those
+  of transactions that commit after t) satisfies c.
+
+The two differ in valid time (the paper's u1/u2 example) but coincide on
+collapsed committed histories — THEOREM 2 — which
+:func:`check_theorem2` verifies on any complete history.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.history.history import SystemHistory
+from repro.ptl import ast
+from repro.ptl.context import EvalContext
+from repro.ptl.semantics import satisfies
+from repro.validtime.model import ValidTimeDatabase, VTTransaction
+
+
+def _commit_point_times(history: SystemHistory) -> list[int]:
+    return [history[i].timestamp for i in history.commit_points()]
+
+
+def _satisfied_at_time(
+    history: SystemHistory, t: int, constraint: ast.Formula, ctx=None
+) -> bool:
+    """Does the prefix of ``history`` up to time ``t`` satisfy the
+    constraint (at its final state)?  An empty prefix satisfies vacuously."""
+    prefix = history.up_to_time(t)
+    if len(prefix) == 0:
+        return True
+    return satisfies(prefix.states, len(prefix) - 1, constraint, {}, ctx)
+
+
+def online_satisfied(
+    vtdb: ValidTimeDatabase, constraint: ast.Formula, ctx=None
+) -> bool:
+    """c is online-satisfied: satisfied by the committed history at time
+    t, for every commit point t."""
+    full = vtdb.committed_history()
+    for t in _commit_point_times(full):
+        committed_at_t = vtdb.committed_history(t)
+        if len(committed_at_t) == 0:
+            continue
+        if not satisfies(
+            committed_at_t.states, len(committed_at_t) - 1, constraint, {}, ctx
+        ):
+            return False
+    return True
+
+
+def offline_satisfied(
+    vtdb: ValidTimeDatabase, constraint: ast.Formula, ctx=None
+) -> bool:
+    """c is offline-satisfied: the committed history at infinity, cut at
+    each commit point t, satisfies c."""
+    h0 = vtdb.committed_history()
+    for t in _commit_point_times(h0):
+        if not _satisfied_at_time(h0, t, constraint, ctx):
+            return False
+    return True
+
+
+def online_satisfied_on(history: SystemHistory, constraint, ctx=None) -> bool:
+    """Online satisfaction evaluated directly on a materialized history
+    (used for collapsed histories, where committed-at-t prefixes and
+    plain prefixes coincide)."""
+    for t in _commit_point_times(history):
+        if not _satisfied_at_time(history, t, constraint, ctx):
+            return False
+    return True
+
+
+def check_theorem2(
+    vtdb: ValidTimeDatabase, constraint: ast.Formula, ctx=None
+) -> bool:
+    """THEOREM 2: on the collapsed committed history h' of a complete
+    history, c is online-satisfied iff it is offline-satisfied.
+
+    Returns True when the equivalence holds (it always should); the
+    property test and benchmark E7 call this on random histories.
+    """
+    if not vtdb.is_complete():
+        raise ValueError("Theorem 2 is about complete histories")
+    h0 = vtdb.collapsed_committed_history()
+    times = _commit_point_times(h0)
+    # Online: rebuild the collapsed committed history *at each time t*
+    # (updates of transactions committing after t are absent altogether).
+    online = all(
+        _satisfied_at_last_state(
+            vtdb.collapsed_committed_history(t), constraint, ctx
+        )
+        for t in times
+    )
+    # Offline: cut the full collapsed history h0 at each t (updates of
+    # later-committing transactions are present in principle — collapsing
+    # is what pushes them past the cut).
+    offline = all(_satisfied_at_time(h0, t, constraint, ctx) for t in times)
+    return online == offline
+
+
+def _satisfied_at_last_state(history: SystemHistory, constraint, ctx=None) -> bool:
+    if len(history) == 0:
+        return True
+    return satisfies(history.states, len(history) - 1, constraint, {}, ctx)
+
+
+class ConstraintEnforcer:
+    """Commit-time enforcement (Section 9.3): "make the auxiliary relation
+    changes and invoke the temporal component at every commit point of a
+    transaction ... evaluate the temporal condition at commit points in
+    the history, starting with the one immediately following the earliest
+    update of the current transaction, and ending with the committing
+    transaction.  If the condition is violated at any one of these points,
+    then the transaction attempting to commit is aborted."
+
+    Enforces both online and offline satisfaction of the resulting
+    history (at the price of occasionally aborting transactions that pure
+    offline satisfaction would have allowed — the paper's observation).
+    """
+
+    def __init__(self, vtdb: ValidTimeDatabase, constraint: ast.Formula, name: str = "vt_constraint"):
+        self.vtdb = vtdb
+        self.constraint = constraint
+        self.name = name
+        self.rejections: list[tuple[int, int]] = []  # (txn, commit_time)
+        vtdb.commit_validators.append(self._validate)
+
+    def _validate(
+        self, trial_history: SystemHistory, txn: VTTransaction, commit_time: int
+    ) -> list[str]:
+        earliest = min(
+            (u.valid_time for u in txn.updates), default=commit_time
+        )
+        commit_times = [
+            t for t in _commit_point_times(trial_history) if earliest <= t <= commit_time
+        ]
+        # the committing transaction's own commit point is in the trial
+        for t in commit_times:
+            if not _satisfied_at_time(trial_history, t, self.constraint):
+                self.rejections.append((txn.id, commit_time))
+                return [
+                    f"temporal constraint {self.name!r} violated at commit "
+                    f"point t={t}"
+                ]
+        return []

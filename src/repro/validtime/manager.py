@@ -1,0 +1,156 @@
+"""The temporal component for valid-time databases (Section 9.2).
+
+The transaction-time :class:`~repro.rules.manager.RuleManager` steps each
+evaluator exactly once per appended state; in the valid-time model a
+commit may *retroactively* change the past, so the component must re-run
+the evaluation from the oldest touched state (tentative rules) or defer to
+the definite horizon (definite rules).  This manager packages both flavors
+with actions and firing logs, mirroring the transaction-time manager's
+surface:
+
+    vtm = ValidTimeRuleManager(vtdb)
+    vtm.add_tentative_trigger("spike", "PRICE >= 100", action)
+    vtm.add_definite_trigger("confirmed_spike", "PRICE >= 100", action)
+    ...
+    vtm.poll()     # after advancing the clock
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import DuplicateRuleError, UnknownRuleError
+from repro.ptl import ast
+from repro.ptl.parser import parse_formula
+from repro.rules.actions import ActionContext, as_action
+from repro.validtime.constraints import ConstraintEnforcer
+from repro.validtime.model import ValidTimeDatabase
+from repro.validtime.triggers import DefiniteTrigger, TentativeTrigger
+
+ConditionLike = Union[str, ast.Formula]
+
+
+class _VTRule:
+    __slots__ = ("name", "processor", "action", "executed_count")
+
+    def __init__(self, name, processor, action):
+        self.name = name
+        self.processor = processor
+        self.action = action
+        self.executed_count = 0
+
+
+class ValidTimeRuleManager:
+    """Triggers and constraints over one valid-time database."""
+
+    def __init__(self, vtdb: ValidTimeDatabase):
+        self.vtdb = vtdb
+        self._rules: dict[str, _VTRule] = {}
+        self._enforcers: dict[str, ConstraintEnforcer] = {}
+        self._listener = lambda *a: self._dispatch()
+        vtdb.commit_listeners.append(self._listener)
+
+    def _ensure_dispatch_last(self) -> None:
+        """Trigger processors subscribe as they are added; the dispatcher
+        must run after all of them have seen the commit."""
+        self.vtdb.commit_listeners.remove(self._listener)
+        self.vtdb.commit_listeners.append(self._listener)
+
+    # -- registration -----------------------------------------------------------
+
+    def _parse(self, condition: ConditionLike) -> ast.Formula:
+        if isinstance(condition, ast.Formula):
+            return condition
+        items = {
+            name
+            for name in self.vtdb.db.state.item_names()
+            if not self.vtdb.db.state.has_relation(name)
+        }
+        return parse_formula(condition, self.vtdb.db.queries, items)
+
+    def _check_name(self, name: str) -> None:
+        if name in self._rules or name in self._enforcers:
+            raise DuplicateRuleError(f"rule {name!r} already registered")
+
+    def add_tentative_trigger(
+        self, name: str, condition: ConditionLike, action
+    ) -> TentativeTrigger:
+        """Fires on tentative values; a retroactive change may fire it for
+        a past state (at most once per (state, binding))."""
+        self._check_name(name)
+        processor = TentativeTrigger(self.vtdb, self._parse(condition))
+        self._rules[name] = _VTRule(name, processor, as_action(action))
+        self._ensure_dispatch_last()
+        return processor
+
+    def add_definite_trigger(
+        self, name: str, condition: ConditionLike, action
+    ) -> DefiniteTrigger:
+        """Fires only once states are older than DELTA (delayed, final)."""
+        self._check_name(name)
+        processor = DefiniteTrigger(self.vtdb, self._parse(condition))
+        self._rules[name] = _VTRule(name, processor, as_action(action))
+        self._ensure_dispatch_last()
+        return processor
+
+    def add_integrity_constraint(
+        self, name: str, constraint: ConditionLike
+    ) -> ConstraintEnforcer:
+        """Commit-time enforcement per Section 9.3 (checks every commit
+        point the retroactive updates cross)."""
+        self._check_name(name)
+        enforcer = ConstraintEnforcer(self.vtdb, self._parse(constraint), name)
+        self._enforcers[name] = enforcer
+        return enforcer
+
+    def remove_rule(self, name: str) -> None:
+        if name in self._rules:
+            del self._rules[name]
+            return
+        if name in self._enforcers:
+            enforcer = self._enforcers.pop(name)
+            self.vtdb.commit_validators.remove(enforcer._validate)
+            return
+        raise UnknownRuleError(f"no rule named {name!r}")
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def poll(self) -> None:
+        """Run definite triggers against the current definite horizon
+        (call after advancing the clock) and dispatch new firings."""
+        for rule in self._rules.values():
+            if isinstance(rule.processor, DefiniteTrigger):
+                rule.processor.poll()
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        for rule in self._rules.values():
+            firings = rule.processor.firings
+            while rule.executed_count < len(firings):
+                firing = firings[rule.executed_count]
+                rule.executed_count += 1
+                rule.action.execute(
+                    ActionContext(
+                        self.vtdb,
+                        firing.binding_dict,
+                        _FiringState(firing.timestamp),
+                        rule.name,
+                    )
+                )
+
+    # -- introspection -------------------------------------------------------------
+
+    def firings_of(self, name: str):
+        if name not in self._rules:
+            raise UnknownRuleError(f"no rule named {name!r}")
+        return list(self._rules[name].processor.firings)
+
+
+class _FiringState:
+    """Minimal state handed to valid-time actions: the firing's valid
+    timestamp (the full state can be rematerialized from the database)."""
+
+    __slots__ = ("timestamp",)
+
+    def __init__(self, timestamp: int):
+        self.timestamp = timestamp

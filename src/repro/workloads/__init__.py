@@ -1,0 +1,45 @@
+"""Workload generators: stock traces, sessions, random formulas/histories."""
+
+from repro.workloads.generator import (
+    FormulaGenerator,
+    random_executed_store,
+    random_formula,
+    random_future_formula,
+    random_history,
+    random_pair,
+)
+from repro.workloads.stock import (
+    PAPER_TRACE_FIRING,
+    PAPER_TRACE_PRUNED,
+    SHARP_INCREASE,
+    apply_tick,
+    apply_trace,
+    dow_jones_trace,
+    login_session_events,
+    make_stock_db,
+    random_walk_trace,
+    spike_trace,
+    stock_query_registry,
+    trace_history,
+)
+
+__all__ = [
+    "FormulaGenerator",
+    "random_formula",
+    "random_future_formula",
+    "random_executed_store",
+    "random_history",
+    "random_pair",
+    "PAPER_TRACE_FIRING",
+    "PAPER_TRACE_PRUNED",
+    "SHARP_INCREASE",
+    "make_stock_db",
+    "apply_tick",
+    "apply_trace",
+    "random_walk_trace",
+    "spike_trace",
+    "login_session_events",
+    "dow_jones_trace",
+    "trace_history",
+    "stock_query_registry",
+]

@@ -1,0 +1,192 @@
+"""Stock-market workloads — the paper's running examples, made executable.
+
+Deterministic traces from Section 5 plus seeded generators for the
+scalability benchmarks: price ticks (the periodically-run ``update_stocks``
+transaction), user login/logout sessions, and Dow-Jones-style index
+streams.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence
+
+from repro.datamodel import FLOAT, STRING, Schema
+from repro.engine import ActiveDatabase
+from repro.events.model import user_event
+
+STOCK_SCHEMA = Schema.of(name=STRING, price=FLOAT, company=STRING, category=STRING)
+
+#: Section 5's worked-example history: (price, time) with the trigger
+#: firing at the fourth state.
+PAPER_TRACE_FIRING = [(10.0, 1), (15.0, 2), (18.0, 5), (25.0, 8)]
+
+#: Section 5's optimization-example history: no firing; after the fourth
+#: state the pruned state formula is (x >= 22 & t <= 30).
+PAPER_TRACE_PRUNED = [(10.0, 1), (15.0, 2), (18.0, 5), (11.0, 20)]
+
+#: The paper's SHARP-INCREASE condition: the IBM price doubled within 10
+#: time units.
+SHARP_INCREASE = (
+    "[t := time] [x := price(IBM)] "
+    "previously (price(IBM) <= 0.5 * x & time >= t - 10)"
+)
+
+
+def trace_history(
+    trace: Sequence[tuple[float, int]], name: str = "IBM"
+):
+    """Build a raw :class:`~repro.history.history.SystemHistory` from a
+    (price, timestamp) trace without going through the engine — each state
+    is a commit point carrying an ``update_stocks`` event (what the
+    evaluator-level benchmarks and tests consume)."""
+    from repro.datamodel import Relation
+    from repro.events.model import transaction_commit
+    from repro.history.history import SystemHistory
+    from repro.history.state import SystemState
+    from repro.storage.snapshot import DatabaseState
+
+    schema = Schema.of(name=STRING, price=FLOAT)
+    history = SystemHistory()
+    for i, (price, ts) in enumerate(trace):
+        rel = Relation.from_values(schema, [(name, float(price))])
+        history.append(
+            SystemState(
+                DatabaseState({"STOCK": rel}),
+                [transaction_commit(i + 1), user_event("update_stocks")],
+                ts,
+            )
+        )
+    return history
+
+
+def stock_query_registry():
+    """A standalone registry with the ``price`` query symbol (for
+    evaluator-level use without an engine)."""
+    from repro.query.subst import QueryRegistry
+
+    reg = QueryRegistry()
+    reg.define_text(
+        "price",
+        ("name",),
+        "RETRIEVE (S.price) FROM STOCK S WHERE S.name = $name",
+    )
+    return reg
+
+
+def make_stock_db(
+    stocks: Sequence[tuple[str, float]] = (("IBM", 10.0),),
+    start_time: int = 0,
+) -> ActiveDatabase:
+    """An active database with the STOCK relation and the paper's query
+    symbols (``price``, ``overpriced``) registered."""
+    adb = ActiveDatabase(start_time=start_time)
+    adb.create_relation(
+        "STOCK",
+        STOCK_SCHEMA,
+        [(name, price, f"{name} Corp", "tech") for name, price in stocks],
+    )
+    adb.define_query(
+        "price",
+        ["name"],
+        "RETRIEVE (S.price) FROM STOCK S WHERE S.name = $name",
+    )
+    adb.define_query(
+        "overpriced",
+        [],
+        "RETRIEVE (S.name) FROM STOCK S WHERE S.price >= 300",
+    )
+    adb.define_query(
+        "stock_names",
+        [],
+        "RETRIEVE (S.name) FROM STOCK S",
+    )
+    return adb
+
+
+def apply_tick(
+    adb: ActiveDatabase, name: str, price: float, at_time: Optional[int] = None
+) -> None:
+    """One ``update_stocks`` transaction setting a stock's price."""
+    txn = adb.begin()
+    txn.update(
+        "STOCK", lambda r: r["name"] == name, lambda r: {"price": float(price)}
+    )
+    txn.post_event(user_event("update_stocks"))
+    txn.commit(at_time)
+
+
+def apply_trace(
+    adb: ActiveDatabase, trace: Iterable[tuple[float, int]], name: str = "IBM"
+) -> None:
+    for price, ts in trace:
+        apply_tick(adb, name, price, at_time=ts)
+
+
+def random_walk_trace(
+    seed: int,
+    n: int,
+    start_price: float = 50.0,
+    start_time: int = 1,
+    max_step: float = 3.0,
+    dt: tuple[int, int] = (1, 3),
+) -> list[tuple[float, int]]:
+    """A seeded random-walk price trace of ``n`` ticks (price floors at 1)."""
+    rng = random.Random(seed)
+    price = start_price
+    ts = start_time
+    out = []
+    for _ in range(n):
+        price = max(1.0, price + rng.uniform(-max_step, max_step))
+        out.append((round(price, 2), ts))
+        ts += rng.randint(*dt)
+    return out
+
+
+def spike_trace(
+    n: int,
+    base: float = 50.0,
+    spike_every: int = 50,
+    start_time: int = 1,
+) -> list[tuple[float, int]]:
+    """A trace that doubles the price every ``spike_every`` ticks —
+    guarantees periodic firings of SHARP-INCREASE."""
+    out = []
+    ts = start_time
+    for i in range(n):
+        price = base * (2.2 if i % spike_every == spike_every - 1 else 1.0)
+        out.append((round(price, 2), ts))
+        ts += 2
+    return out
+
+
+def login_session_events(
+    seed: int, n_events: int, users: Sequence[str] = ("X", "Y", "Z")
+):
+    """A seeded stream of (event, dt) user login/logout pairs."""
+    rng = random.Random(seed)
+    logged_in: set[str] = set()
+    out = []
+    for _ in range(n_events):
+        user = rng.choice(list(users))
+        if user in logged_in:
+            out.append((user_event("user_logout", user), rng.randint(1, 3)))
+            logged_in.discard(user)
+        else:
+            out.append((user_event("user_login", user), rng.randint(1, 3)))
+            logged_in.add(user)
+    return out
+
+
+def dow_jones_trace(
+    seed: int, n: int, start: float = 10_000.0, start_time: int = 1
+) -> list[tuple[float, int]]:
+    """An index-level trace for the 'Dow fell 250 points in 2 hours'
+    style conditions (one tick per simulated minute)."""
+    rng = random.Random(seed)
+    level = start
+    out = []
+    for i in range(n):
+        level = max(100.0, level + rng.gauss(0, 8.0))
+        out.append((round(level, 1), start_time + i))
+    return out

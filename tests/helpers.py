@@ -1,0 +1,71 @@
+"""Shared test helpers: hand-built histories and stock fixtures."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.datamodel import FLOAT, STRING, Relation, Schema
+from repro.events.model import Event, transaction_commit, user_event
+from repro.history.history import SystemHistory
+from repro.history.state import SystemState
+from repro.query.subst import QueryRegistry
+from repro.storage.snapshot import DatabaseState
+
+STOCK_SCHEMA = Schema.of(name=STRING, price=FLOAT)
+
+
+def stock_registry() -> QueryRegistry:
+    """Registry with the paper's ``price`` query symbol."""
+    reg = QueryRegistry()
+    reg.define_text(
+        "price",
+        ("name",),
+        "RETRIEVE (S.price) FROM STOCK S WHERE S.name = $name",
+    )
+    return reg
+
+
+def stock_state(prices: dict, items: Optional[dict] = None) -> DatabaseState:
+    rel = Relation.from_values(
+        STOCK_SCHEMA, [(name, float(p)) for name, p in sorted(prices.items())]
+    )
+    base = {"STOCK": rel}
+    if items:
+        base.update(items)
+    return DatabaseState(base)
+
+
+def stock_history(
+    ticks: Sequence[tuple[float, int]],
+    name: str = "IBM",
+    extra_events: Sequence[Iterable[Event]] = (),
+) -> SystemHistory:
+    """History of (price, timestamp) ticks for one stock; each state is a
+    commit point carrying an ``update_stocks`` user event (the paper's
+    periodically-run stock-update transaction)."""
+    history = SystemHistory()
+    for i, (price, ts) in enumerate(ticks):
+        events = [transaction_commit(i + 1), user_event("update_stocks")]
+        if i < len(extra_events):
+            events.extend(extra_events[i])
+        history.append(
+            SystemState(stock_state({name: price}), events, ts)
+        )
+    return history
+
+
+def event_history(
+    steps: Sequence[tuple[Sequence[Event], int]],
+    db: Optional[DatabaseState] = None,
+) -> SystemHistory:
+    """History of pure event states over a constant database state."""
+    db = db or DatabaseState({})
+    history = SystemHistory(validate_transaction_time=False)
+    for events, ts in steps:
+        history.append(SystemState(db, events, ts))
+    return history
+
+
+def run_evaluator(evaluator, history) -> list:
+    """Step an evaluator through every state; returns FireResults."""
+    return [evaluator.step(state) for state in history]

@@ -1,0 +1,116 @@
+"""Property-based tests of relational-algebra laws on the query engine
+(the substrate the temporal component trusts)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel import INT, STRING, Relation, Schema
+
+SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+SCHEMA = Schema.of(k=INT, name=STRING)
+
+rows = st.lists(
+    st.tuples(st.integers(0, 5), st.sampled_from(["a", "b", "c"])),
+    max_size=8,
+)
+
+
+def rel(value_rows):
+    return Relation.from_values(SCHEMA, value_rows)
+
+
+@SETTINGS
+@given(a=rows, b=rows)
+def test_union_commutative(a, b):
+    assert rel(a).union(rel(b)) == rel(b).union(rel(a))
+
+
+@SETTINGS
+@given(a=rows, b=rows, c=rows)
+def test_union_associative(a, b, c):
+    left = rel(a).union(rel(b)).union(rel(c))
+    right = rel(a).union(rel(b).union(rel(c)))
+    assert left == right
+
+
+@SETTINGS
+@given(a=rows)
+def test_union_idempotent(a):
+    assert rel(a).union(rel(a)) == rel(a)
+
+
+@SETTINGS
+@given(a=rows, b=rows)
+def test_difference_then_union_restores_subset(a, b):
+    ra, rb = rel(a), rel(b)
+    assert ra.difference(rb).union(ra.intersection(rb)) == ra
+
+
+@SETTINGS
+@given(a=rows, k=st.integers(0, 5))
+def test_select_commutes_with_union(a, k):
+    ra = rel(a)
+    pred = lambda r: r["k"] == k
+    assert ra.select(pred).union(ra.select(lambda r: not pred(r))) == ra
+
+
+@SETTINGS
+@given(a=rows, k=st.integers(0, 5))
+def test_select_conjunction_is_composition(a, k):
+    ra = rel(a)
+    p1 = lambda r: r["k"] >= k
+    p2 = lambda r: r["name"] != "c"
+    both = ra.select(lambda r: p1(r) and p2(r))
+    composed = ra.select(p1).select(p2)
+    assert both == composed
+
+
+@SETTINGS
+@given(a=rows)
+def test_project_idempotent(a):
+    ra = rel(a)
+    assert ra.project(["k"]).project(["k"]) == ra.project(["k"])
+
+
+@SETTINGS
+@given(a=rows, b=rows)
+def test_project_distributes_over_union(a, b):
+    ra, rb = rel(a), rel(b)
+    assert ra.union(rb).project(["name"]) == ra.project(["name"]).union(
+        rb.project(["name"])
+    )
+
+
+@SETTINGS
+@given(a=rows, b=rows)
+def test_join_on_key_equals_product_select(a, b):
+    ra = rel(a)
+    rb = rel(b).rename({"k": "k2", "name": "name2"})
+    joined = ra.join(rb, on=[("k", "k2")])
+    product = ra.product(rb).select(lambda r: r["k"] == r["k2"])
+    assert {tuple(r["k"] for _ in [0]) for r in joined} == {
+        tuple(r["k"] for _ in [0]) for r in product
+    }
+    assert len(joined) == len(product)
+
+
+@SETTINGS
+@given(a=rows)
+def test_rename_roundtrip(a):
+    ra = rel(a)
+    back = ra.rename({"k": "x"}).rename({"x": "k"})
+    assert back == ra
+
+
+@SETTINGS
+@given(a=rows)
+def test_insert_delete_roundtrip(a):
+    ra = rel(a)
+    grown = ra.insert((99, "zz"))
+    assert grown.delete(lambda r: r["k"] == 99 and r["name"] == "zz") == ra

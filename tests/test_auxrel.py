@@ -1,0 +1,100 @@
+"""Tests for the auxiliary relations R_x (Section 5's implementation
+technique: versioned query values with T_start/T_end)."""
+
+import pytest
+
+from repro.ptl import AuxiliaryStore, UNDEFINED, parse_formula
+from repro.ptl.auxrel import MAX_TIME, AuxiliaryRelation, VersionRow
+from repro.ptl.rewrite import normalize
+from repro.query import parse_query
+
+from tests.helpers import stock_history, stock_registry
+
+
+@pytest.fixture
+def price_query():
+    return stock_registry().get("price").instantiate(
+        (__import__("repro.query.ast", fromlist=["Const"]).Const("IBM"),)
+    )
+
+
+class TestAuxiliaryRelation:
+    def test_initial_row_open_interval(self, price_query):
+        rel = AuxiliaryRelation("x", price_query)
+        h = stock_history([(10, 1)])
+        rel.observe(h[0], 1)
+        (row,) = rel.rows
+        assert row.value == 10.0
+        assert row.t_start == 1
+        assert row.t_end is MAX_TIME  # the paper's T_end = MAX
+
+    def test_versions_on_change_only(self, price_query):
+        rel = AuxiliaryRelation("x", price_query)
+        h = stock_history([(10, 1), (10, 3), (12, 5)])
+        for s in h:
+            rel.observe(s, s.timestamp)
+        assert len(rel) == 2  # the unchanged tick opens no new version
+        first, second = rel.rows
+        assert (first.t_start, first.t_end) == (1, 5)
+        assert (second.t_start, second.t_end) == (5, MAX_TIME)
+
+    def test_value_at_is_selection_on_rx(self, price_query):
+        rel = AuxiliaryRelation("x", price_query)
+        h = stock_history([(10, 1), (12, 5), (20, 9)])
+        for s in h:
+            rel.observe(s, s.timestamp)
+        assert rel.value_at(1) == 10.0
+        assert rel.value_at(4) == 10.0
+        assert rel.value_at(5) == 12.0
+        assert rel.value_at(100) == 20.0
+        assert rel.value_at(0) is UNDEFINED
+
+    def test_prune_before(self, price_query):
+        rel = AuxiliaryRelation("x", price_query)
+        h = stock_history([(10, 1), (12, 5), (20, 9)])
+        for s in h:
+            rel.observe(s, s.timestamp)
+        dropped = rel.prune_before(6)
+        assert dropped == 1
+        assert rel.value_at(2) is UNDEFINED  # pruned past
+        assert rel.value_at(7) == 12.0
+
+    def test_version_row_covers(self):
+        row = VersionRow(1.0, 5, 9)
+        assert not row.covers(4)
+        assert row.covers(5) and row.covers(8)
+        assert not row.covers(9)
+
+
+class TestAuxiliaryStore:
+    def test_for_formula_tracks_assigned_vars(self):
+        f = normalize(
+            parse_formula(
+                "[t := time] [x := price(IBM)] previously price(IBM) < 0.5 * x",
+                stock_registry(),
+            )
+        )
+        store = AuxiliaryStore.for_formula(f)
+        assert store.names() == ["t", "x"]
+
+    def test_observe_all(self):
+        f = normalize(
+            parse_formula("[x := price(IBM)] x > 0", stock_registry())
+        )
+        store = AuxiliaryStore.for_formula(f)
+        h = stock_history([(10, 1), (12, 5)])
+        for s in h:
+            store.observe(s, s.timestamp)
+        assert store.relation("x").value_at(3) == 10.0
+        assert store.total_rows() == 2
+
+    def test_prune_store(self):
+        f = normalize(
+            parse_formula("[x := price(IBM)] x > 0", stock_registry())
+        )
+        store = AuxiliaryStore.for_formula(f)
+        h = stock_history([(10, 1), (12, 5), (14, 9)])
+        for s in h:
+            store.observe(s, s.timestamp)
+        assert store.prune_before(6) == 1
+        assert store.total_rows() == 2

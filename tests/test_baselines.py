@@ -1,0 +1,170 @@
+"""Tests for the baselines (naive detector, event expressions) and the
+stock workloads."""
+
+import pytest
+
+from repro.baselines import (
+    EventExprDetector,
+    NaiveDetector,
+    compile_event_expr,
+    parse_event_expr,
+)
+from repro.baselines.eventexpr import Atom, Complement, Concat, Star, Union
+from repro.errors import EventExprError
+from repro.events.model import user_event
+from repro.ptl import IncrementalEvaluator, parse_formula
+from repro.workloads import (
+    PAPER_TRACE_FIRING,
+    SHARP_INCREASE,
+    apply_trace,
+    make_stock_db,
+    random_walk_trace,
+    spike_trace,
+)
+from tests.helpers import event_history, run_evaluator, stock_history, stock_registry
+
+
+class TestNaiveDetector:
+    def test_agrees_with_incremental_on_paper_trace(self):
+        f = parse_formula(SHARP_INCREASE, stock_registry())
+        h = stock_history(PAPER_TRACE_FIRING)
+        naive = NaiveDetector(f)
+        incr = IncrementalEvaluator(f)
+        for state in h:
+            assert naive.step(state).fired == incr.step(state).fired
+
+    def test_agrees_on_random_walks(self):
+        f = parse_formula(SHARP_INCREASE, stock_registry())
+        trace = random_walk_trace(seed=3, n=40, max_step=20.0)
+        h = stock_history(trace)
+        naive = NaiveDetector(f)
+        incr = IncrementalEvaluator(f)
+        for state in h:
+            assert naive.step(state).fired == incr.step(state).fired
+
+    def test_state_grows_linearly(self):
+        f = parse_formula("previously @e")
+        naive = NaiveDetector(f)
+        h = event_history([([user_event("x")], t) for t in range(1, 51)])
+        for state in h:
+            naive.step(state)
+        assert naive.state_size() == 50
+
+
+ALPHABET = ("a", "b", "c")
+
+
+class TestEventExpressions:
+    def test_parse(self):
+        e = parse_event_expr("a b | c*")
+        assert isinstance(e, Union)
+        assert isinstance(e.parts[0], Concat)
+        assert isinstance(e.parts[1], Star)
+
+    def test_parse_complement(self):
+        e = parse_event_expr("!(a b)")
+        assert isinstance(e, Complement)
+
+    def test_parse_error(self):
+        with pytest.raises(EventExprError):
+            parse_event_expr("a |")
+
+    def test_simple_acceptance(self):
+        dfa = compile_event_expr(".* a b", ALPHABET)
+        assert dfa.accepts_word(["c", "a", "b"])
+        assert not dfa.accepts_word(["a", "c", "b"])
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(EventExprError):
+            compile_event_expr("z", ALPHABET)
+
+    def test_complement_semantics(self):
+        # words that do NOT end with 'a b'
+        dfa = compile_event_expr("!(.* a b)", ALPHABET)
+        assert dfa.accepts_word(["a", "c"])
+        assert not dfa.accepts_word(["c", "a", "b"])
+        assert dfa.accepts_word([])
+
+    def test_minimization_preserves_language(self):
+        raw = compile_event_expr("(a | b)* c", ALPHABET, minimize=False)
+        mini = raw.minimize()
+        assert mini.state_count <= raw.state_count
+        import itertools
+
+        for n in range(4):
+            for word in itertools.product(ALPHABET, repeat=n):
+                assert raw.accepts_word(word) == mini.accepts_word(word)
+
+    def test_detector_on_history(self):
+        det = EventExprDetector(".* login", ("login", "logout", "tick"))
+        h = event_history(
+            [
+                ([user_event("tick")], 1),
+                ([user_event("login")], 2),
+                ([user_event("logout")], 3),
+            ]
+        )
+        results = [det.step(s) for s in h]
+        assert results == [False, True, False]
+
+    def test_ee_agrees_with_ptl_on_ordering(self):
+        """'A happened and no B since then' — both formalisms detect it."""
+        det = EventExprDetector(".* a !( .* b .* )", ("a", "b", "t"))
+        ptl = IncrementalEvaluator(parse_formula("!@b since @a"))
+        h = event_history(
+            [
+                ([user_event("a")], 1),
+                ([user_event("t")], 2),
+                ([user_event("b")], 3),
+                ([user_event("a")], 4),
+            ]
+        )
+        ee = [det.step(s) for s in h]
+        pt = [r.fired for r in run_evaluator(ptl, h)]
+        assert ee == pt == [True, True, False, True]
+
+    def test_nested_negation_state_blowup(self):
+        """The Section 10 claim: automaton size grows rapidly with
+        negation nesting while the PTL evaluator's state stays flat."""
+        sizes = []
+        expr = "a b a"
+        for _ in range(3):
+            expr = f"!( {expr} . ) b !( a {expr} )"
+            dfa = compile_event_expr(expr, ALPHABET)
+            sizes.append(dfa.state_count)
+        assert sizes[0] < sizes[1] < sizes[2]
+
+
+class TestStockWorkloads:
+    def test_paper_trace_fires(self):
+        adb = make_stock_db()
+        from repro.rules import RecordingAction, RuleManager
+
+        manager = RuleManager(adb)
+        action = RecordingAction()
+        manager.add_trigger("sharp", SHARP_INCREASE, action)
+        apply_trace(adb, PAPER_TRACE_FIRING)
+        assert [t for _, t in action.calls] == [8]
+
+    def test_spike_trace_fires_periodically(self):
+        adb = make_stock_db()
+        from repro.rules import RecordingAction, RuleManager
+
+        manager = RuleManager(adb)
+        action = RecordingAction()
+        manager.add_trigger("sharp", SHARP_INCREASE, action)
+        apply_trace(adb, spike_trace(100, spike_every=25))
+        assert len(action.calls) == 4
+
+    def test_random_walk_is_deterministic(self):
+        assert random_walk_trace(5, 10) == random_walk_trace(5, 10)
+        assert random_walk_trace(5, 10) != random_walk_trace(6, 10)
+
+    def test_overpriced_query(self):
+        adb = make_stock_db([("IBM", 10.0), ("XYZ", 400.0)])
+        from repro.query import eval_query
+
+        over = eval_query(
+            adb.db.queries.get("overpriced").instantiate(()), adb.state
+        )
+        assert {r["name"] for r in over} == {"XYZ"}

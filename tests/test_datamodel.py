@@ -1,0 +1,218 @@
+"""Unit tests for the relational data model (types, schema, rows, relations)."""
+
+import pytest
+
+from repro.datamodel import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    Attribute,
+    Relation,
+    Row,
+    Schema,
+    ValueType,
+    check_value,
+    infer_type,
+)
+from repro.datamodel.types import compatible, merge_types
+from repro.errors import (
+    NotScalarError,
+    SchemaError,
+    TypeMismatchError,
+    UnknownAttributeError,
+)
+
+
+@pytest.fixture
+def stock_schema():
+    return Schema.of(name=STRING, price=FLOAT, company=STRING, category=STRING)
+
+
+@pytest.fixture
+def stock(stock_schema):
+    return Relation.from_values(
+        stock_schema,
+        [
+            ("IBM", 72.0, "IBM Corp", "tech"),
+            ("XYZ", 310.0, "XYZ Inc", "tech"),
+            ("OIL", 305.0, "Oil Co", "energy"),
+        ],
+    )
+
+
+class TestTypes:
+    def test_check_int(self):
+        assert check_value(5, INT) == 5
+
+    def test_check_float_coerces_int(self):
+        assert check_value(5, FLOAT) == 5.0
+        assert isinstance(check_value(5, FLOAT), float)
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(TypeMismatchError):
+            check_value(True, INT)
+
+    def test_int_is_not_bool(self):
+        with pytest.raises(TypeMismatchError):
+            check_value(1, BOOL)
+
+    def test_string(self):
+        assert check_value("x", STRING) == "x"
+        with pytest.raises(TypeMismatchError):
+            check_value(1, STRING)
+
+    def test_infer(self):
+        assert infer_type(1) is INT
+        assert infer_type(1.5) is FLOAT
+        assert infer_type("a") is STRING
+        assert infer_type(True) is BOOL
+        with pytest.raises(TypeMismatchError):
+            infer_type(object())
+
+    def test_compatible(self):
+        assert compatible(INT, FLOAT)
+        assert compatible(ValueType.TIME, INT)
+        assert not compatible(STRING, INT)
+
+    def test_merge(self):
+        assert merge_types(INT, FLOAT) is FLOAT
+        assert merge_types(INT, INT) is INT
+        with pytest.raises(TypeMismatchError):
+            merge_types(STRING, INT)
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("a", INT), Attribute("a", INT)])
+
+    def test_lookup(self, stock_schema):
+        assert stock_schema.position("price") == 1
+        assert stock_schema.type_of("price") is FLOAT
+        assert "name" in stock_schema
+        with pytest.raises(UnknownAttributeError):
+            stock_schema.position("nope")
+
+    def test_project_and_rename(self, stock_schema):
+        sub = stock_schema.project(["price", "name"])
+        assert sub.names == ("price", "name")
+        renamed = stock_schema.rename({"price": "p"})
+        assert "p" in renamed and "price" not in renamed
+        with pytest.raises(UnknownAttributeError):
+            stock_schema.rename({"zzz": "y"})
+
+    def test_concat_collision(self, stock_schema):
+        with pytest.raises(SchemaError):
+            stock_schema.concat(stock_schema)
+        ok = stock_schema.concat(stock_schema.prefixed("s2"))
+        assert len(ok) == 8
+
+    def test_check_row_values_arity(self, stock_schema):
+        with pytest.raises(SchemaError):
+            stock_schema.check_row_values(("IBM", 72.0))
+
+
+class TestRow:
+    def test_access(self, stock_schema):
+        row = Row(stock_schema, ("IBM", 72, "IBM Corp", "tech"))
+        assert row["name"] == "IBM"
+        assert row[1] == 72.0
+        assert row.as_dict()["category"] == "tech"
+        assert row.get("nope", 0) == 0
+
+    def test_from_mapping(self, stock_schema):
+        row = Row.from_mapping(
+            stock_schema,
+            {"name": "A", "price": 1.0, "company": "B", "category": "c"},
+        )
+        assert row.values == ("A", 1.0, "B", "c")
+
+    def test_equality_by_values(self, stock_schema):
+        r1 = Row(stock_schema, ("IBM", 72, "IBM Corp", "tech"))
+        r2 = Row(stock_schema, ("IBM", 72.0, "IBM Corp", "tech"))
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+        assert r1 == ("IBM", 72.0, "IBM Corp", "tech")
+
+    def test_project_concat(self, stock_schema):
+        row = Row(stock_schema, ("IBM", 72, "IBM Corp", "tech"))
+        assert row.project(["price"]).values == (72.0,)
+        other = Row(Schema.of(x=INT), (3,))
+        assert row.concat(other).values == ("IBM", 72.0, "IBM Corp", "tech", 3)
+
+
+class TestRelation:
+    def test_select_project(self, stock):
+        tech = stock.select(lambda r: r["category"] == "tech")
+        assert len(tech) == 2
+        names = stock.project(["name"])
+        assert ("IBM",) in names
+
+    def test_overpriced_paper_query(self, stock):
+        # The paper's OVERPRICED query: names of stocks with price >= 300.
+        over = stock.select(lambda r: r["price"] >= 300).project(["name"])
+        assert {r["name"] for r in over} == {"XYZ", "OIL"}
+
+    def test_set_semantics(self, stock_schema):
+        rel = Relation.from_values(
+            stock_schema,
+            [("A", 1.0, "c", "t"), ("A", 1.0, "c", "t")],
+        )
+        assert len(rel) == 1
+
+    def test_union_difference_intersection(self, stock, stock_schema):
+        other = Relation.from_values(stock_schema, [("NEW", 5.0, "n", "t")])
+        assert len(stock.union(other)) == 4
+        assert len(stock.difference(stock)) == 0
+        assert stock.intersection(stock) == stock
+
+    def test_incompatible_union(self, stock):
+        other = Relation.from_values(Schema.of(x=INT), [(1,)])
+        with pytest.raises(SchemaError):
+            stock.union(other)
+
+    def test_product_and_join(self, stock):
+        cats = Relation.from_values(
+            Schema.of(cat=STRING, desc=STRING),
+            [("tech", "Technology"), ("energy", "Energy")],
+        )
+        joined = stock.join(cats, on=[("category", "cat")])
+        assert len(joined) == 3
+        for row in joined:
+            assert row["desc"] in ("Technology", "Energy")
+        prod = stock.product(cats)
+        assert len(prod) == 6
+
+    def test_insert_delete_update(self, stock):
+        more = stock.insert(("NEW", 1.0, "n", "t"))
+        assert len(more) == 4
+        fewer = more.delete(lambda r: r["name"] == "NEW")
+        assert fewer == stock
+        bumped = stock.update(
+            lambda r: r["name"] == "IBM", lambda r: {"price": r["price"] * 2}
+        )
+        (ibm,) = [r for r in bumped if r["name"] == "IBM"]
+        assert ibm["price"] == 144.0
+
+    def test_scalar(self):
+        one = Relation.singleton_scalar(42)
+        assert one.scalar() == 42
+
+    def test_scalar_requires_1x1(self, stock):
+        with pytest.raises(NotScalarError):
+            stock.scalar()
+
+    def test_extend(self, stock):
+        ext = stock.extend(
+            Attribute("double", FLOAT), lambda r: r["price"] * 2
+        )
+        for row in ext:
+            assert row["double"] == row["price"] * 2
+
+    def test_sorted_rows_deterministic(self, stock):
+        assert [r["name"] for r in stock.project(["name"]).sorted_rows()] == [
+            "IBM",
+            "OIL",
+            "XYZ",
+        ]

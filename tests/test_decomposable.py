@@ -1,0 +1,146 @@
+"""Tests for the decomposable-formula detector (the [8] prototype's
+subclass): classification, O(1) state, and equivalence with the full
+incremental evaluator on the subclass."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PTLError
+from repro.ptl import IncrementalEvaluator, parse_formula
+from repro.ptl import ast
+from repro.ptl.decomposable import DecomposableDetector, is_decomposable
+from repro.workloads.generator import random_history
+
+from tests.helpers import stock_history, stock_registry
+
+SETTINGS = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("previously @alarm", True),
+            ("previously[10] @alarm & !@ack", True),
+            ("throughout_past V > 0", True),
+            ("previously (previously @a)", False),  # depth 2
+            ("@a since @b", False),  # Since is not depth-1 sugar
+            ("lasttime @a", False),
+            ("previously @login(u)", False),  # variable
+            ("previously[5] (V > 1 & @tick)", True),
+            ("!previously @a | throughout_past[3] @b", True),
+        ],
+    )
+    def test_is_decomposable(self, text, expected):
+        f = parse_formula(text, items={"V"})
+        assert is_decomposable(f) is expected
+
+    def test_detector_rejects_non_decomposable(self):
+        with pytest.raises(PTLError):
+            DecomposableDetector(parse_formula("lasttime @a"))
+
+
+def _decomposable_generator(rng):
+    """Random decomposable formulas over the shared event alphabet + V."""
+
+    def atom():
+        choice = rng.randrange(3)
+        if choice == 0:
+            return ast.EventAtom(rng.choice(["e0", "e3"]))
+        if choice == 1:
+            return ast.Comparison(
+                rng.choice(["<", "<=", ">", ">=", "=", "!="]),
+                ast.QueryT(__import__("repro.query.ast", fromlist=["ItemRef"]).ItemRef("V")),
+                ast.ConstT(rng.randint(0, 10)),
+            )
+        return rng.choice([ast.TRUE, ast.FALSE])
+
+    def leaf():
+        kind = rng.randrange(4)
+        window = rng.choice([None, rng.randint(2, 10)])
+        if kind == 0:
+            return ast.Previously(atom(), window)
+        if kind == 1:
+            return ast.ThroughoutPast(atom(), window)
+        return atom()
+
+    def formula(depth):
+        if depth <= 0:
+            return leaf()
+        choice = rng.randrange(4)
+        if choice == 0:
+            return ast.Not(formula(depth - 1))
+        if choice == 1:
+            return ast.And((formula(depth - 1), formula(depth - 1)))
+        if choice == 2:
+            return ast.Or((formula(depth - 1), formula(depth - 1)))
+        return leaf()
+
+    return formula(2)
+
+
+class TestEquivalence:
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_matches_incremental_on_subclass(self, seed):
+        rng = random.Random(seed)
+        formula = _decomposable_generator(rng)
+        assert is_decomposable(formula)
+        history = random_history(rng, 12)
+        dec = DecomposableDetector(formula)
+        inc = IncrementalEvaluator(formula)
+        for i, state in enumerate(history):
+            a = dec.step(state).fired
+            b = inc.step(state).fired
+            assert a == b, (
+                f"divergence at {i}: decomposable={a} incremental={b}\n"
+                f"{formula}"
+            )
+
+    def test_constant_state_size(self):
+        rng = random.Random(7)
+        formula = _decomposable_generator(rng)
+        dec = DecomposableDetector(formula)
+        history = random_history(rng, 200)
+        sizes = set()
+        for state in history:
+            dec.step(state)
+            sizes.add(dec.state_size())
+        assert len(sizes) == 1  # literally constant
+
+    def test_auxiliary_records_visible(self):
+        f = parse_formula("previously[10] @alarm")
+        dec = DecomposableDetector(f)
+        h = stock_history([(10, 5)], extra_events=[[]])
+        from repro.events.model import user_event
+        from tests.helpers import event_history
+
+        h = event_history([([user_event("alarm")], 5), ([user_event("x")], 9)])
+        dec.step(h[0])
+        dec.step(h[1])
+        ((atom, last_true, last_false),) = dec.auxiliary_records()
+        assert atom == "@alarm"
+        assert last_true == 5
+        assert last_false == 9
+
+    def test_window_expiry(self):
+        from repro.events.model import user_event
+        from tests.helpers import event_history
+
+        f = parse_formula("previously[10] @alarm")
+        dec = DecomposableDetector(f)
+        h = event_history(
+            [
+                ([user_event("alarm")], 5),
+                ([user_event("x")], 12),
+                ([user_event("x")], 16),
+            ]
+        )
+        assert [dec.step(s).fired for s in h] == [True, True, False]

@@ -1,0 +1,229 @@
+"""Tests for the engine: clock, events, transactions, histories."""
+
+import pytest
+
+from repro.datamodel import FLOAT, STRING, Schema
+from repro.engine import ActiveDatabase
+from repro.errors import (
+    ClockError,
+    DuplicateRelationError,
+    HistoryError,
+    TransactionAborted,
+    TransactionStateError,
+)
+from repro.events import (
+    TRANSACTION_ABORT,
+    TRANSACTION_BEGIN,
+    TRANSACTION_COMMIT,
+    Event,
+    user_event,
+)
+from repro.history import SystemHistory, SystemState
+from repro.query import parse_query, eval_scalar
+
+
+@pytest.fixture
+def adb():
+    adb = ActiveDatabase(start_time=0)
+    adb.create_relation(
+        "STOCK",
+        Schema.of(name=STRING, price=FLOAT),
+        [("IBM", 10.0)],
+    )
+    adb.define_query(
+        "price", ["name"], "RETRIEVE (S.price) FROM STOCK S WHERE S.name = $name"
+    )
+    return adb
+
+
+def set_price(adb, name, price, at_time=None, commit_time=None):
+    txn = adb.begin(at_time)
+    txn.update("STOCK", lambda r: r["name"] == name, lambda r: {"price": price})
+    return txn.commit(commit_time)
+
+
+class TestClockAndStates:
+    def test_begin_appends_state_when_enabled(self):
+        adb = ActiveDatabase(begin_states=True)
+        adb.begin(at_time=5)
+        assert len(adb.history) == 1
+        state = adb.history[0]
+        assert state.timestamp == 5
+        assert TRANSACTION_BEGIN in state.event_names()
+
+    def test_begin_silent_by_default(self, adb):
+        txn = adb.begin(at_time=5)
+        assert len(adb.history) == 0
+        assert txn.begin_time == 5
+
+    def test_timestamps_strictly_increase(self, adb):
+        adb.post_event(user_event("e1"), at_time=3)
+        with pytest.raises(ClockError):
+            adb.post_event(user_event("e2"), at_time=3)
+
+    def test_auto_advance(self, adb):
+        s1 = adb.post_event(user_event("e1"))
+        s2 = adb.post_event(user_event("e2"))
+        assert s2.timestamp > s1.timestamp
+
+    def test_simultaneous_events_share_state(self, adb):
+        state = adb.post_event([user_event("a"), user_event("b")], at_time=7)
+        assert state.event_names() == {"a", "b"}
+        assert len(adb.history) == 1
+
+    def test_time_item_resolves_to_timestamp(self, adb):
+        state = adb.post_event(user_event("e"), at_time=42)
+        assert eval_scalar(parse_query("time"), state) == 42
+
+    def test_tick(self, adb):
+        state = adb.tick(at_time=9)
+        assert state.event_names() == {"clock_tick"}
+
+
+class TestTransactions:
+    def test_commit_changes_db(self, adb):
+        set_price(adb, "IBM", 25.0, at_time=1, commit_time=2)
+        q = parse_query("RETRIEVE (S.price) FROM STOCK S WHERE S.name = 'IBM'")
+        assert eval_scalar(q, adb.state) == 25.0
+
+    def test_commit_state_carries_commit_event(self, adb):
+        state = set_price(adb, "IBM", 25.0, at_time=1, commit_time=2)
+        assert TRANSACTION_COMMIT in state.event_names()
+        assert state.is_commit_point()
+        assert state.committed_txn() == 1
+
+    def test_changes_invisible_before_commit(self, adb):
+        txn = adb.begin(at_time=1)
+        txn.update("STOCK", lambda r: r["name"] == "IBM", lambda r: {"price": 99.0})
+        q = parse_query("RETRIEVE (S.price) FROM STOCK S WHERE S.name = 'IBM'")
+        assert eval_scalar(q, adb.state) == 10.0
+        txn.commit(2)
+        assert eval_scalar(q, adb.state) == 99.0
+
+    def test_abort_discards_changes(self, adb):
+        txn = adb.begin(at_time=1)
+        txn.update("STOCK", lambda r: r["name"] == "IBM", lambda r: {"price": 99.0})
+        txn.abort(at_time=2)
+        q = parse_query("RETRIEVE (S.price) FROM STOCK S WHERE S.name = 'IBM'")
+        assert eval_scalar(q, adb.state) == 10.0
+        assert TRANSACTION_ABORT in adb.history[-1].event_names()
+
+    def test_operations_after_commit_rejected(self, adb):
+        txn = adb.begin(at_time=1)
+        txn.commit(2)
+        with pytest.raises(TransactionStateError):
+            txn.insert("STOCK", ("A", 1.0))
+        with pytest.raises(TransactionStateError):
+            txn.commit(3)
+
+    def test_insert_and_delete(self, adb):
+        txn = adb.begin(at_time=1)
+        txn.insert("STOCK", ("NEW", 5.0))
+        txn.commit(2)
+        assert len(adb.state.relation("STOCK")) == 2
+        txn = adb.begin(at_time=3)
+        txn.delete("STOCK", lambda r: r["name"] == "NEW")
+        txn.commit(4)
+        assert len(adb.state.relation("STOCK")) == 1
+
+    def test_execute_helper(self, adb):
+        adb.execute(lambda t: t.insert("STOCK", ("Z", 1.0)), at_time=1, commit_time=2)
+        assert len(adb.state.relation("STOCK")) == 2
+
+    def test_set_item(self, adb):
+        adb.declare_item("DOW", 10000.0)
+        txn = adb.begin(at_time=1)
+        txn.set_item("DOW", 9750.0)
+        txn.commit(2)
+        assert adb.state.item("DOW") == 9750.0
+
+    def test_commit_validator_aborts(self, adb):
+        adb.add_commit_validator(
+            lambda state, txn: ["price must stay below 50"]
+            if any(r["price"] >= 50 for r in state.relation("STOCK"))
+            else []
+        )
+        with pytest.raises(TransactionAborted) as exc:
+            set_price(adb, "IBM", 99.0, at_time=1, commit_time=2)
+        assert "below 50" in str(exc.value)
+        # changes rolled back, abort state appended
+        q = parse_query("RETRIEVE (S.price) FROM STOCK S WHERE S.name = 'IBM'")
+        assert eval_scalar(q, adb.state) == 10.0
+        assert TRANSACTION_ABORT in adb.history[-1].event_names()
+        # an allowed update still goes through
+        set_price(adb, "IBM", 20.0, commit_time=None)
+        assert eval_scalar(q, adb.state) == 20.0
+
+
+class TestHistoryConstraints:
+    def test_db_change_without_commit_rejected(self, adb):
+        history = SystemHistory()
+        s0 = adb.state
+        history.append_state(s0, [user_event("a")], 1)
+        s1 = s0.with_updates({"STOCK": s0.relation("STOCK").insert(("B", 2.0))})
+        with pytest.raises(HistoryError):
+            history.append_state(s1, [user_event("b")], 2)
+
+    def test_two_commits_in_one_state_rejected(self, adb):
+        history = SystemHistory()
+        with pytest.raises(HistoryError):
+            history.append_state(
+                adb.state,
+                [Event(TRANSACTION_COMMIT, (1,)), Event(TRANSACTION_COMMIT, (2,))],
+                1,
+            )
+
+    def test_commit_points(self, adb):
+        set_price(adb, "IBM", 20.0, at_time=1, commit_time=2)
+        adb.post_event(user_event("e"), at_time=3)
+        set_price(adb, "IBM", 30.0, at_time=4, commit_time=5)
+        assert adb.history.commit_points() == [0, 2]
+        assert [adb.history[i].timestamp for i in (0, 2)] == [2, 5]
+
+    def test_prefix_and_up_to_time(self, adb):
+        set_price(adb, "IBM", 20.0, at_time=1, commit_time=2)
+        adb.post_event(user_event("e"), at_time=5)
+        assert len(adb.history.prefix(1)) == 1
+        assert len(adb.history.up_to_time(2)) == 1
+        assert adb.history.state_at_time(5).event_names() == {"e"}
+
+    def test_as_of(self, adb):
+        set_price(adb, "IBM", 20.0, at_time=1, commit_time=2)
+        set_price(adb, "IBM", 30.0, at_time=4, commit_time=5)
+        q = parse_query("RETRIEVE (S.price) FROM STOCK S WHERE S.name = 'IBM'")
+        assert eval_scalar(q, adb.as_of(3)) == 20.0
+        assert eval_scalar(q, adb.as_of(5)) == 30.0
+        assert eval_scalar(q, adb.as_of(99)) == 30.0
+        assert adb.as_of(1) is None  # before the first state
+
+    def test_as_of_requires_history(self):
+        adb = ActiveDatabase(keep_history=False)
+        with pytest.raises(HistoryError):
+            adb.as_of(1)
+
+    def test_keep_history_false(self):
+        adb = ActiveDatabase(keep_history=False)
+        adb.create_relation("R", Schema.of(x=FLOAT))
+        adb.post_event(user_event("e"), at_time=1)
+        assert adb.history is None
+        assert adb.last_state.timestamp == 1
+        assert adb.state_count == 1
+
+
+class TestCatalog:
+    def test_duplicate_relation_rejected(self, adb):
+        with pytest.raises(DuplicateRelationError):
+            adb.create_relation("STOCK", Schema.of(x=FLOAT))
+
+    def test_duplicate_item_rejected(self, adb):
+        adb.declare_item("X", 1)
+        with pytest.raises(DuplicateRelationError):
+            adb.declare_item("X", 2)
+
+    def test_indexed_item_roundtrip(self, adb):
+        adb.declare_indexed_item("CUM", default=0)
+        txn = adb.begin(at_time=1)
+        txn.set_indexed_item("CUM", ("IBM",), 42)
+        txn.commit(2)
+        assert adb.state.item("CUM", ("IBM",)) == 42
+        assert adb.state.item("CUM", ("ZZZ",)) == 0

@@ -1,0 +1,82 @@
+"""Remaining engine/history edge cases."""
+
+import pytest
+
+from repro.datamodel import FLOAT, STRING, Schema
+from repro.engine import ActiveDatabase
+from repro.errors import TransactionStateError
+from repro.events import user_event
+from repro.history import SystemHistory
+from repro.storage.transactions import TxnStatus
+
+
+@pytest.fixture
+def adb():
+    adb = ActiveDatabase()
+    adb.create_relation("R", Schema.of(name=STRING, x=FLOAT), [("a", 1.0)])
+    return adb
+
+
+class TestExecuteHelper:
+    def test_exception_aborts_transaction(self, adb):
+        with pytest.raises(RuntimeError):
+            adb.execute(lambda txn: (_ for _ in ()).throw(RuntimeError("boom")))
+        # no residue: the relation is unchanged and no txn is active
+        assert len(adb.state.relation("R")) == 1
+        assert not adb.txns.active
+
+    def test_explicit_abort_inside_body_is_respected(self, adb):
+        def work(txn):
+            txn.insert("R", ("b", 2.0))
+            txn.abort(reason="changed my mind")
+            raise RuntimeError("stop")
+
+        with pytest.raises(RuntimeError):
+            adb.execute(work)
+        assert len(adb.state.relation("R")) == 1
+
+    def test_returns_committed_transaction(self, adb):
+        txn = adb.execute(lambda t: t.insert("R", ("b", 2.0)))
+        assert txn.status is TxnStatus.COMMITTED
+
+
+class TestHistorySlicing:
+    def test_slice_returns_history(self, adb):
+        for t in range(1, 6):
+            adb.post_event(user_event("e"), at_time=t)
+        sliced = adb.history[1:4]
+        assert isinstance(sliced, SystemHistory)
+        assert [s.timestamp for s in sliced] == [2, 3, 4]
+
+    def test_negative_index(self, adb):
+        adb.post_event(user_event("e"), at_time=1)
+        adb.post_event(user_event("f"), at_time=2)
+        assert adb.history[-1].event_names() == {"f"}
+
+    def test_last_property(self, adb):
+        assert adb.history.last is None
+        adb.post_event(user_event("e"), at_time=1)
+        assert adb.history.last.timestamp == 1
+
+
+class TestTransactionEdges:
+    def test_double_abort_rejected(self, adb):
+        txn = adb.begin()
+        txn.abort()
+        with pytest.raises(TransactionStateError):
+            txn.abort()
+
+    def test_post_event_after_commit_rejected(self, adb):
+        txn = adb.begin()
+        txn.commit()
+        with pytest.raises(TransactionStateError):
+            txn.post_event(user_event("late"))
+
+    def test_write_set_applied_in_order(self, adb):
+        txn = adb.begin()
+        txn.insert("R", ("b", 2.0))
+        txn.delete("R", lambda r: r["name"] == "b")
+        txn.insert("R", ("c", 3.0))
+        txn.commit()
+        names = {r["name"] for r in adb.state.relation("R")}
+        assert names == {"a", "c"}

@@ -1,0 +1,80 @@
+"""Tests for the proof-tree explainer."""
+
+import pytest
+
+from repro.events.model import user_event
+from repro.ptl import parse_formula, satisfies
+from repro.ptl.explain import explain, render
+
+from tests.helpers import event_history, stock_history, stock_registry
+
+
+class TestExplain:
+    def test_sharp_increase_witness(self):
+        from repro.workloads import PAPER_TRACE_FIRING, SHARP_INCREASE
+
+        registry = stock_registry()
+        f = parse_formula(SHARP_INCREASE, registry)
+        h = stock_history(PAPER_TRACE_FIRING)
+        exp = explain(h.states, 3, f)
+        assert exp.holds
+        text = render(exp)
+        # the witness is the first state (price 10, time 1)
+        assert "witness at position 0 (t=1)" in text
+        assert "x := 25.0" in text
+        assert "✓" in text and "✗" not in text
+
+    def test_negative_explanation_shows_breaker(self):
+        f = parse_formula("!@logout since @login")
+        h = event_history(
+            [
+                ([user_event("login")], 1),
+                ([user_event("logout")], 3),
+                ([user_event("tick")], 4),
+            ]
+        )
+        exp = explain(h.states, 2, f)
+        assert not exp.holds
+        text = render(exp)
+        assert "left side fails at position 1" in text
+
+    def test_never_held(self):
+        f = parse_formula("previously @boom")
+        h = event_history([([user_event("x")], 1)])
+        exp = explain(h.states, 0, f)
+        assert not exp.holds
+        assert "right side never held" in render(exp)
+
+    def test_comparison_detail_shows_values(self):
+        registry = stock_registry()
+        f = parse_formula("price(IBM) > 12", registry)
+        h = stock_history([(10, 1)])
+        exp = explain(h.states, 0, f)
+        assert not exp.holds
+        assert "[10.0 > 12]" in render(exp)
+
+    def test_agrees_with_satisfies(self):
+        from repro.workloads.generator import random_pair
+
+        for seed in range(40):
+            formula, history = random_pair(seed, length=8, max_depth=3)
+            from repro.ptl import free_variables
+
+            if free_variables(formula):
+                continue  # explain handles ground formulas
+            for i in range(len(history)):
+                exp = explain(history.states, i, formula)
+                assert exp.holds == satisfies(history.states, i, formula)
+
+    def test_lasttime_at_first_state(self):
+        f = parse_formula("lasttime @e")
+        h = event_history([([user_event("e")], 1)])
+        exp = explain(h.states, 0, f)
+        assert not exp.holds
+        assert "no previous state" in render(exp)
+
+    def test_binding_env_passthrough(self):
+        f = parse_formula("previously @login(u)")
+        h = event_history([([user_event("login", "ann")], 1)])
+        exp = explain(h.states, 0, f, env={"u": "ann"})
+        assert exp.holds

@@ -1,0 +1,78 @@
+"""Tests for the TemporalDatabase facade."""
+
+import pytest
+
+from repro import TemporalDatabase
+from repro.datamodel import FLOAT, STRING, Schema
+from repro.errors import TransactionAborted
+from repro.events import user_event
+from repro.rules import FireMode, RecordingAction
+
+
+@pytest.fixture
+def tdb():
+    tdb = TemporalDatabase()
+    tdb.create_relation("STOCK", Schema.of(name=STRING, price=FLOAT), [("IBM", 10.0)])
+    tdb.define_query(
+        "price", ["n"], "RETRIEVE (S.price) FROM STOCK S WHERE S.name = $n"
+    )
+    return tdb
+
+
+def test_transaction_context_commits(tdb):
+    with tdb.transaction(commit_time=5) as txn:
+        txn.update("STOCK", lambda r: r["name"] == "IBM", lambda r: {"price": 20.0})
+    assert tdb.scalar("RETRIEVE (S.price) FROM STOCK S WHERE S.name = 'IBM'") == 20.0
+    assert tdb.now == 5
+
+
+def test_transaction_context_aborts_on_exception(tdb):
+    with pytest.raises(RuntimeError):
+        with tdb.transaction() as txn:
+            txn.update("STOCK", lambda r: r["name"] == "IBM", lambda r: {"price": 99.0})
+            raise RuntimeError("boom")
+    assert tdb.scalar("RETRIEVE (S.price) FROM STOCK S WHERE S.name = 'IBM'") == 10.0
+
+
+def test_on_and_firings(tdb):
+    action = RecordingAction()
+    tdb.on("high", "price(IBM) > 50", action, fire_mode=FireMode.RISING_EDGE)
+    with tdb.transaction(commit_time=3) as txn:
+        txn.update("STOCK", lambda r: r["name"] == "IBM", lambda r: {"price": 60.0})
+    assert len(action.calls) == 1
+    assert [f.rule for f in tdb.firings] == ["high"]
+
+
+def test_constrain(tdb):
+    tdb.constrain("cap", "price(IBM) <= 100")
+    with pytest.raises(TransactionAborted):
+        with tdb.transaction() as txn:
+            txn.update(
+                "STOCK", lambda r: r["name"] == "IBM", lambda r: {"price": 500.0}
+            )
+    assert tdb.scalar("RETRIEVE (S.price) FROM STOCK S WHERE S.name = 'IBM'") == 10.0
+
+
+def test_events_and_query(tdb):
+    seen = RecordingAction()
+    tdb.on("login", "@user_login(u)", seen, params=("u",))
+    tdb.post_event(user_event("user_login", "ann"), at_time=7)
+    assert seen.calls == [({"u": "ann"}, 7)]
+    rel = tdb.query("RETRIEVE (S.name) FROM STOCK S")
+    assert len(rel) == 1
+
+
+def test_history_accessible(tdb):
+    tdb.tick(at_time=4)
+    assert len(tdb.history) == 1
+
+
+def test_obligation(tdb):
+    violated = RecordingAction()
+    tdb.obligation(
+        "sla", "eventually[3] @ack", on_violated=violated
+    )
+    for t in range(1, 8):
+        tdb.tick(at_time=t)
+    assert [t for _, t in violated.calls] == [5]
+    assert tdb.rules.monitor_resolutions("sla") == [("violated", 5)]

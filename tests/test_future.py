@@ -1,0 +1,263 @@
+"""Tests for the future-operator extension (the paper's future work):
+Until/Next/Eventually/Always monitors by formula progression, composed
+with embedded past-PTL atoms."""
+
+import pytest
+
+from repro.errors import UnsafeFormulaError
+from repro.events.model import user_event
+from repro.ptl import parse_formula
+from repro.ptl.future import (
+    Always,
+    Atom,
+    Eventually,
+    FutureMonitor,
+    Next,
+    Until,
+    Verdict,
+    fand,
+    fnot,
+    for_,
+)
+
+from tests.helpers import event_history
+
+
+def atom(text):
+    return Atom(parse_formula(text))
+
+
+def run(monitor, history):
+    return [monitor.step(s) for s in history]
+
+
+def events(*names_times):
+    return event_history([([user_event(n)], t) for n, t in names_times])
+
+
+class TestProgression:
+    def test_eventually_satisfied(self):
+        m = FutureMonitor(Eventually(atom("@goal")))
+        h = events(("x", 1), ("x", 2), ("goal", 3))
+        verdicts = run(m, h)
+        assert verdicts == [Verdict.PENDING, Verdict.PENDING, Verdict.SATISFIED]
+
+    def test_eventually_stays_pending(self):
+        m = FutureMonitor(Eventually(atom("@goal")))
+        h = events(("x", 1), ("x", 2))
+        assert run(m, h)[-1] is Verdict.PENDING
+
+    def test_always_violated(self):
+        m = FutureMonitor(Always(fnot(atom("@bad"))))
+        h = events(("x", 1), ("bad", 2), ("x", 3))
+        verdicts = run(m, h)
+        assert verdicts == [Verdict.PENDING, Verdict.VIOLATED, Verdict.VIOLATED]
+
+    def test_next(self):
+        m = FutureMonitor(Next(atom("@e")))
+        h = events(("x", 1), ("e", 2))
+        assert run(m, h) == [Verdict.PENDING, Verdict.SATISFIED]
+
+    def test_next_violated(self):
+        m = FutureMonitor(Next(atom("@e")))
+        h = events(("x", 1), ("x", 2))
+        assert run(m, h) == [Verdict.PENDING, Verdict.VIOLATED]
+
+    def test_until(self):
+        m = FutureMonitor(Until(atom("@hold"), atom("@done")))
+        h = events(("hold", 1), ("hold", 2), ("done", 3))
+        assert run(m, h) == [
+            Verdict.PENDING,
+            Verdict.PENDING,
+            Verdict.SATISFIED,
+        ]
+
+    def test_until_violated_when_lhs_breaks(self):
+        m = FutureMonitor(Until(atom("@hold"), atom("@done")))
+        h = events(("hold", 1), ("oops", 2), ("done", 3))
+        assert run(m, h)[1] is Verdict.VIOLATED
+
+    def test_verdict_is_final(self):
+        m = FutureMonitor(Eventually(atom("@goal")))
+        h = events(("goal", 1), ("x", 2))
+        assert run(m, h) == [Verdict.SATISFIED, Verdict.SATISFIED]
+
+
+class TestBoundedWindows:
+    def test_bounded_eventually_meets_deadline(self):
+        m = FutureMonitor(Eventually(atom("@goal"), window=10))
+        h = events(("x", 1), ("x", 6), ("goal", 11))  # 11 <= 1 + 10
+        assert run(m, h)[-1] is Verdict.SATISFIED
+
+    def test_bounded_eventually_misses_deadline(self):
+        m = FutureMonitor(Eventually(atom("@goal"), window=10))
+        h = events(("x", 1), ("x", 6), ("goal", 12))  # 12 > 11
+        assert run(m, h)[-1] is Verdict.VIOLATED
+
+    def test_bounded_always_discharges(self):
+        m = FutureMonitor(Always(fnot(atom("@bad")), window=5))
+        h = events(("x", 1), ("x", 4), ("bad", 10))  # bad after the window
+        assert run(m, h)[-1] is Verdict.SATISFIED
+
+    def test_bounded_always_violated_inside_window(self):
+        m = FutureMonitor(Always(fnot(atom("@bad")), window=5))
+        h = events(("x", 1), ("bad", 4), ("x", 10))
+        assert run(m, h)[1] is Verdict.VIOLATED
+
+    def test_response_pattern(self):
+        """always (request -> eventually[5] ack): unbounded obligation with
+        a bounded response deadline."""
+        m = FutureMonitor(
+            Always(for_([fnot(atom("@req")), Eventually(atom("@ack"), 5)]))
+        )
+        h = events(("x", 1), ("req", 3), ("ack", 6), ("req", 10), ("x", 16))
+        verdicts = run(m, h)
+        # ack at 6 answers req at 3; req at 10 unanswered by 16 (> 15)
+        assert verdicts[2] is Verdict.PENDING
+        assert verdicts[4] is Verdict.VIOLATED
+
+
+class TestPastEmbedding:
+    def test_past_atom_inside_future(self):
+        """eventually (previously @a & @b): a past condition as atom."""
+        m = FutureMonitor(Eventually(atom("previously @a & @b")))
+        h = events(("b", 1), ("a", 2), ("x", 3), ("b", 4))
+        verdicts = run(m, h)
+        assert verdicts == [
+            Verdict.PENDING,
+            Verdict.PENDING,
+            Verdict.PENDING,
+            Verdict.SATISFIED,
+        ]
+
+    def test_nonground_atom_rejected(self):
+        with pytest.raises(UnsafeFormulaError):
+            FutureMonitor(Eventually(atom("previously @login(u)")))
+
+    def test_paper_footnote_periodic_action_spec(self):
+        """Footnote 3: 'this temporal action can be specified in future
+        temporal logic' — the buy-every-10-for-60 pattern as a monitor
+        verdict: within the hour, every on-beat state saw a buy."""
+        m = FutureMonitor(
+            Always(
+                for_(
+                    [
+                        fnot(atom("(time - 100) mod 10 = 0 & time <= 160")),
+                        atom("@buy"),
+                    ]
+                ),
+                window=60,
+            )
+        )
+        h = event_history(
+            [([user_event("buy" if t % 10 == 0 else "tick")], t) for t in range(100, 165)]
+        )
+        verdicts = run(m, h)
+        assert verdicts[-1] is Verdict.SATISFIED
+
+    def test_state_size_stays_bounded(self):
+        m = FutureMonitor(
+            Always(for_([fnot(atom("@req")), Eventually(atom("@ack"), 5)]))
+        )
+        h = event_history(
+            [([user_event("req" if t % 4 == 0 else "ack")], t) for t in range(1, 200)]
+        )
+        sizes = []
+        for s in h:
+            if m.step(s) is not Verdict.PENDING:
+                break
+            sizes.append(m.state_size())
+        assert sizes and max(sizes) < 60
+
+
+class TestFiniteTraceReference:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    def test_finite_semantics_basics(self):
+        from repro.ptl.future import satisfies_finite
+
+        h = events(("a", 1), ("b", 3), ("a", 5))
+        assert satisfies_finite(h.states, 0, Eventually(atom("@b")))
+        assert not satisfies_finite(h.states, 2, Eventually(atom("@b")))
+        assert satisfies_finite(h.states, 1, Next(atom("@a")))
+        assert not satisfies_finite(h.states, 2, Next(atom("@a")))
+        assert satisfies_finite(
+            h.states, 0, Until(atom("@a"), atom("@b"))
+        )
+        # bounded: b at t=3 is outside a window of 1 from t=1
+        assert not satisfies_finite(
+            h.states, 0, Eventually(atom("@b"), window=1)
+        )
+        assert satisfies_finite(
+            h.states, 0, Eventually(atom("@b"), window=2)
+        )
+
+    @settings(
+        max_examples=150,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 20_000))
+    def test_resolved_verdicts_match_reference(self, seed):
+        """Monitor soundness: a SATISFIED/VIOLATED verdict after consuming
+        a trace agrees with the finite-trace reference semantics at
+        position 0 (PENDING makes no claim)."""
+        import random as _random
+
+        from repro.ptl.future import satisfies_finite
+        from repro.workloads.generator import (
+            random_future_formula,
+            random_history,
+        )
+
+        formula = random_future_formula(seed)
+        history = random_history(_random.Random(seed), 10)
+        monitor = FutureMonitor(formula)
+        verdict = Verdict.PENDING
+        for state in history:
+            verdict = monitor.step(state)
+        if verdict is Verdict.PENDING:
+            return
+        expected = satisfies_finite(history.states, 0, formula)
+        assert (verdict is Verdict.SATISFIED) == expected, (
+            f"monitor={verdict.value} reference={expected}\n{formula}"
+        )
+
+    @settings(
+        max_examples=80,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 20_000))
+    def test_verdicts_are_final(self, seed):
+        import random as _random
+
+        from repro.workloads.generator import (
+            random_future_formula,
+            random_history,
+        )
+
+        formula = random_future_formula(seed)
+        history = random_history(_random.Random(seed), 10)
+        monitor = FutureMonitor(formula)
+        resolved = None
+        for state in history:
+            verdict = monitor.step(state)
+            if resolved is not None:
+                assert verdict is resolved
+            elif verdict is not Verdict.PENDING:
+                resolved = verdict
+
+
+class TestSmartConstructors:
+    def test_fand_for_simplify(self):
+        from repro.ptl.future import FFALSE, FTRUE
+
+        a = atom("@a")
+        assert fand([FTRUE, a]) == a
+        assert fand([FFALSE, a]) is FFALSE
+        assert for_([FFALSE, a]) == a
+        assert for_([FTRUE, a]) is FTRUE
+        assert fnot(fnot(a)) == a
+        assert fand([a, a]) == a

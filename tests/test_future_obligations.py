@@ -1,0 +1,93 @@
+"""Future-obligation monitors attached to the rule manager."""
+
+import pytest
+
+from repro.errors import DuplicateRuleError, UnknownRuleError
+from repro.events import user_event
+from repro.rules import RecordingAction, RuleManager
+from repro.workloads import apply_tick, make_stock_db
+
+
+@pytest.fixture
+def setup():
+    adb = make_stock_db([("IBM", 40.0)])
+    return adb, RuleManager(adb)
+
+
+class TestObligations:
+    def test_violation_callback_runs(self, setup):
+        adb, manager = setup
+        violated = RecordingAction()
+        manager.add_future_monitor(
+            "ack_sla",
+            "always (!@req | eventually[5] @ack)",
+            on_violated=violated,
+        )
+        adb.post_event(user_event("req"), at_time=10)
+        for t in range(11, 20):
+            adb.tick(at_time=t)
+        assert len(violated.calls) == 1
+        assert violated.calls[0][1] == 16  # first state past 10 + 5
+        assert manager.monitor_resolutions("ack_sla") == [("violated", 16)]
+
+    def test_satisfaction_callback_runs(self, setup):
+        adb, manager = setup
+        done = RecordingAction()
+        manager.add_future_monitor(
+            "rebound",
+            "eventually price(IBM) > 50",
+            on_satisfied=done,
+        )
+        apply_tick(adb, "IBM", 45.0, at_time=1)
+        apply_tick(adb, "IBM", 55.0, at_time=2)
+        assert [t for _, t in done.calls] == [2]
+
+    def test_respawn_catches_repeat_violations(self, setup):
+        adb, manager = setup
+        violated = RecordingAction()
+        manager.add_future_monitor(
+            "sla",
+            "eventually[3] @ack",
+            on_violated=violated,
+            respawn=True,
+        )
+        for t in range(1, 12):
+            adb.tick(at_time=t)
+        # anchored at t=1, violated at t=5; respawned anchored at 6,
+        # violated at 10; respawned anchored at 11 (pending)
+        assert [t for _, t in violated.calls] == [5, 10]
+
+    def test_no_respawn_resolves_once(self, setup):
+        adb, manager = setup
+        violated = RecordingAction()
+        manager.add_future_monitor(
+            "sla", "eventually[3] @ack", on_violated=violated
+        )
+        for t in range(1, 12):
+            adb.tick(at_time=t)
+        assert len(violated.calls) == 1
+
+    def test_duplicate_and_removal(self, setup):
+        adb, manager = setup
+        manager.add_future_monitor("m", "eventually @e")
+        with pytest.raises(DuplicateRuleError):
+            manager.add_future_monitor("m", "eventually @e")
+        with pytest.raises(DuplicateRuleError):
+            manager.add_trigger("m", "@e", RecordingAction())
+        assert "m" in manager.rule_names()
+        manager.remove_rule("m")
+        with pytest.raises(UnknownRuleError):
+            manager.monitor_resolutions("m")
+
+    def test_monitor_sees_query_atoms(self, setup):
+        adb, manager = setup
+        resolved = RecordingAction()
+        manager.add_future_monitor(
+            "cheap_until_spike",
+            "price(IBM) < 60 until price(IBM) > 100",
+            on_satisfied=resolved,
+        )
+        apply_tick(adb, "IBM", 50.0, at_time=1)
+        apply_tick(adb, "IBM", 55.0, at_time=2)
+        apply_tick(adb, "IBM", 120.0, at_time=3)
+        assert [t for _, t in resolved.calls] == [3]

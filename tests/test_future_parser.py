@@ -1,0 +1,119 @@
+"""Tests for the future-language parser."""
+
+import pytest
+
+from repro.errors import PTLParseError, UnsafeFormulaError
+from repro.events.model import user_event
+from repro.ptl import future as fut
+from repro.ptl.future import FutureMonitor, Verdict
+from repro.ptl.future_parser import parse_future_formula
+
+from tests.helpers import event_history, stock_history, stock_registry
+
+
+class TestParsing:
+    def test_eventually_with_window(self):
+        f = parse_future_formula("eventually[5] @ack")
+        assert isinstance(f, fut.Eventually) and f.window == 5
+        assert isinstance(f.operand, fut.Atom)
+
+    def test_always_response_pattern(self):
+        f = parse_future_formula("always (!@req | eventually[5] @ack)")
+        assert isinstance(f, fut.Always) and f.window is None
+        inner = f.operand
+        assert isinstance(inner, fut.FOr)
+
+    def test_until(self):
+        f = parse_future_formula("@hold until @done")
+        assert isinstance(f, fut.Until)
+
+    def test_next(self):
+        f = parse_future_formula("next next @e")
+        assert isinstance(f, fut.Next)
+        assert isinstance(f.operand, fut.Next)
+
+    def test_past_embedding(self):
+        # the conjunction lifts to the future level; each conjunct is a
+        # past atom — equivalent to one past atom anchored at the same
+        # state
+        f = parse_future_formula("eventually (previously @a & @b)")
+        assert isinstance(f, fut.Eventually)
+        assert isinstance(f.operand, fut.FAnd)
+        assert all(isinstance(c, fut.Atom) for c in f.operand.operands)
+
+    def test_past_embedding_behaves_like_past_atom(self):
+        text = "eventually (previously @a & @b)"
+        monitor = FutureMonitor(parse_future_formula(text))
+        h = event_history(
+            [
+                ([user_event("b")], 1),
+                ([user_event("a")], 2),
+                ([user_event("b")], 4),
+            ]
+        )
+        verdicts = [monitor.step(s) for s in h]
+        assert verdicts == [
+            Verdict.PENDING,
+            Verdict.PENDING,
+            Verdict.SATISFIED,
+        ]
+
+    def test_registered_queries_in_atoms(self):
+        f = parse_future_formula(
+            "@armed until price(IBM) > 50", stock_registry()
+        )
+        assert isinstance(f, fut.Until)
+
+    def test_true_false(self):
+        assert parse_future_formula("true") is fut.FTRUE
+        assert parse_future_formula("false") is fut.FFALSE
+
+    def test_nonground_atom_rejected(self):
+        with pytest.raises(UnsafeFormulaError):
+            parse_future_formula("eventually @login(u)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(PTLParseError):
+            parse_future_formula("eventually @a )")
+
+    def test_window_needs_number(self):
+        with pytest.raises(PTLParseError):
+            parse_future_formula("eventually[x] @a")
+
+
+class TestParsedMonitors:
+    def test_parsed_response_property_runs(self):
+        monitor = FutureMonitor(
+            parse_future_formula("always (!@req | eventually[5] @ack)")
+        )
+        h = event_history(
+            [
+                ([user_event("req")], 1),
+                ([user_event("ack")], 4),
+                ([user_event("req")], 10),
+                ([user_event("tick")], 17),
+            ]
+        )
+        verdicts = [monitor.step(s) for s in h]
+        assert verdicts[-1] is Verdict.VIOLATED  # req@10 unanswered by 15
+
+    def test_parsed_until_with_query_atom(self):
+        monitor = FutureMonitor(
+            parse_future_formula(
+                "@armed until price(IBM) > 50", stock_registry()
+            )
+        )
+        h = stock_history(
+            [(40, 1), (45, 2), (60, 3)],
+            extra_events=[
+                [user_event("armed")],
+                [user_event("armed")],
+                [],
+            ],
+        )
+        verdicts = [monitor.step(s) for s in h]
+        assert verdicts == [
+            Verdict.PENDING,
+            Verdict.PENDING,
+            Verdict.SATISFIED,
+        ]

@@ -1,0 +1,115 @@
+"""Tests for hash indexes and the evaluator's indexed fast path."""
+
+import pytest
+
+from repro.datamodel import FLOAT, STRING, Relation, Schema
+from repro.errors import UnknownAttributeError
+from repro.query import eval_query, eval_scalar, parse_query
+from repro.storage.index import HashIndex, index_for
+from repro.storage.snapshot import DatabaseState
+
+
+@pytest.fixture
+def stock():
+    return Relation.from_values(
+        Schema.of(name=STRING, price=FLOAT, cat=STRING),
+        [
+            ("IBM", 72.0, "tech"),
+            ("XYZ", 310.0, "tech"),
+            ("OIL", 305.0, "energy"),
+        ],
+    )
+
+
+class TestHashIndex:
+    def test_lookup(self, stock):
+        idx = HashIndex(stock, ["name"])
+        (row,) = idx.lookup("IBM")
+        assert row["price"] == 72.0
+        assert idx.lookup("NOPE") == ()
+
+    def test_multi_attribute(self, stock):
+        idx = HashIndex(stock, ["cat", "name"])
+        (row,) = idx.lookup("tech", "XYZ")
+        assert row["price"] == 310.0
+
+    def test_non_unique_keys(self, stock):
+        idx = HashIndex(stock, ["cat"])
+        assert len(idx.lookup("tech")) == 2
+        assert len(idx) == 2  # two distinct categories
+
+    def test_unknown_attribute(self, stock):
+        with pytest.raises(UnknownAttributeError):
+            HashIndex(stock, ["nope"])
+
+    def test_wrong_arity_lookup(self, stock):
+        idx = HashIndex(stock, ["cat", "name"])
+        with pytest.raises(UnknownAttributeError):
+            idx.lookup("tech")
+
+    def test_cache_reuses_index(self, stock):
+        a = index_for(stock, ["name"])
+        b = index_for(stock, ["name"])
+        assert a is b
+        c = index_for(stock, ["cat"])
+        assert c is not a
+
+    def test_cache_is_per_version(self, stock):
+        grown = stock.insert(("NEW", 5.0, "tech"))
+        a = index_for(stock, ["name"])
+        b = index_for(grown, ["name"])
+        assert a is not b
+        assert b.lookup("NEW")
+
+
+class TestIndexedEvaluation:
+    def test_equality_fast_path_matches_scan(self, stock):
+        state = DatabaseState({"STOCK": stock})
+        q_eq = parse_query(
+            "RETRIEVE (S.price) FROM STOCK S WHERE S.name = 'IBM'"
+        )
+        q_scan = parse_query(
+            "RETRIEVE (S.price) FROM STOCK S WHERE S.name != 'XYZ' AND S.price < 100"
+        )
+        assert eval_scalar(q_eq, state) == 72.0
+        assert eval_scalar(q_scan, state) == 72.0
+
+    def test_conjunct_with_extra_predicate(self, stock):
+        state = DatabaseState({"STOCK": stock})
+        q = parse_query(
+            "RETRIEVE (S.name) FROM STOCK S "
+            "WHERE S.cat = 'tech' AND S.price > 100"
+        )
+        result = eval_query(q, state)
+        assert {r["name"] for r in result} == {"XYZ"}
+
+    def test_param_probe(self, stock):
+        state = DatabaseState({"STOCK": stock})
+        q = parse_query("RETRIEVE (S.price) FROM STOCK S WHERE S.name = $n")
+        assert eval_scalar(q, state, {"n": "OIL"}) == 305.0
+
+    def test_indexed_path_is_faster_on_large_relation(self):
+        import time
+
+        schema = Schema.of(name=STRING, price=FLOAT)
+        big = Relation.from_values(
+            schema, [(f"s{i}", float(i)) for i in range(5000)]
+        )
+        state = DatabaseState({"STOCK": big})
+        q = parse_query(
+            "RETRIEVE (S.price) FROM STOCK S WHERE S.name = 's4999'"
+        )
+        eval_scalar(q, state)  # warm the index
+        start = time.perf_counter()
+        for _ in range(50):
+            eval_scalar(q, state)
+        indexed = time.perf_counter() - start
+
+        q_scan = parse_query(
+            "RETRIEVE (S.price) FROM STOCK S WHERE S.name != 'zz' AND S.price > 4998"
+        )
+        start = time.perf_counter()
+        for _ in range(50):
+            eval_scalar(q_scan, state)
+        scanned = time.perf_counter() - start
+        assert indexed * 5 < scanned

@@ -1,0 +1,118 @@
+"""End-to-end integration: a seeded stock-exchange session exercising
+every subsystem at once — engine, rules (triggers + ICs + composite
+actions + aggregates), the executed store, and history bookkeeping —
+with exact, deterministic expectations."""
+
+import pytest
+
+from repro.errors import TransactionAborted
+from repro.events import user_event
+from repro.rules import (
+    CouplingMode,
+    FireMode,
+    RecordingAction,
+    RuleManager,
+    add_periodic,
+)
+from repro.workloads import apply_tick, make_stock_db
+
+
+@pytest.fixture
+def exchange():
+    adb = make_stock_db([("IBM", 50.0), ("XYZ", 20.0)])
+    manager = RuleManager(adb, executed_retention=500)
+    return adb, manager
+
+
+def test_full_session(exchange):
+    adb, manager = exchange
+
+    alerts = RecordingAction()
+    audit = RecordingAction()
+    deferred = RecordingAction()
+    buys: list[int] = []
+
+    # trigger: any stock doubled within 10 units (free variable + domain)
+    manager.add_trigger(
+        "doubled",
+        "[t := time] [x := price($s)] "
+        "previously (price($s) <= 0.5 * x & time >= t - 10)",
+        alerts,
+        params=("s",),
+        domains={"s": "RETRIEVE (S.name) FROM STOCK S"},
+    )
+    # trigger: session average of IBM exceeds 55 (temporal aggregate)
+    manager.add_trigger(
+        "hot_average",
+        "avg(price(IBM); @session_open; @update_stocks) > 55",
+        audit,
+        fire_mode=FireMode.RISING_EDGE,
+    )
+    # deferred (T-C-A) bookkeeping for every commit
+    manager.add_trigger(
+        "bookkeeping",
+        "@transaction_commit(tid)",
+        deferred,
+        params=("tid",),
+        coupling=CouplingMode.T_C_A,
+    )
+    # temporal action: while IBM is cheap, buy every 5 for 15
+    add_periodic(
+        manager,
+        "cheap_buy",
+        "price(IBM) < 40",
+        lambda ctx: buys.append(ctx.state.timestamp),
+        period=5,
+        horizon=15,
+    )
+    # integrity constraint: XYZ may never exceed 100
+    manager.add_integrity_constraint("xyz_cap", "price(XYZ) <= 100")
+
+    # ---- the session ------------------------------------------------------
+    adb.post_event(user_event("session_open"), at_time=1)
+    apply_tick(adb, "IBM", 52.0, at_time=2)
+    apply_tick(adb, "XYZ", 45.0, at_time=4)     # XYZ doubled (20 -> 45)
+    apply_tick(adb, "IBM", 70.0, at_time=6)     # avg(52,70)=61 -> audit
+    apply_tick(adb, "IBM", 35.0, at_time=10)    # cheap: arms periodic buy
+    for t in range(11, 30):
+        adb.tick(at_time=t)
+    with pytest.raises(TransactionAborted):
+        apply_tick(adb, "XYZ", 150.0, at_time=31)
+    apply_tick(adb, "XYZ", 90.0, at_time=33)
+
+    # ---- expectations ------------------------------------------------------
+    doubled = [(f.timestamp, f.binding_dict["s"]) for f in manager.firings_of("doubled")]
+    assert (4, "XYZ") in doubled
+    assert all(s == "XYZ" for _, s in doubled)
+
+    assert [t for _, t in audit.calls] == [6]
+
+    assert buys == [10, 15, 20, 25]
+
+    # deferred actions run only when drained
+    assert deferred.calls == []
+    n = manager.run_pending()
+    assert n >= 5
+    committed_tids = [b["tid"] for b, _ in deferred.calls]
+    assert sorted(committed_tids) == committed_tids
+
+    # the aborted XYZ=150 left no trace
+    from repro.query import eval_scalar, parse_query
+
+    assert (
+        eval_scalar(
+            parse_query("RETRIEVE (S.price) FROM STOCK S WHERE S.name = 'XYZ'"),
+            adb.state,
+        )
+        == 90.0
+    )
+
+    # history bookkeeping: one state per event batch, strictly increasing
+    ts = [s.timestamp for s in adb.history]
+    assert ts == sorted(ts) and len(set(ts)) == len(ts)
+    # abort state recorded for the rejected transaction
+    from repro.events import TRANSACTION_ABORT
+
+    assert any(
+        TRANSACTION_ABORT in s.event_names() for s in adb.history
+    )

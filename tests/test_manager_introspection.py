@@ -1,0 +1,64 @@
+"""Rule-manager introspection and remaining edge cases."""
+
+import pytest
+
+from repro.errors import UnknownRuleError
+from repro.events import user_event
+from repro.rules import RecordingAction, RuleManager
+from repro.workloads import apply_tick, make_stock_db
+
+
+@pytest.fixture
+def setup():
+    adb = make_stock_db([("IBM", 40.0)])
+    return adb, RuleManager(adb)
+
+
+def test_total_state_size_tracks_rules(setup):
+    adb, manager = setup
+    assert manager.total_state_size() == 0
+    manager.add_trigger(
+        "w", "previously price(IBM) > 45", RecordingAction()
+    )
+    apply_tick(adb, "IBM", 50.0, at_time=1)
+    assert manager.total_state_size() >= 1
+
+
+def test_stats_of_unknown_rule(setup):
+    _, manager = setup
+    with pytest.raises(UnknownRuleError):
+        manager.stats_of("ghost")
+    # firings_of filters the log; unknown rules simply have none
+    assert manager.firings_of("ghost") == []
+
+
+def test_rule_names_lists_both_kinds(setup):
+    adb, manager = setup
+    manager.add_trigger("t1", "@ping", RecordingAction())
+    manager.add_integrity_constraint("ic1", "price(IBM) <= 100")
+    assert manager.rule_names() == ["ic1", "t1"]
+
+
+def test_ic_stats_track_evaluations(setup):
+    adb, manager = setup
+    manager.add_integrity_constraint("cap", "price(IBM) <= 100")
+    apply_tick(adb, "IBM", 50.0, at_time=1)
+    apply_tick(adb, "IBM", 60.0, at_time=2)
+    assert manager.stats_of("cap").evaluations == 2
+
+
+def test_states_seen_counter(setup):
+    adb, manager = setup
+    adb.post_event(user_event("a"), at_time=1)
+    adb.post_event(user_event("b"), at_time=2)
+    assert manager.states_seen == 2
+
+
+def test_two_managers_coexist(setup):
+    adb, manager = setup
+    other = RuleManager(adb)
+    a1, a2 = RecordingAction(), RecordingAction()
+    manager.add_trigger("m1", "@ping", a1)
+    other.add_trigger("m2", "@ping", a2)
+    adb.post_event(user_event("ping"))
+    assert len(a1.calls) == len(a2.calls) == 1

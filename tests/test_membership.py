@@ -1,0 +1,94 @@
+"""Membership atoms (the paper's relation atoms, e.g. OVERPRICED(x)):
+reference semantics, incremental evaluation, and answer extraction."""
+
+import pytest
+
+from repro.datamodel import FLOAT, STRING, Relation, Schema
+from repro.events.model import transaction_commit
+from repro.history.history import SystemHistory
+from repro.history.state import SystemState
+from repro.ptl import IncrementalEvaluator, answers, parse_formula, satisfies
+from repro.query.subst import QueryRegistry
+from repro.storage.snapshot import DatabaseState
+
+SCHEMA = Schema.of(name=STRING, price=FLOAT)
+
+
+def registry():
+    reg = QueryRegistry()
+    reg.define_text(
+        "overpriced",
+        (),
+        "RETRIEVE (S.name) FROM STOCK S WHERE S.price >= 300",
+    )
+    return reg
+
+
+def history_from_prices(*price_maps):
+    h = SystemHistory()
+    for i, prices in enumerate(price_maps):
+        rel = Relation.from_values(SCHEMA, sorted(prices.items()))
+        h.append(
+            SystemState(
+                DatabaseState({"STOCK": rel}), [transaction_commit(i + 1)], i + 1
+            )
+        )
+    return h
+
+
+class TestMembership:
+    def test_current_state_membership(self):
+        f = parse_formula("x in overpriced()", registry())
+        h = history_from_prices({"IBM": 100.0, "XYZ": 350.0})
+        assert answers(h.states, 0, f) == [{"x": "XYZ"}]
+
+    def test_incremental_binds_rows(self):
+        f = parse_formula("x in overpriced()", registry())
+        h = history_from_prices(
+            {"IBM": 100.0, "XYZ": 350.0},
+            {"IBM": 320.0, "XYZ": 250.0},
+        )
+        ev = IncrementalEvaluator(f)
+        r0 = ev.step(h[0])
+        r1 = ev.step(h[1])
+        assert r0.bindings == ({"x": "XYZ"},)
+        assert r1.bindings == ({"x": "IBM"},)
+
+    def test_previously_membership_accumulates(self):
+        """'x was overpriced at some point' — bindings accumulate."""
+        f = parse_formula("previously (x in overpriced())", registry())
+        h = history_from_prices(
+            {"IBM": 100.0, "XYZ": 350.0},
+            {"IBM": 320.0, "XYZ": 250.0},
+        )
+        ev = IncrementalEvaluator(f)
+        ev.step(h[0])
+        r1 = ev.step(h[1])
+        names = sorted(b["x"] for b in r1.bindings)
+        assert names == ["IBM", "XYZ"]
+        # agrees with the reference answers
+        ref = sorted(b["x"] for b in answers(h.states, 1, f))
+        assert names == ref
+
+    def test_negated_membership(self):
+        f = parse_formula(
+            "x in overpriced() & !previously[0] false & x != 'XYZ'",
+            registry(),
+        )
+        h = history_from_prices({"IBM": 350.0, "XYZ": 350.0})
+        ev = IncrementalEvaluator(f)
+        result = ev.step(h[0])
+        assert [b["x"] for b in result.bindings] == ["IBM"]
+
+    def test_ground_membership(self):
+        f = parse_formula("'XYZ' in overpriced()", registry())
+        h = history_from_prices({"XYZ": 350.0}, {"XYZ": 100.0})
+        assert satisfies(h.states, 0, f)
+        assert not satisfies(h.states, 1, f)
+
+    def test_membership_against_scalar_query(self):
+        reg = registry()
+        reg.define_text("top_price", (), "MAX(S.price) FROM STOCK S")
+        f = parse_formula("p in top_price()", reg)
+        h = history_from_prices({"IBM": 100.0, "XYZ": 350.0})
+        assert answers(h.states, 0, f) == [{"p": 350.0}]

@@ -1,0 +1,73 @@
+"""Round-trip tests for the JSON database snapshot."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.persist import dump_database, load_database
+from repro.workloads import apply_tick, make_stock_db
+
+
+@pytest.fixture
+def engine(tmp_path):
+    adb = make_stock_db([("IBM", 10.0), ("XYZ", 300.0)])
+    adb.declare_item("DOW", 10_000.0)
+    adb.declare_indexed_item("CUM", default=0)
+    txn = adb.begin()
+    txn.set_indexed_item("CUM", ("IBM",), 42)
+    txn.commit(at_time=5)
+    apply_tick(adb, "IBM", 25.0, at_time=9)
+    return adb
+
+
+def test_round_trip(engine, tmp_path):
+    path = tmp_path / "db.json"
+    dump_database(engine, path)
+    restored = load_database(path)
+
+    assert restored.now == engine.now == 9
+    assert restored.db.state.relation("STOCK") == engine.db.state.relation("STOCK")
+    assert restored.db.state.item("DOW") == 10_000.0
+    assert restored.db.state.item("CUM", ("IBM",)) == 42
+    assert restored.db.state.item("CUM", ("ZZ",)) == 0
+
+
+def test_queries_survive(engine, tmp_path):
+    path = tmp_path / "db.json"
+    dump_database(engine, path)
+    restored = load_database(path)
+    qdef = restored.db.queries.get("price")
+    assert qdef.params == ("name",)
+    from repro.query import eval_scalar
+    from repro.query.ast import Const
+
+    q = qdef.instantiate((Const("IBM"),))
+    assert eval_scalar(q, restored.db.state) == 25.0
+
+
+def test_rules_resume_on_restored_state(engine, tmp_path):
+    """Monitoring resumes against the restored current state."""
+    from repro.rules import RecordingAction, RuleManager
+
+    path = tmp_path / "db.json"
+    dump_database(engine, path)
+    restored = load_database(path)
+    action = RecordingAction()
+    RuleManager(restored).add_trigger("high", "price(IBM) > 50", action)
+    apply_tick(restored, "IBM", 60.0, at_time=20)
+    assert [t for _, t in action.calls] == [20]
+
+
+def test_bad_format_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"format": 99}')
+    with pytest.raises(StorageError):
+        load_database(path)
+
+
+def test_unserializable_value_rejected(tmp_path):
+    from repro.engine import ActiveDatabase
+
+    adb = ActiveDatabase()
+    adb.declare_item("WEIRD", object())
+    with pytest.raises(StorageError):
+        dump_database(adb, tmp_path / "x.json")

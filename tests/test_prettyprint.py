@@ -1,0 +1,69 @@
+"""Pretty-printer round-trip: parse(pretty(f)) == f, property-tested on
+random formulas and checked on the paper's conditions."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PTLError
+from repro.ptl import parse_formula
+from repro.ptl import ast
+from repro.ptl.prettyprint import pretty, pretty_term
+from repro.query import ast as qast
+from repro.workloads.generator import random_formula
+
+SETTINGS = settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestRoundTrip:
+    @SETTINGS
+    @given(seed=st.integers(0, 20_000))
+    def test_random_formulas_round_trip(self, seed):
+        f = random_formula(seed, max_depth=4, allow_aggregates=True)
+        text = pretty(f)
+        g = parse_formula(text)
+        assert g == f, f"round-trip changed the formula:\n{text}\n{f}\n{g}"
+
+    def test_paper_sharp_increase(self):
+        from repro.workloads import SHARP_INCREASE, stock_query_registry
+
+        f = parse_formula(SHARP_INCREASE, stock_query_registry())
+        g = parse_formula(pretty(f))
+        assert g == f
+
+    def test_executed_round_trip(self):
+        f = parse_formula("executed(r1, x, t) & time = t + 10")
+        assert parse_formula(pretty(f)) == f
+
+    def test_membership_round_trip(self):
+        f = ast.InQuery((ast.Var("x"),), qast.ItemRef("NAMES"))
+        assert parse_formula(pretty(f)) == f
+
+    def test_nary_membership_has_no_text(self):
+        f = ast.InQuery((ast.Var("x"), ast.Var("y")), qast.ItemRef("PAIRS"))
+        with pytest.raises(PTLError):
+            pretty(f)
+
+    def test_bounded_windows(self):
+        f = parse_formula("previously[7] @e | throughout_past[3] @f")
+        assert parse_formula(pretty(f)) == f
+
+    def test_aggregate(self):
+        f = parse_formula("sum(CUM; time = 540; @tick) > 3", items={"CUM"})
+        assert parse_formula(pretty(f)) == f
+
+    def test_terms(self):
+        assert pretty_term(ast.ConstT("ann")) == "'ann'"
+        assert pretty_term(ast.FuncT("neg", (ast.Var("x"),))) == "(-x)"
+        assert (
+            pretty_term(ast.FuncT("mod", (ast.Var("x"), ast.ConstT(2))))
+            == "(x mod 2)"
+        )
+
+    def test_unprintable_function(self):
+        with pytest.raises(PTLError):
+            pretty_term(ast.FuncT("concat", (ast.Var("x"), ast.Var("y"))))

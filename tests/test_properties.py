@@ -1,0 +1,211 @@
+"""Property-based tests (hypothesis).
+
+The headline property is the paper's THEOREM 1: "the algorithm fires the
+trigger after the i-th update iff the formula f is satisfied at state s_i"
+— checked as equivalence between the incremental evaluator and the
+reference semantics on random (formula, history) pairs, at every position,
+with and without the Section 5 optimization, plus answer-set agreement on
+ground bindings.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel import INT, Relation, Schema
+from repro.ptl import IncrementalEvaluator, answers, satisfies
+from repro.ptl import constraints as cs
+from repro.ptl.context import EvalContext
+from repro.ptl.optimize import prune_time_bounds
+from repro.workloads.generator import random_history, random_pair
+
+SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def incremental_run(formula, history, optimize):
+    ev = IncrementalEvaluator(formula, EvalContext(), optimize=optimize)
+    return [ev.step(state) for state in history]
+
+
+def reference_run(formula, history):
+    return [
+        answers(history.states, i, formula) for i in range(len(history))
+    ]
+
+
+class TestTheorem1:
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_incremental_matches_reference(self, seed):
+        formula, history = random_pair(seed, length=10, max_depth=3)
+        inc = incremental_run(formula, history, optimize=True)
+        ref = reference_run(formula, history)
+        for i, (r_inc, r_ref) in enumerate(zip(inc, ref)):
+            assert r_inc.fired == bool(r_ref), (
+                f"divergence at position {i}: incremental={r_inc.fired} "
+                f"reference={bool(r_ref)}\nformula: {formula}\n"
+                f"states: {[str(s) for s in history.states[: i + 1]]}"
+            )
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_optimization_preserves_firings(self, seed):
+        formula, history = random_pair(seed, length=10, max_depth=3)
+        opt = incremental_run(formula, history, optimize=True)
+        raw = incremental_run(formula, history, optimize=False)
+        assert [r.fired for r in opt] == [r.fired for r in raw]
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_optimization_never_grows_state(self, seed):
+        formula, history = random_pair(seed, length=10, max_depth=3)
+        ev_opt = IncrementalEvaluator(formula, optimize=True)
+        ev_raw = IncrementalEvaluator(formula, optimize=False)
+        for state in history:
+            ev_opt.step(state)
+            ev_raw.step(state)
+            assert ev_opt.state_size() <= ev_raw.state_size()
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_incremental_bindings_satisfy_reference(self, seed):
+        """Every binding the incremental evaluator reports satisfies the
+        formula under the reference semantics.  Variables the state
+        formula no longer constrains (simplified away) are filled with
+        the FRESH 'any value' witness."""
+        from repro.ptl import free_variables
+
+        formula, history = random_pair(seed, length=8, max_depth=3)
+        free = free_variables(formula)
+        ev = IncrementalEvaluator(formula)
+        for i, state in enumerate(history):
+            result = ev.step(state)
+            for binding in result.bindings:
+                env = {name: cs.FRESH for name in free}
+                env.update(binding)
+                assert satisfies(history.states, i, formula, env), (
+                    f"binding {binding} at position {i} does not satisfy "
+                    f"{formula}"
+                )
+
+    @SETTINGS
+    @given(seed=st.integers(0, 5_000))
+    def test_theorem1_with_executed_predicate(self, seed):
+        """Equivalence extends to conditions over the executed store
+        (Section 7), shared by both evaluators via the context."""
+        from repro.workloads.generator import random_executed_store
+
+        formula, history = random_pair(
+            seed, length=8, max_depth=2, allow_executed=True
+        )
+        ctx = EvalContext(executed=random_executed_store(seed))
+        ev = IncrementalEvaluator(formula, ctx)
+        for i, state in enumerate(history):
+            fired = ev.step(state).fired
+            expected = bool(answers(history.states, i, formula, ctx))
+            assert fired == expected, (
+                f"divergence at {i}: {formula}\n"
+                f"records: {ctx.executed.records()}"
+            )
+
+    @SETTINGS
+    @given(seed=st.integers(0, 5_000))
+    def test_theorem1_with_aggregates(self, seed):
+        formula, history = random_pair(
+            seed, length=8, max_depth=2, allow_aggregates=True
+        )
+        inc = incremental_run(formula, history, optimize=True)
+        ref = reference_run(formula, history)
+        assert [r.fired for r in inc] == [bool(r) for r in ref]
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_snapshot_restore_is_transparent(self, seed):
+        """Trial evaluation (used by integrity constraints): snapshot,
+        step, restore, step again — same outcome as stepping directly."""
+        formula, history = random_pair(seed, length=8, max_depth=3)
+        ev = IncrementalEvaluator(formula)
+        plain = IncrementalEvaluator(formula)
+        for state in history:
+            snap = ev.snapshot()
+            first = ev.step(state)
+            ev.restore(snap)
+            second = ev.step(state)
+            direct = plain.step(state)
+            assert first.fired == second.fired == direct.fired
+
+
+class TestConstraintProperties:
+    @SETTINGS
+    @given(
+        values=st.lists(
+            st.tuples(st.integers(-5, 5), st.integers(-5, 5)),
+            min_size=1,
+            max_size=6,
+        ),
+        env_x=st.integers(-10, 10),
+        env_t=st.integers(-10, 10),
+    )
+    def test_simplification_preserves_semantics(self, values, env_x, env_t):
+        """cand/cor/cnot over random atoms evaluate like plain boolean
+        logic."""
+        rng = random.Random(42)
+        atoms = [
+            cs.catom(
+                rng.choice(["<", "<=", "=", ">", ">="]),
+                cs.SVar("x"),
+                cs.SConst(a),
+            )
+            for a, _ in values
+        ]
+        formula = cs.cor(
+            [cs.cand(atoms[: len(atoms) // 2 + 1]), cs.cnot(atoms[0])]
+        )
+        env = {"x": env_x, "t": env_t}
+        direct = cs.evaluate(formula, env)
+        # brute-force: evaluate atoms then combine
+        atom_vals = [cs.evaluate(a, env) if not isinstance(a, cs.CBool) else (a is cs.CTRUE) for a in atoms]
+        expected = all(atom_vals[: len(atoms) // 2 + 1]) or (not atom_vals[0])
+        assert direct == expected
+
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 10_000),
+        now=st.integers(0, 30),
+    )
+    def test_pruning_sound_for_future_bindings(self, seed, now):
+        """prune_time_bounds(F, now, {t}) and F agree on any env binding t
+        to a value strictly greater than now."""
+        rng = random.Random(seed)
+        atoms = []
+        for _ in range(rng.randint(1, 5)):
+            op = rng.choice(["<", "<=", "=", "!=", ">", ">="])
+            side = rng.randrange(3)
+            if side == 0:
+                atoms.append(cs.catom(op, cs.SVar("t"), cs.SConst(rng.randint(0, 40))))
+            elif side == 1:
+                atoms.append(cs.catom(op, cs.SVar("x"), cs.SConst(rng.randint(0, 40))))
+            else:
+                atoms.append(cs.CBool(rng.random() < 0.5))
+        formula = cs.cor([cs.cand(atoms[:2]), cs.cand(atoms[2:])]) if len(atoms) > 2 else cs.cand(atoms)
+        pruned = prune_time_bounds(formula, now, {"t"})
+        for t in (now + 1, now + 3, now + 10):
+            for x in (0, 20, 41):
+                env = {"t": t, "x": x}
+                assert cs.evaluate(formula, env) == cs.evaluate(pruned, env)
+
+
+class TestHistoryGenerator:
+    @SETTINGS
+    @given(seed=st.integers(0, 1000), length=st.integers(1, 20))
+    def test_random_history_well_formed(self, seed, length):
+        h = random_history(random.Random(seed), length)
+        assert len(h) == length
+        ts = [s.timestamp for s in h]
+        assert ts == sorted(ts) and len(set(ts)) == length

@@ -1,0 +1,190 @@
+"""Unit tests for the state-formula (constraint) layer."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.ptl import constraints as cs
+from repro.ptl.optimize import prune_time_bounds
+
+
+def atom(op, left, right):
+    return cs.catom(op, left, right)
+
+
+X = cs.SVar("x")
+T = cs.SVar("t")
+
+
+class TestFolding:
+    def test_ground_atom_folds(self):
+        assert atom("<=", cs.SConst(3), cs.SConst(5)) is cs.CTRUE
+        assert atom(">", cs.SConst(3), cs.SConst(5)) is cs.CFALSE
+
+    def test_incomparable_atom_is_false(self):
+        assert atom("<", cs.SConst("a"), cs.SConst(3)) is cs.CFALSE
+
+    def test_cross_type_equality(self):
+        assert atom("=", cs.SConst("a"), cs.SConst(3)) is cs.CFALSE
+        assert atom("!=", cs.SConst("a"), cs.SConst(3)) is cs.CTRUE
+
+    def test_sapp_folds_constants(self):
+        t = cs.sapp("*", (cs.SConst(2), cs.SConst(21)))
+        assert t == cs.SConst(42)
+
+    def test_sapp_stays_symbolic(self):
+        t = cs.sapp("*", (cs.SConst(2), X))
+        assert isinstance(t, cs.SApp)
+
+
+class TestLinearNormalization:
+    def test_const_on_left_flips(self):
+        a = atom("<=", cs.SConst(11), X)
+        assert a == cs.CAtom(">=", X, cs.SConst(11))
+
+    def test_multiplicative_paper_case(self):
+        # 11 <= 0.5*x  ->  x >= 22  (the paper's F_{h,4})
+        a = atom("<=", cs.SConst(11), cs.sapp("*", (cs.SConst(0.5), X)))
+        assert a == cs.CAtom(">=", X, cs.SConst(22))
+
+    def test_additive_paper_case(self):
+        # 20 >= t - 10  ->  t <= 30  (the paper's F_{h,4})
+        a = atom(">=", cs.SConst(20), cs.sapp("-", (T, cs.SConst(10))))
+        assert a == cs.CAtom("<=", T, cs.SConst(30))
+
+    def test_negative_coefficient_flips(self):
+        # -2*x <= 6  ->  x >= -3
+        a = atom("<=", cs.sapp("*", (cs.SConst(-2), X)), cs.SConst(6))
+        assert a == cs.CAtom(">=", X, cs.SConst(-3))
+
+    def test_division(self):
+        # x / 2 >= 5  ->  x >= 10
+        a = atom(">=", cs.sapp("/", (X, cs.SConst(2))), cs.SConst(5))
+        assert a == cs.CAtom(">=", X, cs.SConst(10))
+
+    def test_chained_normalization(self):
+        # (x + 1) * 2 <= 10  ->  ... -> x <= 4
+        inner = cs.sapp("+", (X, cs.SConst(1)))
+        a = atom("<=", cs.sapp("*", (inner, cs.SConst(2))), cs.SConst(10))
+        assert a == cs.CAtom("<=", X, cs.SConst(4))
+
+
+class TestBooleanSimplification:
+    def test_and_absorption(self):
+        a = atom("<=", X, cs.SConst(3))
+        assert cs.cand([cs.CTRUE, a]) == a
+        assert cs.cand([cs.CFALSE, a]) is cs.CFALSE
+        assert cs.cand([]) is cs.CTRUE
+
+    def test_or_absorption(self):
+        a = atom("<=", X, cs.SConst(3))
+        assert cs.cor([cs.CFALSE, a]) == a
+        assert cs.cor([cs.CTRUE, a]) is cs.CTRUE
+        assert cs.cor([]) is cs.CFALSE
+
+    def test_flattening_and_dedup(self):
+        a = atom("<=", X, cs.SConst(3))
+        b = atom(">", T, cs.SConst(0))
+        nested = cs.cor([a, cs.cor([b, a])])
+        assert nested == cs.COr((a, b))
+
+    def test_complement_detection(self):
+        a = atom("<=", X, cs.SConst(3))
+        assert cs.cand([a, cs.cnot(a)]) is cs.CFALSE
+        assert cs.cor([a, cs.cnot(a)]) is cs.CTRUE
+
+    def test_negation_pushes_into_atoms(self):
+        a = atom("<=", X, cs.SConst(3))
+        assert cs.cnot(a) == cs.CAtom(">", X, cs.SConst(3))
+        assert cs.cnot(cs.cnot(a)) == a
+
+    def test_demorgan(self):
+        a = atom("<=", X, cs.SConst(3))
+        b = atom(">", T, cs.SConst(0))
+        res = cs.cnot(cs.cand([a, b]))
+        assert isinstance(res, cs.COr)
+
+
+class TestSubstituteEvaluate:
+    def test_substitute_partially(self):
+        f = cs.cand(
+            [atom("<=", X, cs.SConst(3)), atom(">=", T, cs.SConst(10))]
+        )
+        g = cs.substitute(f, {"x": 2})
+        assert g == cs.CAtom(">=", T, cs.SConst(10))
+
+    def test_evaluate(self):
+        f = cs.cor([atom("=", X, cs.SConst(1)), atom("=", T, cs.SConst(2))])
+        assert cs.evaluate(f, {"x": 1, "t": 0}) is True
+        assert cs.evaluate(f, {"x": 0, "t": 0}) is False
+
+    def test_evaluate_unbound_raises(self):
+        f = atom("=", X, cs.SConst(1))
+        with pytest.raises(EvaluationError):
+            cs.evaluate(f, {})
+
+    def test_size(self):
+        f = cs.cand(
+            [atom("<=", X, cs.SConst(3)), atom(">=", T, cs.SConst(10))]
+        )
+        assert cs.size(f) == 7  # and + 2*(atom + var + const)
+
+
+class TestSolve:
+    def test_solve_from_equalities(self):
+        f = cs.cand(
+            [
+                cs.cor(
+                    [atom("=", X, cs.SConst("a")), atom("=", X, cs.SConst("b"))]
+                ),
+                atom("!=", X, cs.SConst("a")),
+            ]
+        )
+        assert cs.solve(f) == [{"x": "b"}]
+
+    def test_solve_with_domain(self):
+        f = atom(">", X, cs.SConst(5))
+        assert cs.solve(f, domains={"x": [3, 7, 9]}) == [{"x": 7}, {"x": 9}]
+
+    def test_solve_no_candidates(self):
+        f = atom(">", X, cs.SConst(5))
+        assert cs.solve(f) == []
+
+    def test_solve_true_false(self):
+        assert cs.solve(cs.CTRUE) == [{}]
+        assert cs.solve(cs.CFALSE) == []
+
+    def test_equality_candidates_under_negation(self):
+        f = cs.cnot(atom("=", X, cs.SConst(1)))
+        # negation folds to !=, no equality candidate survives — by design
+        assert cs.equality_candidates(f) == {}
+
+
+class TestPruning:
+    def test_doomed_deadline_pruned(self):
+        f = cs.cor(
+            [
+                cs.cand([atom(">=", X, cs.SConst(20)), atom("<=", T, cs.SConst(11))]),
+                cs.cand([atom(">=", X, cs.SConst(22)), atom("<=", T, cs.SConst(30))]),
+            ]
+        )
+        pruned = prune_time_bounds(f, now=20, time_vars={"t"})
+        assert pruned == cs.cand(
+            [atom(">=", X, cs.SConst(22)), atom("<=", T, cs.SConst(30))]
+        )
+
+    def test_settled_atom_becomes_true(self):
+        f = atom(">", T, cs.SConst(5))
+        assert prune_time_bounds(f, now=10, time_vars={"t"}) is cs.CTRUE
+
+    def test_non_time_vars_untouched(self):
+        f = atom("<=", X, cs.SConst(5))
+        assert prune_time_bounds(f, now=10, time_vars={"t"}) == f
+
+    def test_future_deadline_kept(self):
+        f = atom("<=", T, cs.SConst(30))
+        assert prune_time_bounds(f, now=20, time_vars={"t"}) == f
+
+    def test_boundary_now_equals_bound(self):
+        # future bindings are strictly greater than now, so t <= now is doomed
+        f = atom("<=", T, cs.SConst(20))
+        assert prune_time_bounds(f, now=20, time_vars={"t"}) is cs.CFALSE

@@ -1,0 +1,76 @@
+"""Tests for the valid-time rule manager."""
+
+import pytest
+
+from repro.errors import DuplicateRuleError, TransactionAborted, UnknownRuleError
+from repro.rules import RecordingAction
+from repro.validtime import ValidTimeDatabase, ValidTimeRuleManager
+
+
+@pytest.fixture
+def vtdb():
+    vtdb = ValidTimeDatabase(start_time=0, max_delay=10)
+    vtdb.declare_item("PRICE", 40.0)
+    return vtdb
+
+
+@pytest.fixture
+def vtm(vtdb):
+    return ValidTimeRuleManager(vtdb)
+
+
+def set_price(vtdb, price, valid_time, commit_time):
+    txn = vtdb.begin()
+    txn.set_item("PRICE", price, valid_time=valid_time)
+    return txn.commit(at_time=commit_time)
+
+
+class TestValidTimeRuleManager:
+    def test_tentative_action_runs_on_commit(self, vtdb, vtm):
+        action = RecordingAction()
+        vtm.add_tentative_trigger("spike", "PRICE >= 100", action)
+        set_price(vtdb, 120.0, valid_time=20, commit_time=22)
+        assert [t for _, t in action.calls] == [20, 22]
+
+    def test_tentative_fires_for_retroactive_change(self, vtdb, vtm):
+        action = RecordingAction()
+        vtm.add_tentative_trigger("spike", "PRICE >= 100", action)
+        set_price(vtdb, 50.0, valid_time=20, commit_time=21)
+        assert action.calls == []
+        set_price(vtdb, 150.0, valid_time=25, commit_time=28)
+        assert 25 in [t for _, t in action.calls]
+
+    def test_definite_action_waits_for_horizon(self, vtdb, vtm):
+        action = RecordingAction()
+        vtm.add_definite_trigger("confirmed", "PRICE >= 100", action)
+        set_price(vtdb, 120.0, valid_time=20, commit_time=22)
+        vtm.poll()
+        assert action.calls == []
+        vtdb.advance_to(40)
+        vtm.poll()
+        assert [t for _, t in action.calls] == [20, 22]
+
+    def test_constraint(self, vtdb, vtm):
+        vtm.add_integrity_constraint("cap", "PRICE <= 200")
+        set_price(vtdb, 100.0, valid_time=5, commit_time=6)
+        txn = vtdb.begin()
+        txn.set_item("PRICE", 500.0, valid_time=8)
+        with pytest.raises(TransactionAborted):
+            txn.commit(at_time=9)
+
+    def test_remove_constraint_stops_enforcement(self, vtdb, vtm):
+        vtm.add_integrity_constraint("cap", "PRICE <= 200")
+        vtm.remove_rule("cap")
+        set_price(vtdb, 500.0, valid_time=5, commit_time=6)  # no abort
+
+    def test_duplicate_and_unknown(self, vtdb, vtm):
+        vtm.add_tentative_trigger("r", "PRICE >= 0", RecordingAction())
+        with pytest.raises(DuplicateRuleError):
+            vtm.add_definite_trigger("r", "PRICE >= 0", RecordingAction())
+        with pytest.raises(UnknownRuleError):
+            vtm.remove_rule("zzz")
+
+    def test_firings_of(self, vtdb, vtm):
+        vtm.add_tentative_trigger("spike", "PRICE >= 100", RecordingAction())
+        set_price(vtdb, 150.0, valid_time=5, commit_time=6)
+        assert [f.timestamp for f in vtm.firings_of("spike")] == [5, 6]
