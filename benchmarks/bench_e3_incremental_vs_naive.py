@@ -12,7 +12,8 @@ import pytest
 from conftest import report
 
 from repro.baselines import NaiveDetector
-from repro.bench import Table, per_update_micros, time_best
+from repro.bench import Table, emit_bench_json, per_update_micros, time_best
+from repro.obs import MetricsRegistry
 from repro.ptl import IncrementalEvaluator, parse_formula
 from repro.workloads import (
     SHARP_INCREASE,
@@ -97,6 +98,35 @@ def test_e3_scaling_table(benchmark, formula):
     assert naive_pu[-1] > 3 * naive_pu[0]
     assert incr_pu[-1] < 3 * incr_pu[0]
     assert ratios[-1] > ratios[0]
+
+    # one metrics-enabled pass at the largest size — its registry snapshot
+    # rides along in the machine-readable result document
+    registry = MetricsRegistry()
+    history = make_history(SIZES[-1])
+    run_detector(
+        lambda: IncrementalEvaluator(
+            formula, metrics=registry, name="sharp_increase"
+        ),
+        history,
+    )
+    emit_bench_json(
+        "e3_incremental_vs_naive",
+        {
+            "sizes": list(SIZES),
+            "rows": [
+                {
+                    "updates": n,
+                    "incr_seconds": t_incr,
+                    "naive_seconds": t_naive,
+                    "incr_us_per_update": per_update_micros(t_incr, n),
+                    "naive_us_per_update": per_update_micros(t_naive, n),
+                    "firings": f_incr,
+                }
+                for n, t_incr, t_naive, f_incr, _ in rows
+            ],
+        },
+        registry=registry,
+    )
 
 
 def test_e3_incremental_throughput(benchmark, formula):

@@ -15,7 +15,8 @@ interval pruning.
 
 from conftest import report
 
-from repro.bench import Table
+from repro.bench import Table, emit_bench_json
+from repro.obs import MetricsRegistry
 from repro.ptl import AuxiliaryStore, IncrementalEvaluator, parse_formula
 from repro.ptl.rewrite import normalize
 from repro.workloads import (
@@ -90,6 +91,29 @@ def test_e4_state_size_vs_updates(benchmark):
     so = [results["sharp+opt"][cp] for cp in CHECKPOINTS]
     assert max(so) <= 10 * min(so)
     assert max(so) < s[0]
+
+    # re-run the optimized sharp case with live gauges: the registry's
+    # final evaluator_state_size gauge must agree with the table's figure
+    registry = MetricsRegistry()
+    hist = trace_history(random_walk_trace(seed=21, n=max(CHECKPOINTS)))
+    ev = IncrementalEvaluator(
+        parse_formula(SHARP_INCREASE, stock_query_registry()),
+        optimize=True,
+        metrics=registry,
+        name="sharp_increase",
+    )
+    for state in hist:
+        ev.step(state)
+    gauge = registry.value("evaluator_state_size", rule="sharp_increase")
+    assert gauge == results["sharp+opt"][max(CHECKPOINTS)]
+    emit_bench_json(
+        "e4_bounded_memory",
+        {
+            "checkpoints": list(CHECKPOINTS),
+            "state_sizes": {k: v for k, v in results.items()},
+        },
+        registry=registry,
+    )
 
 
 def test_e4_auxiliary_relation_rows(benchmark):

@@ -11,6 +11,11 @@
 * the Dow-Jones condition from the introduction: "the index fell more
   than 250 points in the last 2 hours".
 
+The whole run executes with the observability layer on: per-rule firing
+counters, step-latency histograms, and state-size gauges are printed at
+the end, together with a structured trace of one firing and its
+explanation.
+
 Run:  python examples/stock_monitor.py
 """
 
@@ -24,9 +29,11 @@ from repro.workloads import (
 
 
 def main() -> None:
-    adb = make_stock_db([("IBM", 60.0), ("XYZ", 40.0), ("OIL", 80.0)])
+    adb = make_stock_db(
+        [("IBM", 60.0), ("XYZ", 40.0), ("OIL", 80.0)], metrics=True
+    )
     adb.declare_item("DOW", 10_000.0)
-    rules = RuleManager(adb)
+    rules = RuleManager(adb, trace=True)
 
     log: list[str] = []
 
@@ -115,6 +122,34 @@ def main() -> None:
     assert by_rule["ibm_hourly_avg_low"] == by_rule["ibm_hourly_avg_low_rewritten"]
     assert by_rule["dow_crash"] == [200]
     print("\nall monitor assertions hold")
+
+    # -- observability: what the run looked like from the outside -------------
+    registry = adb.metrics
+    print("\nper-rule metrics:")
+    for counter in registry.find("rule_firings_total"):
+        rule = dict(counter.labels)["rule"]
+        lat = registry.value("evaluator_step_seconds", rule=rule)
+        size = registry.value("evaluator_state_size", rule=rule)
+        p50 = f"{lat['p50'] * 1e6:7.1f}us" if lat else "      --"
+        print(
+            f"  {rule:<32} fired={counter.value:<3} "
+            f"step p50={p50}  state size={size}"
+        )
+    print(
+        f"engine: {registry.value('engine_states_total')} states, "
+        f"{registry.value('engine_commits_total')} commits, "
+        f"{registry.value('bus_delivery_total')} bus deliveries"
+    )
+
+    from repro.obs import FIRING
+
+    firing_events = rules.trace.events(FIRING)
+    first = firing_events[0]
+    print(f"\nfirst firing trace event: {first.to_dict()}")
+    explanation = rules.explain_firing(rules.firings[0], rendered=True)
+    print(f"\nwhy it fired:\n{explanation}")
+    assert registry.value("rule_firings_total", rule="dow_crash") == 1
+    assert len(firing_events) == len(rules.firings)
 
 
 if __name__ == "__main__":

@@ -4,7 +4,14 @@ Subcommands
 -----------
 ``demo``     (default) — run the paper's Section 5 worked example and print
              the step-by-step state-formula table.
+``monitor``  — run the stock-monitor workload with the observability layer
+             enabled and print a firing summary; with ``--metrics-json``
+             also dump the metrics registry + firing traces as JSON.
 ``version``  — print the package version.
+
+``--metrics-json [PATH]`` writes the JSON document to PATH (or stdout when
+no PATH is given) and implies ``monitor`` when used with the default
+command.
 """
 
 from __future__ import annotations
@@ -52,6 +59,46 @@ def run_demo() -> int:
     return 0 if fired_at == [8] else 1
 
 
+def run_monitor(metrics_json=None, ticks: int = 200, seed: int = 7) -> int:
+    """Stock-monitor workload with metrics + traces enabled."""
+    from repro.facade import TemporalDatabase
+    from repro.workloads.stock import STOCK_SCHEMA, spike_trace
+
+    tdb = TemporalDatabase(metrics=True, trace=True)
+    tdb.create_relation(
+        "STOCK", STOCK_SCHEMA, [("IBM", 50.0, "IBM Corp", "tech")]
+    )
+    tdb.define_query(
+        "price", ["name"],
+        "RETRIEVE (S.price) FROM STOCK S WHERE S.name = $name",
+    )
+
+    firings = []
+    tdb.on(
+        "sharp_increase",
+        SHARP_INCREASE,
+        lambda ctx: firings.append(ctx.state.timestamp),
+    )
+    tdb.constrain("positive_price", "price(IBM) >= 0")
+
+    from repro.workloads.stock import apply_trace
+
+    apply_trace(tdb.engine, spike_trace(ticks, spike_every=40))
+
+    print(f"stock monitor: {ticks} ticks, "
+          f"{len(firings)} sharp_increase firings")
+    print(f"metrics collected: {len(tdb.metrics.metrics())}   "
+          f"trace events: {len(tdb.trace)}")
+    doc = tdb.metrics_json()
+    if metrics_json == "-":
+        print(doc)
+    elif metrics_json:
+        with open(metrics_json, "w") as fp:
+            fp.write(doc + "\n")
+        print(f"metrics written to {metrics_json}")
+    return 0 if firings else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -62,12 +109,27 @@ def main(argv=None) -> int:
         "command",
         nargs="?",
         default="demo",
-        choices=["demo", "version"],
+        choices=["demo", "monitor", "version"],
+    )
+    parser.add_argument(
+        "--metrics-json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="dump the metrics registry and traces as JSON to PATH "
+        "(stdout if omitted); implies the monitor command",
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=200,
+        help="number of price ticks for the monitor workload",
     )
     args = parser.parse_args(argv)
     if args.command == "version":
         print(__version__)
         return 0
+    if args.command == "monitor" or args.metrics_json is not None:
+        return run_monitor(metrics_json=args.metrics_json, ticks=args.ticks)
     return run_demo()
 
 

@@ -1,5 +1,19 @@
-"""Benchmark support: timing helpers and result tables."""
+"""Benchmark support: timing helpers, result tables, and JSON emission."""
 
-from repro.bench.harness import Table, per_update_micros, summarize, time_best, time_once
+from repro.bench.harness import (
+    Table,
+    emit_bench_json,
+    per_update_micros,
+    summarize,
+    time_best,
+    time_once,
+)
 
-__all__ = ["Table", "time_once", "time_best", "per_update_micros", "summarize"]
+__all__ = [
+    "Table",
+    "time_once",
+    "time_best",
+    "per_update_micros",
+    "summarize",
+    "emit_bench_json",
+]

@@ -1,10 +1,15 @@
-"""Shared benchmark utilities: timing and paper-style result tables."""
+"""Shared benchmark utilities: timing, paper-style result tables, and
+machine-readable ``BENCH_*.json`` emission (optionally including a metrics
+registry snapshot)."""
 
 from __future__ import annotations
 
+import json
+import os
 import statistics
 import time
-from typing import Any, Callable, Sequence
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
 
 
 def time_once(fn: Callable[[], Any]) -> float:
@@ -76,3 +81,26 @@ def summarize(values: Sequence[float]) -> dict:
         "max": max(values),
         "min": min(values),
     }
+
+
+def emit_bench_json(
+    name: str,
+    payload: dict,
+    registry=None,
+    directory: Optional[str] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` with the benchmark's results.
+
+    ``payload`` is the benchmark-specific result document; when an enabled
+    metrics ``registry`` is passed, its full snapshot is embedded under a
+    ``"metrics"`` key.  The target directory comes from the ``BENCH_DIR``
+    environment variable (default: current directory).  Returns the path
+    written.
+    """
+    directory = directory or os.environ.get("BENCH_DIR", ".")
+    doc = {"bench": name, **payload}
+    if registry is not None and getattr(registry, "enabled", False):
+        doc["metrics"] = registry.to_dict()
+    path = Path(directory) / f"BENCH_{name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path

@@ -32,6 +32,7 @@ from repro.events.bus import EventBus
 from repro.events.clock import Clock
 from repro.history.history import SystemHistory
 from repro.history.state import SystemState
+from repro.obs.metrics import as_registry
 from repro.storage.database import Database
 from repro.storage.transactions import Transaction, TransactionManager, TxnStatus
 
@@ -48,12 +49,18 @@ class ActiveDatabase:
         start_time: int = 0,
         keep_history: bool = True,
         begin_states: bool = False,
+        metrics=None,
     ):
         """``begin_states=True`` records a system state for every
         ``transaction_begin`` event (the paper's model records a state per
         event occurrence).  The default omits them: most conditions only
         observe commit points and user events, and workloads then control
-        commit timestamps directly."""
+        commit timestamps directly.
+
+        ``metrics`` (``None``/``True``/a registry) enables engine-level
+        counters and event-bus throughput metrics; a
+        :class:`~repro.rules.manager.RuleManager` attached to this engine
+        inherits the registry by default."""
         self.db = Database()
         self.begin_states = begin_states
         self.clock = Clock(start_time)
@@ -65,6 +72,13 @@ class ActiveDatabase:
         self._commit_validators: list[CommitValidator] = []
         self._last_state: Optional[SystemState] = None
         self._state_count = 0
+        self.metrics = as_registry(metrics)
+        self._obs_on = self.metrics.enabled
+        self._m_states = self.metrics.counter("engine_states_total")
+        self._m_commits = self.metrics.counter("engine_commits_total")
+        self._m_aborts = self.metrics.counter("engine_aborts_total")
+        self._m_history_len = self.metrics.gauge("engine_history_len")
+        self.bus.attach_metrics(self.metrics)
 
     # -- catalog delegation ---------------------------------------------------
 
@@ -149,6 +163,10 @@ class ActiveDatabase:
             state = self.history.append(state)
         self._state_count += 1
         self._last_state = state
+        if self._obs_on:
+            self._m_states.inc()
+            if self.history is not None:
+                self._m_history_len.set(len(self.history))
         self.bus.publish(state)
         return state
 
@@ -216,6 +234,8 @@ class ActiveDatabase:
 
         if violations:
             self.txns.finish(txn, TxnStatus.ABORTED)
+            if self._obs_on:
+                self._m_aborts.inc()
             self._append(
                 self.db.state,
                 [ev.attempts_to_commit(txn.id), ev.transaction_abort(txn.id)],
@@ -226,6 +246,8 @@ class ActiveDatabase:
         self.db._set_state(candidate_db)
         state = self._append(candidate_db, events, ts)
         self.txns.finish(txn, TxnStatus.COMMITTED)
+        if self._obs_on:
+            self._m_commits.inc()
         return state
 
     def _abort(
@@ -233,4 +255,6 @@ class ActiveDatabase:
     ) -> SystemState:
         ts = self._next_timestamp(at_time)
         self.txns.finish(txn, TxnStatus.ABORTED)
+        if self._obs_on:
+            self._m_aborts.inc()
         return self._append(self.db.state, [ev.transaction_abort(txn.id)], ts)

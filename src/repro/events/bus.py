@@ -44,6 +44,20 @@ class EventBus:
         self._subscriptions: list[Subscription] = []
         self.dispatch_count = 0
         self.delivery_count = 0
+        self._m_on = False
+        self._m_dispatch = None
+        self._m_delivery = None
+        self._m_events = None
+
+    def attach_metrics(self, registry) -> None:
+        """Route throughput counters into ``registry`` (no-op registries
+        leave the publish path untouched)."""
+        if not registry.enabled:
+            return
+        self._m_dispatch = registry.counter("bus_dispatch_total")
+        self._m_delivery = registry.counter("bus_delivery_total")
+        self._m_events = registry.counter("bus_events_total")
+        self._m_on = True
 
     def subscribe(
         self,
@@ -61,13 +75,19 @@ class EventBus:
         """Deliver a newly-appended system state to relevant subscribers."""
         self.dispatch_count += 1
         names = [e.name for e in state.events]
+        delivered = 0
         for sub in list(self._subscriptions):
             if not sub.active:
                 continue
             if not sub.wants(names):
                 continue
-            self.delivery_count += 1
+            delivered += 1
             sub.listener(state)
+        self.delivery_count += delivered
+        if self._m_on:
+            self._m_dispatch.inc()
+            self._m_delivery.inc(delivered)
+            self._m_events.inc(len(names))
 
     def _prune(self) -> None:
         self._subscriptions = [s for s in self._subscriptions if s.active]

@@ -44,15 +44,24 @@ class TemporalDatabase:
         relevance_filtering: bool = False,
         batch_size: int = 1,
         executed_retention: Optional[int] = None,
+        metrics=None,
+        trace=None,
     ):
+        """``metrics=True`` (or an existing registry) turns on the
+        observability layer for the engine, the rule manager, and every
+        evaluator registered through this facade; ``trace=True`` (or a
+        sink) additionally records structured firing/action/violation
+        traces.  Both default off — the hot paths then pay a single
+        boolean check."""
         self.engine = ActiveDatabase(
-            start_time=start_time, keep_history=keep_history
+            start_time=start_time, keep_history=keep_history, metrics=metrics
         )
         self.rules = RuleManager(
             self.engine,
             relevance_filtering=relevance_filtering,
             batch_size=batch_size,
             executed_retention=executed_retention,
+            trace=trace,
         )
 
     # -- catalog -------------------------------------------------------------
@@ -160,3 +169,31 @@ class TemporalDatabase:
     @property
     def firings(self):
         return self.rules.firings
+
+    # -- observability -----------------------------------------------------------------
+
+    @property
+    def metrics(self):
+        """The metrics registry (a no-op registry unless enabled)."""
+        return self.engine.metrics
+
+    @property
+    def trace(self):
+        """The trace sink (a no-op sink unless enabled)."""
+        return self.rules.trace
+
+    def metrics_json(self, traces: bool = True, indent: int = 2) -> str:
+        """Serialize the registry (and, by default, the trace events) as a
+        JSON document — what ``python -m repro monitor --metrics-json``
+        prints."""
+        import json
+
+        payload = self.metrics.to_dict()
+        if traces:
+            payload["traces"] = self.trace.to_dicts()
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def explain_firing(self, record, rendered: bool = False):
+        """Explain why a recorded firing happened (see
+        :meth:`repro.rules.manager.RuleManager.explain_firing`)."""
+        return self.rules.explain_firing(record, rendered=rendered)

@@ -1,0 +1,62 @@
+"""Observability: metrics registry and structured trace sink.
+
+The subsystem the rest of the engine hooks into to make the paper's
+quantitative claims observable at runtime — step-latency histograms (E3's
+flat per-update cost), state-size and auxiliary-relation gauges (E4's
+bounded memory), per-rule firing counters, and structured firing traces.
+
+Everything defaults to the no-op implementations; see
+``docs/OBSERVABILITY.md`` for the metric catalog and usage.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_MAX_SAMPLES,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    Registry,
+    as_registry,
+)
+from repro.obs.trace import (
+    ACTION,
+    DEFAULT_TRACE_LIMIT,
+    FIRING,
+    IC_VIOLATION,
+    MONITOR,
+    NULL_TRACE,
+    NullTraceSink,
+    TraceEvent,
+    TraceSink,
+    as_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_REGISTRY",
+    "Registry",
+    "as_registry",
+    "DEFAULT_MAX_SAMPLES",
+    "TraceEvent",
+    "TraceSink",
+    "NullTraceSink",
+    "NULL_TRACE",
+    "as_trace",
+    "ACTION",
+    "DEFAULT_TRACE_LIMIT",
+    "FIRING",
+    "IC_VIOLATION",
+    "MONITOR",
+]

@@ -290,13 +290,16 @@ class RewrittenEvaluator:
         condition: ast.Formula,
         ctx: Optional[EvalContext] = None,
         optimize: bool = True,
+        metrics=None,
+        name=None,
     ):
         from repro.ptl.incremental import IncrementalEvaluator
 
         self.ctx = ctx or EvalContext()
         self.rewrite = rewrite_condition(condition, self.ctx)
         self.evaluator = IncrementalEvaluator(
-            self.rewrite.condition, self.ctx, optimize
+            self.rewrite.condition, self.ctx, optimize,
+            metrics=metrics, name=name,
         )
 
     def step(self, state: SystemState):

@@ -40,11 +40,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Mapping, Optional
 
 from repro.datamodel.relation import Relation
 from repro.errors import EvaluationError, PTLError, UnsafeFormulaError
 from repro.history.state import SystemState
+from repro.obs.metrics import as_registry
 from repro.ptl import ast
 from repro.ptl import constraints as cs
 from repro.ptl.context import EvalContext
@@ -412,6 +414,43 @@ class _AssignNode(_Node):
         return cs.substitute(inner, {self.var: value})
 
 
+class _TimedNode(_Node):
+    """Wraps a temporal node with a per-subformula update-latency histogram
+    (installed only when metrics are enabled, so the disabled path never
+    pays for it)."""
+
+    __slots__ = ("inner", "hist")
+
+    def __init__(self, inner: _Node, hist):
+        self.inner = inner
+        self.hist = hist
+
+    def compute(self, state):
+        t0 = perf_counter()
+        result = self.inner.compute(state)
+        self.hist.observe(perf_counter() - t0)
+        return result
+
+    def get_state(self):
+        return self.inner.get_state()
+
+    def set_state(self, snapshot) -> None:
+        self.inner.set_state(snapshot)
+
+    def stored_size(self) -> int:
+        return self.inner.stored_size()
+
+    def prune(self, now, time_vars) -> None:
+        self.inner.prune(now, time_vars)
+
+    def stored_formulas(self):
+        return self.inner.stored_formulas()
+
+
+def _short_label(label: str, limit: int = 60) -> str:
+    return label if len(label) <= limit else label[: limit - 3] + "..."
+
+
 # ---------------------------------------------------------------------------
 # Temporal aggregates (direct pipeline)
 # ---------------------------------------------------------------------------
@@ -684,12 +723,15 @@ class _CoreEvaluator:
         formula: ast.Formula,
         ctx: EvalContext,
         optimize: bool = True,
+        obs: Optional[tuple] = None,
     ):
         self.formula = formula
         self.ctx = ctx
         self.optimize = optimize
         self.steps = 0
         self.last_top: cs.C = cs.CFALSE
+        #: (registry, rule label) when per-subformula timing is on.
+        self._obs = obs
         self._temporal_nodes: list[_Node] = []
         self._aggregates: dict[ast.AggT, _AggregateState] = {}
         #: Variables assigned from the ``time`` item (monotone — prunable).
@@ -725,16 +767,18 @@ class _CoreEvaluator:
         if isinstance(f, ast.Or):
             return _OrNode([self._compile(c, avail) for c in f.operands])
         if isinstance(f, ast.Lasttime):
-            node = _LasttimeNode(self._compile(f.operand, frozenset()), str(f))
-            self._temporal_nodes.append(node)
+            node = self._finish_temporal(
+                _LasttimeNode(self._compile(f.operand, frozenset()), str(f))
+            )
             return node
         if isinstance(f, ast.Since):
-            node = _SinceNode(
-                self._compile(f.lhs, frozenset()),
-                self._compile(f.rhs, frozenset()),
-                str(f),
+            node = self._finish_temporal(
+                _SinceNode(
+                    self._compile(f.lhs, frozenset()),
+                    self._compile(f.rhs, frozenset()),
+                    str(f),
+                )
             )
-            self._temporal_nodes.append(node)
             return node
         if isinstance(f, ast.Assign):
             if f.query.params():
@@ -746,6 +790,22 @@ class _CoreEvaluator:
                 inner_avail = avail | {f.var}
             return _AssignNode(f.var, f.query, self._compile(f.body, inner_avail))
         raise PTLError(f"cannot compile formula node {f!r}")
+
+    def _finish_temporal(self, node: _Node) -> _Node:
+        """Register a temporal node, wrapping it with per-subformula update
+        timing when metrics are enabled."""
+        if self._obs is not None:
+            registry, rule = self._obs
+            node = _TimedNode(
+                node,
+                registry.histogram(
+                    "evaluator_node_seconds",
+                    rule=rule,
+                    node=_short_label(node.label),
+                ),
+            )
+        self._temporal_nodes.append(node)
+        return node
 
     def _register_aggregates_of(self, f: ast.Comparison, avail) -> None:
         for term in (f.left, f.right):
@@ -822,10 +882,17 @@ class _CoreEvaluator:
 
     # -- inspection / snapshot -----------------------------------------------------
 
+    def stored_formula_size(self) -> int:
+        """Total size of the stored state formulas F_{g,i-1}."""
+        return sum(node.stored_size() for node in self._temporal_nodes)
+
+    def aux_rows(self) -> int:
+        """Retained auxiliary tuples (aggregate logs/samples) — the live
+        counterpart of the paper's R_x row counts."""
+        return sum(agg.state_size() for agg in self._aggregates.values())
+
     def state_size(self) -> int:
-        total = sum(node.stored_size() for node in self._temporal_nodes)
-        total += sum(agg.state_size() for agg in self._aggregates.values())
-        return total
+        return self.stored_formula_size() + self.aux_rows()
 
     def stored_formulas(self) -> list[tuple[str, cs.C]]:
         out = []
@@ -869,6 +936,15 @@ class IncrementalEvaluator:
         free-variable domains).
     optimize:
         Apply the Section 5 time-bound pruning after each step.
+    metrics:
+        ``None``/``False`` (default), ``True``, or a
+        :class:`~repro.obs.metrics.MetricsRegistry` — when enabled, the
+        evaluator maintains per-step latency histograms, state-size and
+        auxiliary-row gauges, and per-subformula update timings.  Disabled
+        instrumentation costs one branch per step and allocates nothing.
+    name:
+        Label for this evaluator's metrics (the rule name); defaults to a
+        shared anonymous label.
 
     Call :meth:`step` with each appended system state; the result reports
     firing and free-variable bindings.
@@ -879,23 +955,50 @@ class IncrementalEvaluator:
         formula: ast.Formula,
         ctx: Optional[EvalContext] = None,
         optimize: bool = True,
+        metrics=None,
+        name: Optional[str] = None,
     ):
         self.ctx = ctx or EvalContext()
         self.optimize = optimize
         self.original = formula
         self.formula = normalize(formula)
         self.steps = 0
+        self.metrics = as_registry(metrics)
+        self.name = name if name is not None else "<anonymous>"
+        self._obs_on = self.metrics.enabled
+        self._obs: Optional[tuple] = None
+        if self._obs_on:
+            registry = self.metrics
+            self._obs = (registry, self.name)
+            self._m_steps = registry.counter(
+                "evaluator_steps_total", rule=self.name
+            )
+            self._m_step_seconds = registry.histogram(
+                "evaluator_step_seconds", rule=self.name
+            )
+            self._m_state_size = registry.gauge(
+                "evaluator_state_size", rule=self.name
+            )
+            self._m_stored_size = registry.gauge(
+                "evaluator_stored_formula_size", rule=self.name
+            )
+            self._m_aux_rows = registry.gauge(
+                "evaluator_aux_rows", rule=self.name
+            )
+            self._m_instances = registry.gauge(
+                "evaluator_instances", rule=self.name
+            )
 
         self._qvars = tuple(sorted(query_param_vars(self.formula)))
-        for name in self._qvars:
-            if name not in self.ctx.domains:
+        for name_ in self._qvars:
+            if name_ not in self.ctx.domains:
                 raise UnsafeFormulaError(
-                    f"free variable {name!r} parameterizes a query; it "
-                    f"needs a domain (EvalContext.domains[{name!r}])"
+                    f"free variable {name_!r} parameterizes a query; it "
+                    f"needs a domain (EvalContext.domains[{name_!r}])"
                 )
         if not self._qvars:
             self._core: Optional[_CoreEvaluator] = _CoreEvaluator(
-                self.formula, self.ctx, optimize
+                self.formula, self.ctx, optimize, obs=self._obs
             )
             self._instances: dict[tuple, _CoreEvaluator] = {}
         else:
@@ -906,6 +1009,16 @@ class IncrementalEvaluator:
 
     def step(self, state: SystemState) -> FireResult:
         """Process one new system state."""
+        if not self._obs_on:
+            return self._step_inner(state)
+        t0 = perf_counter()
+        result = self._step_inner(state)
+        self._m_step_seconds.observe(perf_counter() - t0)
+        self._m_steps.inc()
+        self._record_gauges()
+        return result
+
+    def _step_inner(self, state: SystemState) -> FireResult:
         self.steps += 1
         if self._core is not None:
             return self._core.step(state)
@@ -923,6 +1036,18 @@ class IncrementalEvaluator:
                     bindings.append(merged)
         return FireResult(fired, tuple(bindings))
 
+    def _record_gauges(self) -> None:
+        """Refresh the memory gauges from the current evaluator state (the
+        E4 bounded-memory claim as live metrics)."""
+        stored = self.stored_formula_size()
+        aux = self.aux_rows()
+        self._m_stored_size.set(stored)
+        self._m_aux_rows.set(aux)
+        self._m_state_size.set(stored + aux)
+        self._m_instances.set(
+            1 if self._core is not None else len(self._instances)
+        )
+
     def _refresh_instances(self, state: SystemState) -> None:
         per_var: list[list] = []
         for name in self._qvars:
@@ -934,7 +1059,7 @@ class IncrementalEvaluator:
             env = dict(zip(self._qvars, combo))
             inst = instantiate_formula(self.formula, env)
             self._instances[combo] = _CoreEvaluator(
-                inst, self.ctx, self.optimize
+                inst, self.ctx, self.optimize, obs=self._obs
             )
 
     # -- inspection -------------------------------------------------------------
@@ -951,6 +1076,21 @@ class IncrementalEvaluator:
         if self._core is not None:
             return self._core.state_size()
         return sum(core.state_size() for core in self._instances.values())
+
+    def stored_formula_size(self) -> int:
+        """Total size of the stored state formulas F_{g,i-1}."""
+        if self._core is not None:
+            return self._core.stored_formula_size()
+        return sum(
+            core.stored_formula_size() for core in self._instances.values()
+        )
+
+    def aux_rows(self) -> int:
+        """Retained auxiliary tuples (aggregate logs/samples) across all
+        instances — the live R_x row count."""
+        if self._core is not None:
+            return self._core.aux_rows()
+        return sum(core.aux_rows() for core in self._instances.values())
 
     def stored_formulas(self) -> list[tuple[str, cs.C]]:
         if self._core is not None:
@@ -975,12 +1115,16 @@ class IncrementalEvaluator:
         self.steps = steps
         if kind == "core":
             self._core.restore(payload)
-            return
-        # Instances created after the snapshot are dropped.
-        self._instances = {
-            key: core
-            for key, core in self._instances.items()
-            if key in payload
-        }
-        for key, core in self._instances.items():
-            core.restore(payload[key])
+        else:
+            # Instances created after the snapshot are dropped.
+            self._instances = {
+                key: core
+                for key, core in self._instances.items()
+                if key in payload
+            }
+            for key, core in self._instances.items():
+                core.restore(payload[key])
+        if self._obs_on:
+            # Gauges must reflect the restored state, not the pre-restore
+            # one (no stale R_x counts after a snapshot round-trip).
+            self._record_gauges()

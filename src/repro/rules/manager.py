@@ -22,9 +22,12 @@ evaluation algorithm for each trigger."  The manager:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
-from repro.errors import DuplicateRuleError, UnknownRuleError
+from repro.errors import DuplicateRuleError, HistoryError, UnknownRuleError
+from repro.obs.metrics import NULL_REGISTRY, as_registry
+from repro.obs.trace import ACTION, FIRING, IC_VIOLATION, MONITOR, as_trace
 from repro.ptl import ast
 from repro.ptl.aggregates import RewrittenEvaluator
 from repro.ptl.context import EvalContext, ExecutedStore
@@ -124,14 +127,32 @@ class RuleStats:
 
 
 class _RegisteredRule:
-    __slots__ = ("rule", "evaluator", "stats", "_prev_bindings", "stateless")
+    __slots__ = (
+        "rule",
+        "evaluator",
+        "stats",
+        "_prev_bindings",
+        "stateless",
+        "m_firings",
+        "m_eval_seconds",
+        "m_action_seconds",
+        "m_skips",
+    )
 
-    def __init__(self, rule: Rule, evaluator, stateless: bool):
+    def __init__(self, rule: Rule, evaluator, stateless: bool, registry=None):
         self.rule = rule
         self.evaluator = evaluator
         self.stats = RuleStats()
         self.stateless = stateless
         self._prev_bindings: frozenset = frozenset()
+        registry = registry or NULL_REGISTRY
+        name = rule.name
+        self.m_firings = registry.counter("rule_firings_total", rule=name)
+        self.m_eval_seconds = registry.histogram("rule_eval_seconds", rule=name)
+        self.m_action_seconds = registry.histogram(
+            "rule_action_seconds", rule=name
+        )
+        self.m_skips = registry.counter("rule_skips_total", rule=name)
 
     def step(self, state):
         result = self.evaluator.step(state)
@@ -163,12 +184,28 @@ class RuleManager:
         relevance_filtering: bool = False,
         batch_size: int = 1,
         executed_retention: Optional[int] = None,
+        metrics=None,
+        trace=None,
     ):
+        """``metrics`` is ``None`` (inherit the engine's registry — the
+        no-op registry unless the engine was built with one), ``True``, or
+        a :class:`~repro.obs.metrics.MetricsRegistry`; ``trace`` likewise
+        resolves to a :class:`~repro.obs.trace.TraceSink`."""
         self.engine = engine
         self.relevance_filtering = relevance_filtering
         self.batch_size = max(1, batch_size)
         self.executed_retention = executed_retention
         self.executed = ExecutedStore()
+        if metrics is None:
+            self.metrics = getattr(engine, "metrics", NULL_REGISTRY)
+        else:
+            self.metrics = as_registry(metrics)
+        self.trace = as_trace(trace)
+        self._obs_on = self.metrics.enabled or self.trace.enabled
+        self._m_states = self.metrics.counter("manager_states_total")
+        self._m_pending = self.metrics.gauge("manager_pending_actions")
+        self._m_batch = self.metrics.gauge("manager_batch_depth")
+        self._m_state_size = self.metrics.gauge("manager_state_size")
 
         self._rules: dict[str, _RegisteredRule] = {}
         self._ics: dict[str, _RegisteredRule] = {}
@@ -245,11 +282,17 @@ class RuleManager:
         )
         ctx = EvalContext(executed=self.executed, domains=domain_map)
         if rewrite_aggregates:
-            evaluator = RewrittenEvaluator(formula, ctx)
+            evaluator = RewrittenEvaluator(
+                formula, ctx, metrics=self.metrics, name=name
+            )
         else:
-            evaluator = IncrementalEvaluator(formula, ctx)
+            evaluator = IncrementalEvaluator(
+                formula, ctx, metrics=self.metrics, name=name
+            )
         stateless = infer_relevant_events(formula) is not None
-        registered = _RegisteredRule(rule, evaluator, stateless)
+        registered = _RegisteredRule(
+            rule, evaluator, stateless, registry=self.metrics
+        )
         if (
             rule.relevant_events is None
             and self.relevance_filtering
@@ -276,8 +319,12 @@ class RuleManager:
         rule = make_integrity_constraint(name, formula)
         check_safety(rule.condition, domain_map.keys())
         ctx = EvalContext(executed=self.executed, domains=domain_map)
-        evaluator = IncrementalEvaluator(rule.condition, ctx)
-        self._ics[name] = _RegisteredRule(rule, evaluator, stateless=False)
+        evaluator = IncrementalEvaluator(
+            rule.condition, ctx, metrics=self.metrics, name=name
+        )
+        self._ics[name] = _RegisteredRule(
+            rule, evaluator, stateless=False, registry=self.metrics
+        )
         if not self._validator_installed:
             self.engine.add_commit_validator(self._validate)
             self._validator_installed = True
@@ -357,6 +404,17 @@ class RuleManager:
                 violations.append(
                     f"integrity constraint {reg.rule.name!r} violated"
                 )
+                if self._obs_on:
+                    self.metrics.counter(
+                        "ic_violations_total", rule=reg.rule.name
+                    ).inc()
+                    self.trace.emit(
+                        IC_VIOLATION,
+                        timestamp=candidate.timestamp,
+                        rule=reg.rule.name,
+                        txn=txn.id,
+                        state_index=candidate.index,
+                    )
         return violations
 
     # ------------------------------------------------------------------
@@ -383,6 +441,9 @@ class RuleManager:
             reg.evaluator.step(state)
             reg.stats.evaluations += 1
         self._batch.append(state)
+        if self._obs_on:
+            self._m_states.inc()
+            self._m_batch.set(len(self._batch))
         if len(self._batch) >= self.batch_size:
             self.flush()
 
@@ -395,6 +456,9 @@ class RuleManager:
         if self.executed_retention is not None and batch:
             horizon = batch[-1].timestamp - self.executed_retention
             self.executed.discard_before(horizon)
+        if self._obs_on:
+            self._m_batch.set(len(self._batch))
+            self._m_state_size.set(self.total_state_size())
 
     def _ordered_rules(self) -> list[_RegisteredRule]:
         """Registration order, stably re-ordered by descending priority."""
@@ -403,6 +467,7 @@ class RuleManager:
         )
 
     def _step_triggers(self, state) -> None:
+        obs = self._obs_on
         to_execute: list[tuple[Rule, dict]] = []
         names = state.event_names()
         for reg in self._ordered_rules():
@@ -411,33 +476,81 @@ class RuleManager:
                 rule.relevant_events & names
             ):
                 reg.stats.skips += 1
+                if obs:
+                    reg.m_skips.inc()
                 continue
-            bindings = reg.step(state)
+            if obs:
+                t0 = perf_counter()
+                bindings = reg.step(state)
+                reg.m_eval_seconds.observe(perf_counter() - t0)
+            else:
+                bindings = reg.step(state)
             for binding in bindings:
                 reg.stats.firings += 1
-                self._firings.append(
-                    FiringRecord(
-                        rule.name,
-                        tuple(sorted(binding.items(), key=lambda kv: kv[0])),
-                        state.index,
-                        state.timestamp,
-                    )
+                record = FiringRecord(
+                    rule.name,
+                    tuple(sorted(binding.items(), key=lambda kv: kv[0])),
+                    state.index,
+                    state.timestamp,
                 )
+                self._firings.append(record)
+                if obs:
+                    reg.m_firings.inc()
+                    self.trace.emit(
+                        FIRING,
+                        timestamp=state.timestamp,
+                        rule=rule.name,
+                        state_index=state.index,
+                        bindings=dict(record.bindings),
+                    )
                 if rule.coupling is CouplingMode.T_CA:
                     to_execute.append((rule, binding))
                 elif rule.coupling is CouplingMode.T_C_A:
                     self._pending_actions.append((rule, binding, state))
+        if obs:
+            self._m_pending.set(len(self._pending_actions))
         for rule, binding in to_execute:
             self._execute(rule, binding, state)
         for monitor in list(self._monitors.values()):
+            before = len(monitor.resolutions)
             monitor.step(state, self.engine)
+            if obs and len(monitor.resolutions) > before:
+                verdict, ts = monitor.resolutions[-1]
+                self.metrics.counter(
+                    "monitor_resolutions_total",
+                    monitor=monitor.name,
+                    verdict=verdict,
+                ).inc()
+                self.trace.emit(
+                    MONITOR,
+                    timestamp=ts,
+                    monitor=monitor.name,
+                    verdict=verdict,
+                )
 
     def _execute(self, rule: Rule, binding: dict, state) -> None:
         if rule.record_executions:
             params = tuple(binding.get(p) for p in rule.params)
             self.executed.record(rule.name, params, state.timestamp)
+        if not self._obs_on:
+            rule.action.execute(
+                ActionContext(self.engine, binding, state, rule.name)
+            )
+            return
+        t0 = perf_counter()
         rule.action.execute(
             ActionContext(self.engine, binding, state, rule.name)
+        )
+        elapsed = perf_counter() - t0
+        reg = self._rules.get(rule.name)
+        if reg is not None:
+            reg.m_action_seconds.observe(elapsed)
+        self.trace.emit(
+            ACTION,
+            timestamp=state.timestamp,
+            rule=rule.name,
+            coupling=rule.coupling.value,
+            seconds=elapsed,
         )
 
     def run_pending(self) -> int:
@@ -445,6 +558,8 @@ class RuleManager:
         pending, self._pending_actions = self._pending_actions, []
         for rule, binding, state in pending:
             self._execute(rule, binding, state)
+        if self._obs_on:
+            self._m_pending.set(0)
         return len(pending)
 
     # ------------------------------------------------------------------
@@ -464,6 +579,42 @@ class RuleManager:
         if rule in self._ics:
             return self._ics[rule].stats
         raise UnknownRuleError(f"no rule named {rule!r}")
+
+    def explain_firing(self, record: FiringRecord, rendered: bool = False):
+        """Why did this firing happen?  Re-evaluates the rule's condition
+        at the firing's history position with the reference semantics and
+        returns the witness proof tree (:mod:`repro.ptl.explain`).
+
+        ``record`` is a :class:`FiringRecord` — e.g. taken from
+        :attr:`firings` or located from a ``firing`` trace event's
+        ``rule``/``state_index`` fields.  Needs ``keep_history=True`` on
+        the engine.  With ``rendered=True`` returns the indented ✓/✗ text.
+        """
+        from repro.ptl.explain import explain, render
+
+        history = self.engine.history
+        if history is None:
+            raise HistoryError("explain_firing needs keep_history=True")
+        if record.rule in self._rules:
+            reg = self._rules[record.rule]
+        elif record.rule in self._ics:
+            reg = self._ics[record.rule]
+        else:
+            raise UnknownRuleError(f"no rule named {record.rule!r}")
+        states = history.states
+        if not (0 <= record.state_index < len(states)):
+            raise HistoryError(
+                f"state index {record.state_index} outside the kept history"
+            )
+        ctx = EvalContext(executed=self.executed)
+        explanation = explain(
+            states[: record.state_index + 1],
+            record.state_index,
+            reg.rule.condition,
+            env=dict(record.bindings),
+            ctx=ctx,
+        )
+        return render(explanation) if rendered else explanation
 
     def total_state_size(self) -> int:
         return sum(

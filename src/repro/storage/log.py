@@ -40,6 +40,8 @@ class ChangeLog:
         self.records: list[dict] = []
         self._prev: Optional[DatabaseState] = None
         self._subscription = None
+        self._registry = None
+        self._m_records = None
 
     # -- recording ------------------------------------------------------------
 
@@ -60,6 +62,10 @@ class ChangeLog:
             }
         )
         log._subscription = engine.bus.subscribe(log._on_state)
+        registry = getattr(engine, "metrics", None)
+        if registry is not None and registry.enabled:
+            log._registry = registry
+            log._m_records = registry.counter("changelog_records_total")
         return log
 
     def _on_state(self, state: SystemState) -> None:
@@ -78,6 +84,8 @@ class ChangeLog:
             }
         )
         self._prev = state.db
+        if self._m_records is not None:
+            self._m_records.inc()
 
     def detach(self) -> None:
         if self._subscription is not None:
@@ -87,9 +95,12 @@ class ChangeLog:
     # -- persistence ---------------------------------------------------------------
 
     def to_jsonl(self, path: PathLike) -> None:
+        written = 0
         with open(path, "w") as fp:
             for record in self.records:
-                fp.write(json.dumps(record, sort_keys=True) + "\n")
+                written += fp.write(json.dumps(record, sort_keys=True) + "\n")
+        if self._registry is not None:
+            self._registry.gauge("changelog_bytes").set(written)
 
     @classmethod
     def from_jsonl(cls, path: PathLike) -> "ChangeLog":

@@ -68,7 +68,9 @@ def _decode_item(payload: dict):
 
 def dump_database(engine, path: PathLike) -> None:
     """Write the engine's catalog, current state, queries, and clock to
-    ``path`` as JSON."""
+    ``path`` as JSON.  If the engine carries an enabled metrics registry,
+    the snapshot size and count are recorded
+    (``storage_snapshot_bytes``/``storage_snapshots_total``)."""
     state = engine.db.state
     payload = {
         "format": _FORMAT_VERSION,
@@ -85,7 +87,12 @@ def dump_database(engine, path: PathLike) -> None:
             for name in engine.db.queries.names()
         },
     }
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    Path(path).write_text(text)
+    registry = getattr(engine, "metrics", None)
+    if registry is not None and registry.enabled:
+        registry.gauge("storage_snapshot_bytes").set(len(text))
+        registry.counter("storage_snapshots_total").inc()
 
 
 def load_database(path: PathLike):

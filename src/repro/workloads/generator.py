@@ -69,11 +69,13 @@ class FormulaGenerator:
         max_depth: int = 4,
         allow_aggregates: bool = False,
         allow_executed: bool = False,
+        allow_windowed_aggregates: bool = False,
     ):
         self.rng = rng
         self.max_depth = max_depth
         self.allow_aggregates = allow_aggregates
         self.allow_executed = allow_executed
+        self.allow_windowed_aggregates = allow_windowed_aggregates
         self._var_counter = 0
 
     def formula(self) -> ast.Formula:
@@ -85,26 +87,43 @@ class FormulaGenerator:
         self._var_counter += 1
         return f"{hint}{self._var_counter}"
 
-    def _formula(self, depth: int, scope: tuple[str, ...]) -> ast.Formula:
+    def _formula(
+        self,
+        depth: int,
+        scope: tuple[str, ...],
+        time_scope: tuple[str, ...] = (),
+    ) -> ast.Formula:
+        # ``time_scope`` tracks assignment variables bound to ``time`` that
+        # are still *available* at this position — the evaluator's safety
+        # rule resets availability under temporal operators, so windowed
+        # aggregates (whose starting formula references such a variable)
+        # may only be generated where one is live.
         rng = self.rng
         if depth <= 0:
-            return self._atom(scope)
+            return self._atom(scope, time_scope)
         choice = rng.randrange(10)
         if choice <= 2:
-            return self._atom(scope)
+            return self._atom(scope, time_scope)
         if choice == 3:
-            return ast.Not(self._formula(depth - 1, scope))
+            return ast.Not(self._formula(depth - 1, scope, time_scope))
         if choice == 4:
             return ast.And(
-                tuple(self._formula(depth - 1, scope) for _ in range(2))
+                tuple(
+                    self._formula(depth - 1, scope, time_scope)
+                    for _ in range(2)
+                )
             )
         if choice == 5:
             return ast.Or(
-                tuple(self._formula(depth - 1, scope) for _ in range(2))
+                tuple(
+                    self._formula(depth - 1, scope, time_scope)
+                    for _ in range(2)
+                )
             )
         if choice == 6:
             return ast.Since(
-                self._formula(depth - 1, scope), self._formula(depth - 1, scope)
+                self._formula(depth - 1, scope),
+                self._formula(depth - 1, scope),
             )
         if choice == 7:
             return ast.Lasttime(self._formula(depth - 1, scope))
@@ -115,9 +134,20 @@ class FormulaGenerator:
         # assignment operator
         var = self._fresh_var("x")
         query = rng.choice([_V_QUERY, _TIME_QUERY])
-        return ast.Assign(var, query, self._formula(depth - 1, scope + (var,)))
+        new_time_scope = (
+            time_scope + (var,) if query is _TIME_QUERY else time_scope
+        )
+        return ast.Assign(
+            var,
+            query,
+            self._formula(depth - 1, scope + (var,), new_time_scope),
+        )
 
-    def _atom(self, scope: tuple[str, ...]) -> ast.Formula:
+    def _atom(
+        self,
+        scope: tuple[str, ...],
+        time_scope: tuple[str, ...] = (),
+    ) -> ast.Formula:
         rng = self.rng
         choice = rng.randrange(8)
         if choice <= 1:
@@ -135,7 +165,7 @@ class FormulaGenerator:
                     args.append(ast.Var(self._fresh_var("u")))
             return ast.EventAtom(name, tuple(args))
         if choice == 2 and self.allow_aggregates:
-            return self._aggregate_atom()
+            return self._aggregate_atom(time_scope)
         if choice == 3 and self.allow_executed:
             rule = rng.choice(["r0", "r1"])
             if rng.random() < 0.5:
@@ -174,10 +204,30 @@ class FormulaGenerator:
             )
         return ast.ConstT(rng.randint(0, 10))
 
-    def _aggregate_atom(self) -> ast.Formula:
+    def _aggregate_atom(self, time_scope: tuple[str, ...] = ()) -> ast.Formula:
         rng = self.rng
         func = rng.choice(["sum", "count", "avg", "min", "max"])
-        start = ast.EventAtom(rng.choice(["e0", "e3"]))
+        if (
+            self.allow_windowed_aggregates
+            and time_scope
+            and rng.random() < 0.5
+        ):
+            # moving-window aggregate (Section 6's hourly average): the
+            # starting formula references an outer time variable, so the
+            # window slides with the current state
+            start: ast.Formula = ast.Comparison(
+                ">=",
+                ast.QueryT(_TIME_QUERY),
+                ast.FuncT(
+                    "-",
+                    (
+                        ast.Var(rng.choice(time_scope)),
+                        ast.ConstT(rng.randint(2, 8)),
+                    ),
+                ),
+            )
+        else:
+            start = ast.EventAtom(rng.choice(["e0", "e3"]))
         sample = rng.choice(
             [
                 ast.EventAtom(rng.choice(["e0", "e3"])),
@@ -190,6 +240,95 @@ class FormulaGenerator:
             agg,
             ast.ConstT(rng.randint(0, 30)),
         )
+
+
+class BoundedFormulaGenerator(FormulaGenerator):
+    """Random formulas built only from *bounded* temporal operators —
+    ``lasttime`` and windowed ``previously``/``throughout_past`` (never
+    unbounded ``since``/``previously``, never aggregates).
+
+    Every such formula keeps only a bounded slice of the past, so under
+    the Section 5 optimization the incremental evaluator's state size must
+    stay bounded along any history — the property the bounded-memory tests
+    assert through the ``evaluator_state_size`` gauges.
+    """
+
+    def __init__(self, rng: random.Random, max_depth: int = 3):
+        super().__init__(
+            rng, max_depth, allow_aggregates=False, allow_executed=False
+        )
+
+    def _formula(
+        self,
+        depth: int,
+        scope: tuple[str, ...],
+        time_scope: tuple[str, ...] = (),
+    ) -> ast.Formula:
+        rng = self.rng
+        if depth <= 0:
+            return self._atom(scope, time_scope)
+        choice = rng.randrange(9)
+        if choice <= 1:
+            return self._atom(scope, time_scope)
+        if choice == 2:
+            return ast.Not(self._formula(depth - 1, scope, time_scope))
+        if choice == 3:
+            return ast.And(
+                tuple(
+                    self._formula(depth - 1, scope, time_scope)
+                    for _ in range(2)
+                )
+            )
+        if choice == 4:
+            return ast.Or(
+                tuple(
+                    self._formula(depth - 1, scope, time_scope)
+                    for _ in range(2)
+                )
+            )
+        if choice == 5:
+            return ast.Lasttime(self._formula(depth - 1, scope))
+        if choice in (6, 7):
+            op = rng.choice([ast.Previously, ast.ThroughoutPast])
+            return op(self._formula(depth - 1, scope), rng.randint(2, 8))
+        var = self._fresh_var("x")
+        query = rng.choice([_V_QUERY, _TIME_QUERY])
+        new_time_scope = (
+            time_scope + (var,) if query is _TIME_QUERY else time_scope
+        )
+        return ast.Assign(
+            var,
+            query,
+            self._formula(depth - 1, scope + (var,), new_time_scope),
+        )
+
+
+def contains_aggregate(formula: ast.Formula) -> bool:
+    """True iff the formula has at least one temporal-aggregate term."""
+
+    def term_has(term: ast.Term) -> bool:
+        if isinstance(term, ast.AggT):
+            return True
+        if isinstance(term, ast.FuncT):
+            return any(term_has(a) for a in term.args)
+        return False
+
+    def rec(f: ast.Formula) -> bool:
+        if isinstance(f, ast.Comparison):
+            return term_has(f.left) or term_has(f.right)
+        if isinstance(f, ast.Not):
+            return rec(f.operand)
+        if isinstance(f, (ast.And, ast.Or)):
+            return any(rec(c) for c in f.operands)
+        if isinstance(f, ast.Since):
+            return rec(f.lhs) or rec(f.rhs)
+        if isinstance(f, (ast.Lasttime, ast.Previously, ast.ThroughoutPast)):
+            return rec(f.operand)
+        if isinstance(f, ast.Assign):
+            return rec(f.body)
+        return False
+
+    return rec(formula)
 
 
 def random_formula(
@@ -210,6 +349,47 @@ def random_pair(
     rng = random.Random(seed)
     gen = FormulaGenerator(rng, max_depth, allow_aggregates, allow_executed)
     formula = gen.formula()
+    history = random_history(rng, length)
+    return formula, history
+
+
+def random_bounded_pair(seed: int, length: int = 40, max_depth: int = 3):
+    """A (bounded-operator formula, history) pair from one seed — the
+    input for the bounded-memory property tests."""
+    rng = random.Random(seed)
+    gen = BoundedFormulaGenerator(rng, max_depth)
+    formula = gen.formula()
+    history = random_history(rng, length)
+    return formula, history
+
+
+def random_aggregate_pair(
+    seed: int,
+    length: int = 8,
+    max_depth: int = 2,
+    windowed: bool = True,
+):
+    """Like :func:`random_pair` with aggregates enabled, but guaranteed to
+    contain at least one temporal-aggregate term (random drawing alone
+    leaves most formulas aggregate-free).  With ``windowed=True`` the
+    generator may also produce moving-window aggregates whose starting
+    formula references an outer time variable."""
+    rng = random.Random(seed)
+    gen = FormulaGenerator(
+        rng,
+        max_depth,
+        allow_aggregates=True,
+        allow_windowed_aggregates=windowed,
+    )
+    formula = gen.formula()
+    if not contains_aggregate(formula):
+        # conjoin/disjoin a fresh aggregate atom at the top
+        atom = gen._aggregate_atom()
+        formula = (
+            ast.And((formula, atom))
+            if rng.random() < 0.5
+            else ast.Or((formula, atom))
+        )
     history = random_history(rng, length)
     return formula, history
 

@@ -77,10 +77,12 @@ def stock_query_registry():
 def make_stock_db(
     stocks: Sequence[tuple[str, float]] = (("IBM", 10.0),),
     start_time: int = 0,
+    metrics=None,
 ) -> ActiveDatabase:
     """An active database with the STOCK relation and the paper's query
-    symbols (``price``, ``overpriced``) registered."""
-    adb = ActiveDatabase(start_time=start_time)
+    symbols (``price``, ``overpriced``) registered.  ``metrics`` is passed
+    through to :class:`~repro.engine.ActiveDatabase`."""
+    adb = ActiveDatabase(start_time=start_time, metrics=metrics)
     adb.create_relation(
         "STOCK",
         STOCK_SCHEMA,

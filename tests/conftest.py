@@ -1,0 +1,25 @@
+"""Shared test configuration: hypothesis settings profiles.
+
+Two profiles are registered:
+
+* ``ci`` (default) — moderate example counts, keeps the tier-1 suite fast;
+* ``nightly`` — a much deeper search for the property tests.
+
+Select with the ``HYPOTHESIS_PROFILE`` environment variable::
+
+    HYPOTHESIS_PROFILE=nightly python -m pytest tests/test_properties.py
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+settings.register_profile("ci", max_examples=100, **_COMMON)
+settings.register_profile("nightly", max_examples=600, **_COMMON)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

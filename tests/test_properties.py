@@ -11,21 +11,25 @@ ground bindings.
 import random
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.baselines import NaiveDetector
 from repro.datamodel import INT, Relation, Schema
 from repro.ptl import IncrementalEvaluator, answers, satisfies
 from repro.ptl import constraints as cs
 from repro.ptl.context import EvalContext
 from repro.ptl.optimize import prune_time_bounds
-from repro.workloads.generator import random_history, random_pair
-
-SETTINGS = settings(
-    max_examples=120,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
+from repro.workloads.generator import (
+    contains_aggregate,
+    random_aggregate_pair,
+    random_history,
+    random_pair,
 )
+
+# Example counts come from the hypothesis profile registered in
+# tests/conftest.py (``ci`` by default, ``nightly`` via
+# HYPOTHESIS_PROFILE=nightly).
 
 
 def incremental_run(formula, history, optimize):
@@ -40,7 +44,6 @@ def reference_run(formula, history):
 
 
 class TestTheorem1:
-    @SETTINGS
     @given(seed=st.integers(0, 10_000))
     def test_incremental_matches_reference(self, seed):
         formula, history = random_pair(seed, length=10, max_depth=3)
@@ -53,7 +56,6 @@ class TestTheorem1:
                 f"states: {[str(s) for s in history.states[: i + 1]]}"
             )
 
-    @SETTINGS
     @given(seed=st.integers(0, 10_000))
     def test_optimization_preserves_firings(self, seed):
         formula, history = random_pair(seed, length=10, max_depth=3)
@@ -61,7 +63,6 @@ class TestTheorem1:
         raw = incremental_run(formula, history, optimize=False)
         assert [r.fired for r in opt] == [r.fired for r in raw]
 
-    @SETTINGS
     @given(seed=st.integers(0, 10_000))
     def test_optimization_never_grows_state(self, seed):
         formula, history = random_pair(seed, length=10, max_depth=3)
@@ -72,7 +73,6 @@ class TestTheorem1:
             ev_raw.step(state)
             assert ev_opt.state_size() <= ev_raw.state_size()
 
-    @SETTINGS
     @given(seed=st.integers(0, 10_000))
     def test_incremental_bindings_satisfy_reference(self, seed):
         """Every binding the incremental evaluator reports satisfies the
@@ -94,7 +94,6 @@ class TestTheorem1:
                     f"{formula}"
                 )
 
-    @SETTINGS
     @given(seed=st.integers(0, 5_000))
     def test_theorem1_with_executed_predicate(self, seed):
         """Equivalence extends to conditions over the executed store
@@ -114,7 +113,6 @@ class TestTheorem1:
                 f"records: {ctx.executed.records()}"
             )
 
-    @SETTINGS
     @given(seed=st.integers(0, 5_000))
     def test_theorem1_with_aggregates(self, seed):
         formula, history = random_pair(
@@ -124,7 +122,24 @@ class TestTheorem1:
         ref = reference_run(formula, history)
         assert [r.fired for r in inc] == [bool(r) for r in ref]
 
-    @SETTINGS
+    @given(seed=st.integers(0, 5_000))
+    def test_naive_vs_incremental_with_aggregates(self, seed):
+        """Differential test against the naive full-history detector on
+        formulas guaranteed to contain a temporal aggregate — including
+        moving-window aggregates whose starting formula references an
+        outer time variable (Section 6's hourly average shape)."""
+        formula, history = random_aggregate_pair(seed, length=8, max_depth=2)
+        assert contains_aggregate(formula)
+        ev = IncrementalEvaluator(formula)
+        naive = NaiveDetector(formula)
+        for i, state in enumerate(history):
+            fired_inc = ev.step(state).fired
+            fired_naive = naive.step(state).fired
+            assert fired_inc == fired_naive, (
+                f"divergence at position {i}: incremental={fired_inc} "
+                f"naive={fired_naive}\nformula: {formula}"
+            )
+
     @given(seed=st.integers(0, 10_000))
     def test_snapshot_restore_is_transparent(self, seed):
         """Trial evaluation (used by integrity constraints): snapshot,
@@ -142,7 +157,6 @@ class TestTheorem1:
 
 
 class TestConstraintProperties:
-    @SETTINGS
     @given(
         values=st.lists(
             st.tuples(st.integers(-5, 5), st.integers(-5, 5)),
@@ -174,7 +188,6 @@ class TestConstraintProperties:
         expected = all(atom_vals[: len(atoms) // 2 + 1]) or (not atom_vals[0])
         assert direct == expected
 
-    @SETTINGS
     @given(
         seed=st.integers(0, 10_000),
         now=st.integers(0, 30),
@@ -202,7 +215,6 @@ class TestConstraintProperties:
 
 
 class TestHistoryGenerator:
-    @SETTINGS
     @given(seed=st.integers(0, 1000), length=st.integers(1, 20))
     def test_random_history_well_formed(self, seed, length):
         h = random_history(random.Random(seed), length)
