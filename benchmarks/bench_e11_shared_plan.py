@@ -1,0 +1,159 @@
+"""E11 — shared condition-evaluation plan vs per-rule evaluators.
+
+Real rule sets repeat themselves: many triggers watch the same windowed
+stock conditions with small variations.  The :class:`SharedPlan` compiles
+every registered condition into one hash-consed subformula DAG and steps
+each distinct subformula's state formula F_{g,i} exactly once per update.
+This benchmark builds a 50-rule workload where rules draw their conditions
+from a small pool (so heavy overlap, as in practice), replays a random-walk
+tick history, and compares one ``plan.step`` per state against stepping 50
+independent :class:`IncrementalEvaluator` instances.
+
+Firings are differential-checked rule-by-rule before timing is reported
+(THEOREM 1 equivalence: sharing must not change any rule's behaviour).
+"""
+
+import random
+
+from conftest import report
+
+from repro.bench import (
+    Table,
+    emit_bench_json,
+    per_update_micros,
+    smoke_mode,
+    time_best,
+)
+from repro.obs import MetricsRegistry
+from repro.ptl import EvalContext, IncrementalEvaluator, SharedPlan, parse_formula
+from repro.workloads import (
+    SHARP_INCREASE,
+    random_walk_trace,
+    stock_query_registry,
+    trace_history,
+)
+
+SMOKE = smoke_mode()
+N_RULES = 50
+N_STATES = 60 if SMOKE else 300
+
+# The condition pool: windowed temporal operators over the shared stock
+# queries.  Rules combine 1-2 pool members, so most subformulas appear in
+# many rules — the workload the shared plan is designed for.
+POOL = (
+    "previously[6] (price(IBM) > 55)",
+    "throughout_past[4] (price(IBM) > 40)",
+    "lasttime (price(IBM) < 50)",
+    "price(IBM) > 60",
+    "previously[10] (price(IBM) < 45)",
+    "previously[8] (price(IBM) >= 52)",
+    "throughout_past[6] (price(IBM) < 70)",
+    SHARP_INCREASE,
+)
+
+
+def build_rules(seed=7):
+    rng = random.Random(seed)
+    registry = stock_query_registry()
+    rules = []
+    for i in range(N_RULES):
+        picks = rng.sample(POOL, rng.randint(1, 2))
+        if len(picks) == 1:
+            text = picks[0]
+        else:
+            op = rng.choice(["&", "|"])
+            text = f"({picks[0]}) {op} ({picks[1]})"
+        rules.append((f"r{i}", parse_formula(text, registry)))
+    return rules
+
+
+def run_shared(rules, history, metrics=None):
+    plan = SharedPlan(EvalContext(), metrics=metrics)
+    for name, formula in rules:
+        plan.add_rule(name, formula)
+    fired = [0] * len(rules)
+    for state in history:
+        plan.step(state)
+        for j, (name, _) in enumerate(rules):
+            if plan.result_of(name).fired:
+                fired[j] += 1
+    return plan, tuple(fired)
+
+
+def run_per_rule(rules, history):
+    evaluators = [IncrementalEvaluator(formula) for _, formula in rules]
+    fired = [0] * len(rules)
+    for state in history:
+        for j, ev in enumerate(evaluators):
+            if ev.step(state).fired:
+                fired[j] += 1
+    return tuple(fired)
+
+
+def compute():
+    rules = build_rules()
+    history = trace_history(random_walk_trace(seed=11, n=N_STATES))
+
+    # equivalence first: every rule fires identically both ways
+    registry = MetricsRegistry()
+    plan, fired_shared = run_shared(rules, history, metrics=registry)
+    fired_per_rule = run_per_rule(rules, history)
+    assert fired_shared == fired_per_rule, "shared plan changed rule firings"
+
+    t_shared = time_best(lambda: run_shared(rules, history), repeat=2)
+    t_per_rule = time_best(lambda: run_per_rule(rules, history), repeat=2)
+    return rules, plan, registry, fired_shared, t_shared, t_per_rule
+
+
+def test_e11_shared_plan_speedup(benchmark):
+    rules, plan, registry, fired, t_shared, t_per_rule = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    speedup = t_per_rule / t_shared
+
+    table = Table(
+        "E11: shared plan vs per-rule evaluators "
+        f"({N_RULES} rules, {N_STATES} updates)",
+        ["variant", "total (s)", "us/update", "distinct F_g,i", "firings"],
+    )
+    table.add_row(
+        "shared plan",
+        t_shared,
+        round(per_update_micros(t_shared, N_STATES), 1),
+        plan.distinct_nodes(),
+        sum(fired),
+    )
+    table.add_row(
+        "per-rule",
+        t_per_rule,
+        round(per_update_micros(t_per_rule, N_STATES), 1),
+        "-",
+        sum(fired),
+    )
+    table.add_row("speedup", speedup, "-", "-", "-")
+    report(table)
+
+    emit_bench_json(
+        "E11",
+        {
+            "rules": N_RULES,
+            "updates": N_STATES,
+            "shared_seconds": t_shared,
+            "per_rule_seconds": t_per_rule,
+            "speedup": speedup,
+            "shared_us_per_update": per_update_micros(t_shared, N_STATES),
+            "per_rule_us_per_update": per_update_micros(t_per_rule, N_STATES),
+            "plan": {
+                "distinct_nodes": plan.distinct_nodes(),
+                "compile_requests": plan.compile_requests,
+                "compile_shared": plan.compile_shared,
+                "dedup_ratio": plan.dedup_ratio(),
+                "state_size": plan.state_size(),
+            },
+            "total_firings": sum(fired),
+        },
+        registry=registry,
+    )
+
+    # the acceptance bar: sharing must pay off on an overlapping workload
+    assert speedup >= 1.5, f"expected >=1.5x speedup, got {speedup:.2f}x"

@@ -12,7 +12,13 @@ import pytest
 from conftest import report
 
 from repro.baselines import NaiveDetector
-from repro.bench import Table, emit_bench_json, per_update_micros, time_best
+from repro.bench import (
+    Table,
+    emit_bench_json,
+    per_update_micros,
+    smoke_mode,
+    time_best,
+)
 from repro.obs import MetricsRegistry
 from repro.ptl import IncrementalEvaluator, parse_formula
 from repro.workloads import (
@@ -22,7 +28,8 @@ from repro.workloads import (
     trace_history,
 )
 
-SIZES = (50, 100, 200, 400)
+SMOKE = smoke_mode()
+SIZES = (20, 40, 80) if SMOKE else (50, 100, 200, 400)
 
 
 def make_history(n):
@@ -94,10 +101,11 @@ def test_e3_scaling_table(benchmark, formula):
     report(table)
 
     # shape: naive per-update cost grows with n, incremental roughly flat,
-    # so the gap widens
-    assert naive_pu[-1] > 3 * naive_pu[0]
-    assert incr_pu[-1] < 3 * incr_pu[0]
-    assert ratios[-1] > ratios[0]
+    # so the gap widens (smoke sizes are too small for stable shapes)
+    if not SMOKE:
+        assert naive_pu[-1] > 3 * naive_pu[0]
+        assert incr_pu[-1] < 3 * incr_pu[0]
+        assert ratios[-1] > ratios[0]
 
     # one metrics-enabled pass at the largest size — its registry snapshot
     # rides along in the machine-readable result document

@@ -15,7 +15,7 @@ interval pruning.
 
 from conftest import report
 
-from repro.bench import Table, emit_bench_json
+from repro.bench import Table, emit_bench_json, smoke_mode
 from repro.obs import MetricsRegistry
 from repro.ptl import AuxiliaryStore, IncrementalEvaluator, parse_formula
 from repro.ptl.rewrite import normalize
@@ -26,7 +26,8 @@ from repro.workloads import (
     trace_history,
 )
 
-CHECKPOINTS = (100, 200, 400, 800)
+SMOKE = smoke_mode()
+CHECKPOINTS = (50, 100, 200) if SMOKE else (100, 200, 400, 800)
 
 
 def sizes_over(history, formula, optimize):
@@ -39,7 +40,8 @@ def sizes_over(history, formula, optimize):
     return out
 
 
-def compute(n=800):
+def compute(n=None):
+    n = n or max(CHECKPOINTS)
     registry = stock_query_registry()
     history = trace_history(random_walk_trace(seed=21, n=n))
     bounded = parse_formula("previously[20] price(IBM) < 60", registry)
@@ -54,7 +56,8 @@ def compute(n=800):
     }
 
 
-def aux_relation_growth(n=800):
+def aux_relation_growth(n=None):
+    n = n or max(CHECKPOINTS)
     registry = stock_query_registry()
     history = trace_history(random_walk_trace(seed=21, n=n))
     formula = normalize(parse_formula(SHARP_INCREASE, registry))
@@ -84,13 +87,14 @@ def test_e4_state_size_vs_updates(benchmark):
     # bounded + optimized: flat
     b = [results["bounded+opt"][cp] for cp in CHECKPOINTS]
     assert max(b) <= min(b) + 30
-    # variable-carrying condition without optimization: linear growth
     s = [results["sharp-opt"][cp] for cp in CHECKPOINTS]
-    assert s[-1] > 5 * s[0]
-    # with optimization: flat
     so = [results["sharp+opt"][cp] for cp in CHECKPOINTS]
-    assert max(so) <= 10 * min(so)
-    assert max(so) < s[0]
+    if not SMOKE:  # growth shapes need the full-size run to be stable
+        # variable-carrying condition without optimization: linear growth
+        assert s[-1] > 5 * s[0]
+        # with optimization: flat
+        assert max(so) <= 10 * min(so)
+        assert max(so) < s[0]
 
     # re-run the optimized sharp case with live gauges: the registry's
     # final evaluator_state_size gauge must agree with the table's figure
@@ -130,4 +134,5 @@ def test_e4_auxiliary_relation_rows(benchmark):
     pruned_rows = [results[cp][0] for cp in CHECKPOINTS]
     raw_rows = [results[cp][1] for cp in CHECKPOINTS]
     assert max(pruned_rows) <= 20
-    assert raw_rows[-1] > 20 * max(pruned_rows)
+    if not SMOKE:
+        assert raw_rows[-1] > 20 * max(pruned_rows)

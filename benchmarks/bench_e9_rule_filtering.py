@@ -31,7 +31,12 @@ def build_engine():
 
 def run_filtering(filtering: bool):
     adb = build_engine()
-    manager = RuleManager(adb, relevance_filtering=filtering)
+    # per-rule evaluators: the shared plan steps every rule's temporal
+    # state each update regardless of relevance, which is what this
+    # experiment measures the cost of skipping
+    manager = RuleManager(
+        adb, relevance_filtering=filtering, shared_plan=False
+    )
     actions = []
     for k in range(N_RULES):
         action = RecordingAction()

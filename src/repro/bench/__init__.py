@@ -4,6 +4,7 @@ from repro.bench.harness import (
     Table,
     emit_bench_json,
     per_update_micros,
+    smoke_mode,
     summarize,
     time_best,
     time_once,
@@ -15,5 +16,6 @@ __all__ = [
     "time_best",
     "per_update_micros",
     "summarize",
+    "smoke_mode",
     "emit_bench_json",
 ]

@@ -83,6 +83,24 @@ def summarize(values: Sequence[float]) -> dict:
     }
 
 
+def smoke_mode() -> bool:
+    """True when benchmarks should run at CI smoke sizes (set by the
+    ``--smoke`` pytest option in ``benchmarks/conftest.py`` or the
+    ``BENCH_SMOKE=1`` environment variable): small workloads, shape
+    assertions relaxed, but every ``BENCH_*.json`` still refreshed."""
+    return os.environ.get("BENCH_SMOKE") == "1"
+
+
+def _repo_root() -> Optional[Path]:
+    """The repository root (nearest ancestor with a ``pyproject.toml``) —
+    where ``BENCH_*.json`` trajectory files live by default, so results
+    land in the same place however the benchmarks are invoked."""
+    for candidate in Path(__file__).resolve().parents:
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return None
+
+
 def emit_bench_json(
     name: str,
     payload: dict,
@@ -93,11 +111,14 @@ def emit_bench_json(
 
     ``payload`` is the benchmark-specific result document; when an enabled
     metrics ``registry`` is passed, its full snapshot is embedded under a
-    ``"metrics"`` key.  The target directory comes from the ``BENCH_DIR``
-    environment variable (default: current directory).  Returns the path
-    written.
+    ``"metrics"`` key.  The target directory is, in order: the explicit
+    ``directory`` argument, the ``BENCH_DIR`` environment variable, the
+    repository root, the current directory.  Returns the path written.
     """
-    directory = directory or os.environ.get("BENCH_DIR", ".")
+    if directory is None:
+        directory = os.environ.get("BENCH_DIR")
+    if directory is None:
+        directory = _repo_root() or "."
     doc = {"bench": name, **payload}
     if registry is not None and getattr(registry, "enabled", False):
         doc["metrics"] = registry.to_dict()

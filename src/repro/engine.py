@@ -125,6 +125,18 @@ class ActiveDatabase:
     def state_count(self) -> int:
         return self._state_count
 
+    # -- temporal component -------------------------------------------------------
+
+    def rule_manager(self, **kwargs):
+        """Attach a :class:`~repro.rules.manager.RuleManager` (the paper's
+        temporal component) to this engine and return it.  Keyword
+        arguments pass through — e.g. ``shared_plan=False`` for one
+        independent evaluator per rule instead of the shared
+        condition-evaluation plan."""
+        from repro.rules.manager import RuleManager
+
+        return RuleManager(self, **kwargs)
+
     # -- integrity-constraint hook ------------------------------------------------
 
     def add_commit_validator(self, validator: CommitValidator) -> None:

@@ -29,6 +29,7 @@ from repro.ptl.ast import (
 from repro.ptl.auxrel import AuxiliaryRelation, AuxiliaryStore
 from repro.ptl.context import EvalContext, ExecutedStore, ExecutionRecord
 from repro.ptl.incremental import FireResult, IncrementalEvaluator
+from repro.ptl.plan import PlanBoundEvaluator, SharedPlan
 from repro.ptl.future_parser import parse_future_formula
 from repro.ptl.parser import parse_formula
 from repro.ptl.rewrite import normalize
@@ -67,6 +68,8 @@ __all__ = [
     "answers",
     "UNDEFINED",
     "IncrementalEvaluator",
+    "SharedPlan",
+    "PlanBoundEvaluator",
     "FireResult",
     "EvalContext",
     "ExecutedStore",

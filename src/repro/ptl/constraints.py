@@ -18,6 +18,14 @@ with aggressive simplification on construction:
   applicable.
 
 Everything is immutable and hashable; sharing makes the "and-or graph".
+The smart constructors *hash-cons* their results (see :func:`intern_stats`):
+structurally equal formulas are represented by one shared object, so the
+``Since``/``Lasttime`` recurrences — which rebuild ``F_h | (F_g & F_prev)``
+every step from largely unchanged pieces — reuse existing nodes instead of
+allocating fresh copies, equality checks degenerate to pointer comparisons
+on the hot path, and the retained state really is the paper's and-or
+*graph*.  :func:`dag_size` measures it accordingly: unique nodes once,
+however many parents share them (:func:`size` is the plain tree count).
 """
 
 from __future__ import annotations
@@ -28,6 +36,56 @@ from typing import Any, Iterable, Mapping, Optional
 from repro.errors import EvaluationError, QueryEvaluationError
 from repro.query.evaluator import apply_comparison
 from repro.query.functions import scalar_function
+
+# ---------------------------------------------------------------------------
+# Hash-consing (interning) cache
+# ---------------------------------------------------------------------------
+
+#: Cap on each intern table; on overflow the table is cleared (interning is
+#: best-effort — equality stays structural, only sharing is lost).
+_INTERN_CAP = 1 << 17
+
+_intern_terms: dict = {}
+_intern_formulas: dict = {}
+_intern_hits = 0
+_intern_misses = 0
+
+
+def _intern(table: dict, key, value):
+    """Return the canonical object for ``key``, installing ``value`` when
+    the key is new."""
+    global _intern_hits, _intern_misses
+    found = table.get(key)
+    if found is not None:
+        _intern_hits += 1
+        return found
+    _intern_misses += 1
+    if len(table) >= _INTERN_CAP:
+        table.clear()
+    table[key] = value
+    return value
+
+
+def intern_stats() -> dict:
+    """Hit/miss counters of the hash-consing cache (the shared-plan obs
+    layer reports the hit rate)."""
+    total = _intern_hits + _intern_misses
+    return {
+        "hits": _intern_hits,
+        "misses": _intern_misses,
+        "hit_rate": (_intern_hits / total) if total else 0.0,
+        "terms": len(_intern_terms),
+        "formulas": len(_intern_formulas),
+    }
+
+
+def clear_intern_cache() -> None:
+    """Drop all interned nodes and reset the counters (tests/benchmarks)."""
+    global _intern_hits, _intern_misses
+    _intern_terms.clear()
+    _intern_formulas.clear()
+    _intern_hits = 0
+    _intern_misses = 0
 
 # ---------------------------------------------------------------------------
 # Symbolic terms
@@ -84,7 +142,7 @@ def sapp(func: str, args: tuple[STerm, ...]) -> STerm:
     if all(isinstance(a, SConst) for a in args):
         fn = scalar_function(func)
         return SConst(fn(*(a.value for a in args)))
-    return SApp(func, args)
+    return _intern(_intern_terms, (func, args), SApp(func, args))
 
 
 def subst_term(term: STerm, env: Mapping[str, Any]) -> STerm:
@@ -200,7 +258,9 @@ def catom(op: str, left: STerm, right: STerm) -> C:
             # cannot hold.
             return CFALSE
     op, left, right = _normalize_linear(op, left, right)
-    return CAtom(op, left, right)
+    return _intern(
+        _intern_formulas, ("atom", op, left, right), CAtom(op, left, right)
+    )
 
 
 def _is_number(value: Any) -> bool:
@@ -256,18 +316,39 @@ def _intify(value: float):
     return value
 
 
+#: Memoized negations.  With hash-consed operands the table key is the
+#: canonical node, so re-negating the unchanged tail of a ``Since``
+#: recurrence is a single dict probe instead of a full tree rewrite.
+_cnot_memo: dict = {}
+
+
 def cnot(operand: C) -> C:
     if isinstance(operand, CBool):
         return CFALSE if operand.value else CTRUE
+    cached = _cnot_memo.get(operand)
+    if cached is not None:
+        return cached
     if isinstance(operand, CNot):
-        return operand.operand
-    if isinstance(operand, CAtom):
-        return CAtom(_NEGATED_OP[operand.op], operand.left, operand.right)
-    if isinstance(operand, CAnd):
-        return cor(tuple(cnot(c) for c in operand.operands))
-    if isinstance(operand, COr):
-        return cand(tuple(cnot(c) for c in operand.operands))
-    return CNot(operand)
+        result: C = operand.operand
+    elif isinstance(operand, CAtom):
+        op = _NEGATED_OP[operand.op]
+        result = _intern(
+            _intern_formulas,
+            ("atom", op, operand.left, operand.right),
+            CAtom(op, operand.left, operand.right),
+        )
+    elif isinstance(operand, CAnd):
+        result = cor(tuple(cnot(c) for c in operand.operands))
+    elif isinstance(operand, COr):
+        result = cand(tuple(cnot(c) for c in operand.operands))
+    else:
+        result = _intern(
+            _intern_formulas, ("not", operand), CNot(operand)
+        )
+    if len(_cnot_memo) >= _INTERN_CAP:
+        _cnot_memo.clear()
+    _cnot_memo[operand] = result
+    return result
 
 
 def cand(operands: Iterable[C]) -> C:
@@ -295,7 +376,8 @@ def cand(operands: Iterable[C]) -> C:
         return CTRUE
     if len(flat) == 1:
         return flat[0]
-    return CAnd(tuple(flat))
+    ops = tuple(flat)
+    return _intern(_intern_formulas, ("&", ops), CAnd(ops))
 
 
 def cor(operands: Iterable[C]) -> C:
@@ -323,7 +405,8 @@ def cor(operands: Iterable[C]) -> C:
         return CFALSE
     if len(flat) == 1:
         return flat[0]
-    return COr(tuple(flat))
+    ops = tuple(flat)
+    return _intern(_intern_formulas, ("|", ops), COr(ops))
 
 
 def cbool(value: bool) -> C:
@@ -372,6 +455,41 @@ def size(c: C) -> int:
     if isinstance(c, (CAnd, COr)):
         return 1 + sum(size(x) for x in c.operands)
     raise EvaluationError(f"unknown constraint node {c!r}")
+
+
+def dag_size(roots: Iterable[C]) -> int:
+    """Unique-node count over ``roots`` taken together — the and-or *graph*
+    size.  A subformula shared by several parents (or several roots, e.g.
+    the same ``Since`` tail referenced from both an operand and its
+    negation) contributes once, which is what the evaluator actually
+    retains in memory under hash-consing.  Structural duplicates that
+    escaped interning (cache overflow) still count once: the walk
+    deduplicates by equality, not identity."""
+    seen: set = set()
+
+    def term(t: STerm) -> int:
+        if t in seen:
+            return 0
+        seen.add(t)
+        if isinstance(t, SApp):
+            return 1 + sum(term(a) for a in t.args)
+        return 1
+
+    def walk(c: C) -> int:
+        if c in seen:
+            return 0
+        seen.add(c)
+        if isinstance(c, CBool):
+            return 1
+        if isinstance(c, CAtom):
+            return 1 + term(c.left) + term(c.right)
+        if isinstance(c, CNot):
+            return 1 + walk(c.operand)
+        if isinstance(c, (CAnd, COr)):
+            return 1 + sum(walk(x) for x in c.operands)
+        raise EvaluationError(f"unknown constraint node {c!r}")
+
+    return sum(walk(r) for r in roots)
 
 
 def equality_candidates(c: C) -> dict[str, set]:

@@ -71,6 +71,25 @@ class FireResult:
         return self.fired
 
 
+def fire_result(top: cs.C, state: SystemState, ctx: EvalContext) -> FireResult:
+    """Firing decision for a computed top-level state formula: solve for
+    the satisfying assignments, drawing candidate values from equality
+    atoms and the context's declared domains.  Shared by the per-rule
+    evaluator and the multi-rule :class:`repro.ptl.plan.SharedPlan` (which
+    resolves the same formula against different per-rule domains)."""
+    if top is cs.CTRUE:
+        return FireResult(True, ({},))
+    if top is cs.CFALSE:
+        return FireResult(False)
+    domains = {}
+    for name in top.variables():
+        values = ctx.domain_for(name, state)
+        if values is not None:
+            domains[name] = values
+    solutions = cs.solve(top, domains)
+    return FireResult(bool(solutions), tuple(solutions))
+
+
 # ---------------------------------------------------------------------------
 # Formula instantiation (domain-indexed evaluators)
 # ---------------------------------------------------------------------------
@@ -868,23 +887,18 @@ class _CoreEvaluator:
         return self._fire_result(top, state)
 
     def _fire_result(self, top: cs.C, state: SystemState) -> FireResult:
-        if top is cs.CTRUE:
-            return FireResult(True, ({},))
-        if top is cs.CFALSE:
-            return FireResult(False)
-        domains = {}
-        for name in top.variables():
-            values = self.ctx.domain_for(name, state)
-            if values is not None:
-                domains[name] = values
-        solutions = cs.solve(top, domains)
-        return FireResult(bool(solutions), tuple(solutions))
+        return fire_result(top, state, self.ctx)
 
     # -- inspection / snapshot -----------------------------------------------------
 
     def stored_formula_size(self) -> int:
-        """Total size of the stored state formulas F_{g,i-1}."""
-        return sum(node.stored_size() for node in self._temporal_nodes)
+        """Size of the stored state formulas F_{g,i-1}, counted as the
+        and-or *graph* the evaluator actually retains: hash-consed nodes
+        shared between (or within) stored formulas count once.  The tree
+        count (``sum(cs.size(c))``) over-reports shared structure — a
+        ``!(throughout_past ...)`` stores a formula and its negation, whose
+        common tail would otherwise be double-counted."""
+        return cs.dag_size(c for _, c in self.stored_formulas())
 
     def aux_rows(self) -> int:
         """Retained auxiliary tuples (aggregate logs/samples) — the live
@@ -1072,17 +1086,20 @@ class IncrementalEvaluator:
         return cs.cor(tops)
 
     def state_size(self) -> int:
-        """Total stored-formula size — the paper's space metric (E2/E4)."""
-        if self._core is not None:
-            return self._core.state_size()
-        return sum(core.state_size() for core in self._instances.values())
+        """Total retained state — the paper's space metric (E2/E4):
+        stored-formula DAG size plus auxiliary aggregate rows."""
+        return self.stored_formula_size() + self.aux_rows()
 
     def stored_formula_size(self) -> int:
-        """Total size of the stored state formulas F_{g,i-1}."""
+        """Size of the stored state formulas F_{g,i-1} across all
+        instances, as one shared DAG (structure shared between instances
+        counts once — see :func:`repro.ptl.constraints.dag_size`)."""
         if self._core is not None:
             return self._core.stored_formula_size()
-        return sum(
-            core.stored_formula_size() for core in self._instances.values()
+        return cs.dag_size(
+            stored
+            for core in self._instances.values()
+            for _, stored in core.stored_formulas()
         )
 
     def aux_rows(self) -> int:

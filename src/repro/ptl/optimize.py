@@ -13,6 +13,42 @@ unsatisfiable from now on and collapses to false.  "The above method
 applied to triggers formed using only bounded temporal operators allows us
 to keep only bounded information from the past history" — benchmark E4
 measures exactly that.
+
+Polarity rules
+--------------
+The paper states the rule for positively-occurring deadline atoms.  Under
+negation the *dual* applies, and getting it wrong either breaks soundness
+(collapsing a still-live clause) or bounded memory (keeping a settled one
+forever).  The rules, for a time variable ``t`` and constant ``c`` with
+``now >= c``:
+
+* ``t <= c``, ``t < c``, ``t = c`` (:data:`_DOOMED_OPS`) → **false**: every
+  future binding of ``t`` exceeds ``c``, so the atom can never hold again.
+* ``t > c``, ``t >= c``, ``t != c`` (:data:`_SETTLED_OPS`) → **true**: every
+  future binding satisfies it unconditionally.  These atoms are exactly the
+  negations of the doomed ones, and they *must* be settled to true — a
+  bounded ``throughout_past[w] f`` desugars to
+  ``!(previously[w] !f) = !([u:=time](true since (!f & time >= u - w)))``,
+  and :func:`repro.ptl.constraints.cnot` pushes the outer negation into the
+  atoms, flipping each doomed ``t <= c`` into a settled ``t > c``.  Pruning
+  only the doomed polarity would leave the negated window's tail growing
+  without bound.
+
+Two structural invariants make the atom-level rewrite sufficient:
+
+* :func:`~repro.ptl.constraints.cnot` pushes negation into atoms on
+  construction, so stored state formulas contain no ``CNot`` above a
+  deadline atom — each atom's surface operator already reflects its
+  polarity.  (The ``CNot`` branch below is defensive: pruning inside a
+  residual negation is sound precisely because doomed→false and
+  settled→true are duals — ``!false = true`` lands on the settled rule and
+  vice versa.)
+* :func:`~repro.ptl.constraints.catom` normalizes atoms to
+  ``var <op> const`` form, so a deadline written ``c >= t`` is matched too.
+
+Both polarities are exercised by the bounded-memory tests: pruning disabled
+must violate the growth bound, enabled must stay flat (E4 and
+``tests/test_bounded_memory.py``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,581 @@
+"""Shared condition-evaluation plan: one DAG for all rules' conditions.
+
+Section 5 maintains a state formula ``F_{g,i}`` per *subformula* g of a
+trigger condition.  A rule base with many triggers over overlapping
+conditions (the homogeneous ECA rule sets of practice) repeats the same
+subformulas across rules, and running one :class:`IncrementalEvaluator`
+per rule re-evaluates — and re-stores — each shared g once per rule.
+
+:class:`SharedPlan` compiles every registered rule's condition (after
+:func:`~repro.ptl.rewrite.normalize`) into a single node DAG with
+*common-subformula elimination*: structurally identical subformulas map to
+one compiled node, whose ``F_{g,i}`` is computed and stored exactly once
+per update step, whatever the number of referencing rules.  Per-rule
+differences stay at the edges:
+
+* **firing**: each rule solves its own top-level formula against its own
+  declared domains (:func:`repro.ptl.incremental.fire_result`);
+* **query parameters**: a rule whose condition parameterizes queries
+  (``price($x)``) is instantiated per domain combination, exactly as the
+  per-rule evaluator does — instantiated formulas still share nodes with
+  every other rule (and instance) through the same cache.
+
+Sharing is keyed so it is *sound*, not just syntactic:
+
+* ``avail`` — the set of enclosing time-assigned variables visible with no
+  temporal operator in between (it changes how windowed aggregates
+  compile);
+* the subformula's *prune set* — the rule's time-assigned variables
+  restricted to the subformula's free variables.  Two rules may share g
+  only if Section 5 pruning treats g's stored formula identically;
+* the *birth epoch* — the plan step count at compile time.  A rule (or a
+  lazily created query-parameter instance) added after the plan has
+  started stepping must not inherit another rule's history-laden temporal
+  state, so it only shares nodes born at the same epoch.  Rules registered
+  before the first step (the common case) all share.
+
+THEOREM 1 equivalence with per-rule evaluation is differential-tested in
+``tests/test_shared_plan.py`` and the speedup measured in benchmark E11.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import DuplicateRuleError, UnknownRuleError, UnsafeFormulaError
+from repro.history.state import SystemState
+from repro.obs.metrics import as_registry
+from repro.ptl import ast
+from repro.ptl import constraints as cs
+from repro.ptl.context import EvalContext
+from repro.ptl.incremental import (
+    FireResult,
+    _AggregateState,
+    _AndNode,
+    _AssignNode,
+    _BoolNode,
+    _ComparisonNode,
+    _CoreEvaluator,
+    _EventNode,
+    _ExecutedNode,
+    _InQueryNode,
+    _LasttimeNode,
+    _Node,
+    _NotNode,
+    _OrNode,
+    _SinceNode,
+    fire_result,
+    instantiate_formula,
+    query_param_vars,
+)
+from repro.ptl.rewrite import TIME_QUERY, normalize
+
+
+class _SubEval:
+    """The evaluator surface the compiled node classes expect (``ctx``,
+    ``_term_value``, ``_aggregates``), for one (avail, birth) sharing
+    context.  Aggregate terms resolve to the plan-shared
+    :class:`_AggregateState` for that context."""
+
+    __slots__ = ("ctx", "_aggregates")
+
+    def __init__(self, ctx: EvalContext):
+        self.ctx = ctx
+        self._aggregates: dict = {}
+
+    _term_value = _CoreEvaluator._term_value
+
+
+class _MemoNode(_Node):
+    """Epoch-memoized wrapper around a shared node: however many parents
+    (within one rule or across rules) reference it, ``compute`` runs once
+    per plan step.  Besides the shared work, this is what keeps temporal
+    nodes *correct* under sharing — a ``Since`` stepped twice per state
+    would corrupt its recurrence."""
+
+    __slots__ = ("inner", "plan", "_epoch", "_cached")
+
+    def __init__(self, inner: _Node, plan: "SharedPlan"):
+        self.inner = inner
+        self.plan = plan
+        self._epoch = -1
+        self._cached: Optional[cs.C] = None
+
+    def compute(self, state):
+        if self._epoch == self.plan.epoch:
+            return self._cached
+        result = self.inner.compute(state)
+        self._epoch = self.plan.epoch
+        self._cached = result
+        return result
+
+    def get_state(self):
+        return self.inner.get_state()
+
+    def set_state(self, snapshot) -> None:
+        self.inner.set_state(snapshot)
+
+    def stored_size(self) -> int:
+        return self.inner.stored_size()
+
+    def prune(self, now, time_vars) -> None:
+        self.inner.prune(now, time_vars)
+
+    def stored_formulas(self):
+        return self.inner.stored_formulas()
+
+
+class _PlanRule:
+    """One registered rule: its normalized condition, per-rule solve
+    context (domains), and the root node(s) it reads off the shared DAG."""
+
+    __slots__ = (
+        "name",
+        "formula",
+        "ctx",
+        "time_vars",
+        "qvars",
+        "root",
+        "instances",
+        "last_top",
+        "result",
+    )
+
+    def __init__(self, name, formula, ctx, time_vars, qvars):
+        self.name = name
+        self.formula = formula
+        self.ctx = ctx
+        self.time_vars = time_vars
+        self.qvars = qvars
+        self.root: Optional[_Node] = None
+        #: domain combo -> root node (query-parameter instantiation).
+        self.instances: dict[tuple, _Node] = {}
+        self.last_top: cs.C = cs.CFALSE
+        self.result: FireResult = FireResult(False)
+
+    def roots(self) -> Iterator[_Node]:
+        if self.root is not None:
+            yield self.root
+        yield from self.instances.values()
+
+
+class SharedPlan:
+    """Multi-rule condition evaluator with common-subformula elimination.
+
+    Parameters
+    ----------
+    ctx:
+        Plan-wide :class:`EvalContext` supplying the shared executed store
+        for ``executed(...)`` atoms.  Per-rule domains are *not* read from
+        here — each rule solves against its own context.
+    optimize:
+        Apply Section 5 time-bound pruning (once per distinct stored
+        formula, not once per rule).
+    metrics:
+        ``None``/``True``/a registry — when enabled the plan maintains
+        gauges for plan size, subformula dedup ratio, and the
+        constraint-interning cache hit rate.
+    """
+
+    def __init__(self, ctx: Optional[EvalContext] = None,
+                 optimize: bool = True, metrics=None):
+        self.ctx = ctx or EvalContext()
+        self.optimize = optimize
+        self.metrics = as_registry(metrics)
+        self._obs_on = self.metrics.enabled
+        #: Number of steps taken; also the memoization epoch.
+        self.epoch = 0
+        self._last_state: Optional[SystemState] = None
+        self._rules: dict[str, _PlanRule] = {}
+        #: (subformula, avail, prune set, birth epoch) -> memo node.
+        self._nodes: dict = {}
+        #: (node, prune set) per distinct temporal node.
+        self._temporal: list[tuple[_Node, frozenset[str]]] = []
+        #: (aggregate term, avail, birth epoch) -> shared running state.
+        self._aggregates: dict = {}
+        self._subevals: dict = {}
+        #: Compile-time sharing counters (dedup ratio).
+        self.compile_requests = 0
+        self.compile_shared = 0
+        if self._obs_on:
+            self._m_rules = self.metrics.gauge("plan_rules")
+            self._m_nodes = self.metrics.gauge("plan_distinct_nodes")
+            self._m_dedup = self.metrics.gauge("plan_dedup_ratio")
+            self._m_state_size = self.metrics.gauge("plan_state_size")
+            self._m_intern = self.metrics.gauge("plan_intern_hit_rate")
+
+    # ------------------------------------------------------------------
+    # Registration / compilation
+    # ------------------------------------------------------------------
+
+    def add_rule(
+        self,
+        name: str,
+        formula: ast.Formula,
+        ctx: Optional[EvalContext] = None,
+    ) -> "PlanBoundEvaluator":
+        """Register a rule's condition; returns the per-rule view (a
+        drop-in for :class:`IncrementalEvaluator`).  ``ctx`` carries the
+        rule's domains; its executed store should be the plan's."""
+        if name in self._rules:
+            raise DuplicateRuleError(f"rule {name!r} already in the plan")
+        original = formula
+        formula = normalize(formula)
+        rule_ctx = ctx or self.ctx
+        time_vars = frozenset(
+            var
+            for var, query in ast.assigned_variables(formula).items()
+            if query == TIME_QUERY
+        )
+        qvars = tuple(sorted(query_param_vars(formula)))
+        for qv in qvars:
+            if qv not in rule_ctx.domains:
+                raise UnsafeFormulaError(
+                    f"free variable {qv!r} parameterizes a query; it "
+                    f"needs a domain (EvalContext.domains[{qv!r}])"
+                )
+        entry = _PlanRule(name, formula, rule_ctx, time_vars, qvars)
+        if not qvars:
+            entry.root = self._compile(formula, frozenset(), time_vars)
+        self._rules[name] = entry
+        if self._obs_on:
+            self._record_metrics()
+        return PlanBoundEvaluator(self, entry, original)
+
+    def remove_rule(self, name: str) -> None:
+        """Drop a rule.  Its shared nodes stay in the cache (other rules —
+        or a re-added rule — may still reference them)."""
+        if name not in self._rules:
+            raise UnknownRuleError(f"no rule named {name!r} in the plan")
+        del self._rules[name]
+
+    def _compile(
+        self,
+        f: ast.Formula,
+        avail: frozenset[str],
+        time_vars: frozenset[str],
+    ) -> _Node:
+        """Hash-consed compilation: one memo node per distinct
+        (subformula, avail, prune set, birth epoch)."""
+        prune_set = time_vars & ast.free_variables(f)
+        key = (f, avail, prune_set, self.epoch)
+        self.compile_requests += 1
+        node = self._nodes.get(key)
+        if node is not None:
+            self.compile_shared += 1
+            return node
+        node = _MemoNode(self._build(f, avail, time_vars, prune_set), self)
+        self._nodes[key] = node
+        return node
+
+    def _build(self, f, avail, time_vars, prune_set) -> _Node:
+        sub = self._subeval(avail)
+        if isinstance(f, ast.BoolConst):
+            return _BoolNode(f.value)
+        if isinstance(f, ast.Comparison):
+            self._register_aggregate_terms(f.left, avail, sub)
+            self._register_aggregate_terms(f.right, avail, sub)
+            return _ComparisonNode(f, sub)
+        if isinstance(f, ast.EventAtom):
+            return _EventNode(f, sub)
+        if isinstance(f, ast.ExecutedAtom):
+            return _ExecutedNode(f, sub)
+        if isinstance(f, ast.InQuery):
+            return _InQueryNode(f, sub)
+        if isinstance(f, ast.Not):
+            return _NotNode(self._compile(f.operand, avail, time_vars))
+        if isinstance(f, ast.And):
+            return _AndNode(
+                [self._compile(c, avail, time_vars) for c in f.operands]
+            )
+        if isinstance(f, ast.Or):
+            return _OrNode(
+                [self._compile(c, avail, time_vars) for c in f.operands]
+            )
+        if isinstance(f, ast.Lasttime):
+            node = _LasttimeNode(
+                self._compile(f.operand, frozenset(), time_vars), str(f)
+            )
+            self._temporal.append((node, prune_set))
+            return node
+        if isinstance(f, ast.Since):
+            node = _SinceNode(
+                self._compile(f.lhs, frozenset(), time_vars),
+                self._compile(f.rhs, frozenset(), time_vars),
+                str(f),
+            )
+            self._temporal.append((node, prune_set))
+            return node
+        if isinstance(f, ast.Assign):
+            if f.query.params():
+                raise UnsafeFormulaError(
+                    f"assignment query {f.query} has unresolved parameters"
+                )
+            inner_avail = avail
+            if f.query == TIME_QUERY:
+                inner_avail = avail | {f.var}
+            return _AssignNode(
+                f.var, f.query, self._compile(f.body, inner_avail, time_vars)
+            )
+        raise UnsafeFormulaError(f"cannot compile formula node {f!r}")
+
+    def _subeval(self, avail: frozenset[str]) -> _SubEval:
+        key = (avail, self.epoch)
+        sub = self._subevals.get(key)
+        if sub is None:
+            sub = _SubEval(self.ctx)
+            self._subevals[key] = sub
+        return sub
+
+    def _register_aggregate_terms(self, term, avail, sub: _SubEval) -> None:
+        if isinstance(term, ast.AggT):
+            if term not in sub._aggregates:
+                key = (term, avail, self.epoch)
+                agg = self._aggregates.get(key)
+                if agg is None:
+                    agg = _AggregateState(term, self.ctx, self.optimize, avail)
+                    self._aggregates[key] = agg
+                sub._aggregates[term] = agg
+        elif isinstance(term, ast.FuncT):
+            for a in term.args:
+                self._register_aggregate_terms(a, avail, sub)
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+
+    def step(self, state: SystemState) -> None:
+        """Process one new system state for *all* rules.  Idempotent per
+        state object: the per-rule views each call this, the first one
+        does the work."""
+        if state is self._last_state:
+            return
+        self._last_state = state
+        self.epoch += 1
+        for entry in self._rules.values():
+            if entry.qvars:
+                self._refresh_instances(entry, state)
+        for agg in self._aggregates.values():
+            agg.step(state)
+        for entry in self._rules.values():
+            entry.result = self._eval_rule(entry, state)
+        if self.optimize:
+            for node, prune_set in self._temporal:
+                if prune_set:
+                    node.prune(state.timestamp, prune_set)
+        if self._obs_on:
+            self._record_metrics()
+
+    def result_of(self, name: str) -> FireResult:
+        return self._rules[name].result
+
+    def _eval_rule(self, entry: _PlanRule, state) -> FireResult:
+        if entry.root is not None:
+            top = entry.root.compute(state)
+            entry.last_top = top
+            return fire_result(top, state, entry.ctx)
+        fired = False
+        bindings: list[dict] = []
+        tops = []
+        for combo, root in entry.instances.items():
+            top = root.compute(state)
+            tops.append(top)
+            result = fire_result(top, state, entry.ctx)
+            if result.fired:
+                fired = True
+                for b in result.bindings:
+                    merged = dict(zip(entry.qvars, combo))
+                    merged.update(b)
+                    bindings.append(merged)
+        entry.last_top = cs.cor(tops)
+        return FireResult(fired, tuple(bindings))
+
+    def _refresh_instances(self, entry: _PlanRule, state) -> None:
+        import itertools
+
+        per_var = []
+        for name in entry.qvars:
+            values = entry.ctx.domain_for(name, state)
+            per_var.append(values or [])
+        for combo in itertools.product(*per_var):
+            if combo in entry.instances:
+                continue
+            env = dict(zip(entry.qvars, combo))
+            inst = instantiate_formula(entry.formula, env)
+            time_vars = frozenset(
+                var
+                for var, query in ast.assigned_variables(inst).items()
+                if query == TIME_QUERY
+            )
+            entry.instances[combo] = self._compile(inst, frozenset(), time_vars)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def rule_names(self) -> list[str]:
+        return sorted(self._rules)
+
+    def distinct_nodes(self) -> int:
+        return len(self._nodes)
+
+    def dedup_ratio(self) -> float:
+        """Fraction of compile requests answered from the cache."""
+        if not self.compile_requests:
+            return 0.0
+        return self.compile_shared / self.compile_requests
+
+    def stored_formulas(self) -> list[tuple[str, cs.C]]:
+        out = []
+        for node, _ in self._temporal:
+            out.extend(node.stored_formulas())
+        return out
+
+    def state_size(self) -> int:
+        """Retained state across the whole plan: the stored-formula DAG
+        (each distinct node once) plus shared aggregate rows."""
+        stored = cs.dag_size(c for _, c in self.stored_formulas())
+        aux = sum(agg.state_size() for agg in self._aggregates.values())
+        return stored + aux
+
+    def _record_metrics(self) -> None:
+        self._m_rules.set(len(self._rules))
+        self._m_nodes.set(len(self._nodes))
+        self._m_dedup.set(self.dedup_ratio())
+        self._m_state_size.set(self.state_size())
+        self._m_intern.set(cs.intern_stats()["hit_rate"])
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (trial evaluation)
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """Whole-plan snapshot (temporal node states, aggregate states,
+        per-rule results).  Restoring also rolls back the step count."""
+        return (
+            self.epoch,
+            self._last_state,
+            [node.get_state() for node, _ in self._temporal],
+            {key: agg.get_state() for key, agg in self._aggregates.items()},
+            {
+                name: (entry.last_top, entry.result)
+                for name, entry in self._rules.items()
+            },
+        )
+
+    def restore(self, snap) -> None:
+        epoch, last_state, node_states, agg_states, rule_states = snap
+        self.epoch = epoch
+        self._last_state = last_state
+        for (node, _), stored in zip(self._temporal, node_states):
+            node.set_state(stored)
+        for key, stored in agg_states.items():
+            if key in self._aggregates:
+                self._aggregates[key].set_state(stored)
+        for name, (last_top, result) in rule_states.items():
+            if name in self._rules:
+                self._rules[name].last_top = last_top
+                self._rules[name].result = result
+
+
+class PlanBoundEvaluator:
+    """Per-rule view of a :class:`SharedPlan` — the interface of
+    :class:`IncrementalEvaluator` (step, firing result, inspection), with
+    the evaluation work done once in the plan however many views step it
+    on the same state."""
+
+    def __init__(self, plan: SharedPlan, entry: _PlanRule, original):
+        self.plan = plan
+        self.entry = entry
+        self.original = original
+        self.formula = entry.formula
+        self.ctx = entry.ctx
+        self.steps = 0
+
+    @property
+    def name(self) -> str:
+        return self.entry.name
+
+    def step(self, state: SystemState) -> FireResult:
+        self.plan.step(state)
+        self.steps += 1
+        return self.entry.result
+
+    @property
+    def last_top(self) -> cs.C:
+        return self.entry.last_top
+
+    def stored_formulas(self) -> list[tuple[str, cs.C]]:
+        out = []
+        seen: set[int] = set()
+        for root in self.entry.roots():
+            for node in _temporal_under(root, seen):
+                out.extend(node.stored_formulas())
+        return out
+
+    def stored_formula_size(self) -> int:
+        """This rule's stored-formula footprint, counted over the shared
+        DAG (nodes shared with other rules are still part of this rule's
+        working set — the plan's :meth:`SharedPlan.state_size` is the
+        deduplicated total)."""
+        return cs.dag_size(c for _, c in self.stored_formulas())
+
+    def aux_rows(self) -> int:
+        seen: set[int] = set()
+        total = 0
+        for root in self.entry.roots():
+            for agg in _aggregates_under(root, seen):
+                total += agg.state_size()
+        return total
+
+    def state_size(self) -> int:
+        return self.stored_formula_size() + self.aux_rows()
+
+
+def _temporal_under(root: _Node, seen: set[int]):
+    """Distinct temporal nodes reachable from ``root``."""
+    for node in _walk_nodes(root, seen):
+        if isinstance(node, (_LasttimeNode, _SinceNode)):
+            yield node
+
+
+def _aggregates_under(root: _Node, seen: set[int]):
+    aggs: dict[int, _AggregateState] = {}
+
+    def collect(term, sub: _SubEval) -> None:
+        if isinstance(term, ast.AggT):
+            agg = sub._aggregates.get(term)
+            if agg is not None:
+                aggs.setdefault(id(agg), agg)
+        elif isinstance(term, ast.FuncT):
+            for a in term.args:
+                collect(a, sub)
+
+    for node in _walk_nodes(root, seen):
+        if isinstance(node, _ComparisonNode):
+            collect(node.formula.left, node.evaluator)
+            collect(node.formula.right, node.evaluator)
+    return aggs.values()
+
+
+def _walk_nodes(root: _Node, seen: set[int]):
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        if isinstance(node, _MemoNode):
+            stack.append(node.inner)
+        elif isinstance(node, _NotNode):
+            stack.append(node.child)
+        elif isinstance(node, (_AndNode, _OrNode)):
+            stack.extend(node.children)
+        elif isinstance(node, _LasttimeNode):
+            stack.append(node.child)
+        elif isinstance(node, _SinceNode):
+            stack.append(node.lhs)
+            stack.append(node.rhs)
+        elif isinstance(node, _AssignNode):
+            stack.append(node.child)

@@ -33,6 +33,7 @@ from repro.ptl.aggregates import RewrittenEvaluator
 from repro.ptl.context import EvalContext, ExecutedStore
 from repro.ptl.incremental import IncrementalEvaluator
 from repro.ptl.parser import parse_formula
+from repro.ptl.plan import PlanBoundEvaluator, SharedPlan
 from repro.ptl.safety import check_safety
 from repro.query.parser import parse_query
 from repro.rules.actions import Action, ActionContext, as_action
@@ -186,11 +187,22 @@ class RuleManager:
         executed_retention: Optional[int] = None,
         metrics=None,
         trace=None,
+        shared_plan: bool = True,
     ):
         """``metrics`` is ``None`` (inherit the engine's registry — the
         no-op registry unless the engine was built with one), ``True``, or
         a :class:`~repro.obs.metrics.MetricsRegistry`; ``trace`` likewise
-        resolves to a :class:`~repro.obs.trace.TraceSink`."""
+        resolves to a :class:`~repro.obs.trace.TraceSink`.
+
+        With ``shared_plan=True`` (the default) trigger conditions are
+        compiled into one :class:`~repro.ptl.plan.SharedPlan` with
+        common-subformula elimination, so overlapping conditions are
+        evaluated once per state instead of once per rule;
+        ``shared_plan=False`` keeps one independent
+        :class:`IncrementalEvaluator` per rule (the pre-plan behaviour,
+        and the baseline benchmark E11 compares against).  Integrity
+        constraints and ``rewrite_aggregates`` rules always get their own
+        evaluators (IC trial evaluation must not touch shared state)."""
         self.engine = engine
         self.relevance_filtering = relevance_filtering
         self.batch_size = max(1, batch_size)
@@ -201,6 +213,13 @@ class RuleManager:
         else:
             self.metrics = as_registry(metrics)
         self.trace = as_trace(trace)
+        self.plan: Optional[SharedPlan] = (
+            SharedPlan(
+                EvalContext(executed=self.executed), metrics=self.metrics
+            )
+            if shared_plan
+            else None
+        )
         self._obs_on = self.metrics.enabled or self.trace.enabled
         self._m_states = self.metrics.counter("manager_states_total")
         self._m_pending = self.metrics.gauge("manager_pending_actions")
@@ -285,6 +304,8 @@ class RuleManager:
             evaluator = RewrittenEvaluator(
                 formula, ctx, metrics=self.metrics, name=name
             )
+        elif self.plan is not None:
+            evaluator = self.plan.add_rule(name, formula, ctx)
         else:
             evaluator = IncrementalEvaluator(
                 formula, ctx, metrics=self.metrics, name=name
@@ -377,7 +398,11 @@ class RuleManager:
 
     def remove_rule(self, name: str) -> None:
         if name in self._rules:
-            del self._rules[name]
+            reg = self._rules.pop(name)
+            if self.plan is not None and isinstance(
+                reg.evaluator, PlanBoundEvaluator
+            ):
+                self.plan.remove_rule(name)
         elif name in self._ics:
             del self._ics[name]
         elif name in self._monitors:
@@ -470,6 +495,11 @@ class RuleManager:
         obs = self._obs_on
         to_execute: list[tuple[Rule, dict]] = []
         names = state.event_names()
+        if self.plan is not None and self.plan.rule_names():
+            # One shared evaluation pass for all plan-backed rules, even
+            # when relevance filtering skips reading some results below
+            # (shared temporal state must see every state).
+            self.plan.step(state)
         for reg in self._ordered_rules():
             rule = reg.rule
             if rule.relevant_events is not None and not (
@@ -617,10 +647,19 @@ class RuleManager:
         return render(explanation) if rendered else explanation
 
     def total_state_size(self) -> int:
-        return sum(
-            reg.evaluator.state_size()
-            for reg in list(self._rules.values()) + list(self._ics.values())
-        )
+        """Retained evaluator state across all rules.  Plan-backed rules
+        are counted once through the shared plan (their state *is*
+        shared); independent evaluators and ICs add their own."""
+        total = 0
+        plan_counted = False
+        for reg in list(self._rules.values()) + list(self._ics.values()):
+            if isinstance(reg.evaluator, PlanBoundEvaluator):
+                if not plan_counted:
+                    total += self.plan.state_size()
+                    plan_counted = True
+            else:
+                total += reg.evaluator.state_size()
+        return total
 
     def detach(self) -> None:
         """Unsubscribe from the engine (rules stop being evaluated)."""

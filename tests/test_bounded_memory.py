@@ -88,6 +88,58 @@ class TestBoundedMemoryProperty:
             assert total == ev.state_size() == stored + aux
 
 
+class TestNegatedWindowRegression:
+    """Deterministic pin of the falsifying formula from the bounded-memory
+    regression: nested bounded windows under negation,
+    ``!(throughout_past[3] (previously[3] (@e1(u1))))``.  The
+    ``throughout_past`` desugaring flips the deadline atoms' polarity
+    (``time >= u - 3`` becomes ``time < u - 3`` under the pushed-in
+    negation's dual), and the stored formula shares structure with its own
+    negation — the state-size gauge must plateau once the window fills,
+    over a fixed event history."""
+
+    FORMULA = "!(throughout_past[3] (previously[3] (@e1(u1))))"
+    #: Steps the 3-unit windows need to fill at timestamp stride 2.
+    WARMUP = 10
+
+    def _history(self):
+        from repro.events.model import Event
+        from repro.history.history import SystemHistory
+        from repro.history.state import SystemState
+        from repro.storage.snapshot import DatabaseState
+
+        history = SystemHistory(validate_transaction_time=False)
+        ts = 0
+        for i in range(60):
+            ts += 2
+            if i % 2 == 0:
+                events = [Event("e1", (1 if i % 3 else 2,))]
+            else:
+                events = [Event("e0", ())]
+            history.append(
+                SystemState(DatabaseState({"V": i % 5}), events, ts)
+            )
+        return history
+
+    def _sizes(self, optimize):
+        formula = parse_formula(self.FORMULA)
+        return gauge_sizes(formula, self._history(), optimize)
+
+    def test_state_size_plateaus_after_window_fills(self):
+        sizes = self._sizes(optimize=True)
+        assert max(sizes[self.WARMUP:]) <= max(sizes[: self.WARMUP]), (
+            f"state kept growing past the window: warmup max "
+            f"{max(sizes[: self.WARMUP])}, later max "
+            f"{max(sizes[self.WARMUP:])}"
+        )
+
+    def test_unoptimized_grows_linearly(self):
+        """Without Section 5 pruning the same formula/history pair grows
+        without bound — the plateau above is the optimization's doing."""
+        sizes = self._sizes(optimize=False)
+        assert max(sizes[self.WARMUP:]) > 2 * max(sizes[: self.WARMUP])
+
+
 class TestOptimizationDiscrimination:
     """SHARP-INCREASE carries a bounded window (``time >= t - 10``) but
     only the Section 5 pruning exploits it."""

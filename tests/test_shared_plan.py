@@ -1,0 +1,222 @@
+"""SharedPlan: common-subformula elimination across rules.
+
+THEOREM 1 must survive sharing: a rule evaluated off the shared plan fires
+at exactly the states, with exactly the bindings, that its own independent
+:class:`IncrementalEvaluator` produces.  The differential tests check that
+step-by-step over random rule sets built to share subformulas (including
+``executed(...)``-coupled rules, so plan sharing doesn't break Section 7
+composite actions), and the manager-level test replays a stock workload
+under ``shared_plan=True`` and ``False`` and compares the firing logs.
+"""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.events import user_event
+from repro.obs import MetricsRegistry
+from repro.ptl import (
+    EvalContext,
+    ExecutedStore,
+    IncrementalEvaluator,
+    SharedPlan,
+)
+from repro.ptl import ast
+from repro.rules import RecordingAction, RuleManager
+from repro.workloads import apply_tick, make_stock_db
+from repro.workloads.generator import (
+    FormulaGenerator,
+    random_executed_store,
+    random_history,
+)
+
+
+def overlapping_formulas(rng, allow_executed=False):
+    """Three rule conditions guaranteed to share subformulas: the second
+    and third embed the first two as operands."""
+    gen = FormulaGenerator(rng, max_depth=3, allow_executed=allow_executed)
+    f1, f2 = gen.formula(), gen.formula()
+    return [f1, ast.And((f1, f2)), ast.Or((f2, ast.Not(f1)))]
+
+
+def canon(bindings):
+    """Order-insensitive form of a firing's bindings."""
+    return sorted(
+        (tuple(sorted(b.items(), key=lambda kv: kv[0])) for b in bindings),
+        key=repr,
+    )
+
+
+def assert_equivalent(formulas, history, store):
+    plan = SharedPlan(EvalContext(executed=store))
+    views = [
+        plan.add_rule(f"r{i}", f) for i, f in enumerate(formulas)
+    ]
+    independents = [
+        IncrementalEvaluator(f, EvalContext(executed=store))
+        for f in formulas
+    ]
+    for pos, state in enumerate(history):
+        for i, (view, ev) in enumerate(zip(views, independents)):
+            shared = view.step(state)
+            alone = ev.step(state)
+            assert shared.fired == alone.fired, (
+                f"rule r{i} diverged at position {pos}: "
+                f"shared={shared.fired} independent={alone.fired}\n"
+                f"formula: {formulas[i]}"
+            )
+            assert canon(shared.bindings) == canon(alone.bindings), (
+                f"rule r{i} bindings diverged at position {pos}\n"
+                f"formula: {formulas[i]}"
+            )
+    return plan
+
+
+class TestSharedPlanDifferential:
+    @given(seed=st.integers(0, 10_000))
+    def test_plan_matches_per_rule_evaluators(self, seed):
+        rng = random.Random(seed)
+        formulas = overlapping_formulas(rng)
+        history = random_history(rng, 12)
+        assert_equivalent(formulas, history, ExecutedStore())
+
+    @given(seed=st.integers(0, 10_000))
+    def test_plan_matches_with_executed_atoms(self, seed):
+        """Rules coupled through the Section 7 ``executed`` predicate share
+        the one execution store; sharing their subformulas must not change
+        what they see."""
+        rng = random.Random(seed)
+        formulas = overlapping_formulas(rng, allow_executed=True)
+        history = random_history(rng, 10)
+        assert_equivalent(formulas, history, random_executed_store(seed))
+
+
+class TestSharedPlanSharing:
+    def test_identical_rules_add_no_nodes(self):
+        rng = random.Random(7)
+        gen = FormulaGenerator(rng, max_depth=3)
+        f = gen.formula()
+        plan = SharedPlan()
+        plan.add_rule("a", f)
+        nodes_after_first = plan.distinct_nodes()
+        plan.add_rule("b", f)
+        assert plan.distinct_nodes() == nodes_after_first
+        assert plan.dedup_ratio() > 0.0
+
+    def test_overlapping_rules_share(self):
+        rng = random.Random(11)
+        formulas = overlapping_formulas(rng)
+        plan = SharedPlan()
+        for i, f in enumerate(formulas):
+            plan.add_rule(f"r{i}", f)
+        # f1 appears in all three rules, f2 in two: strictly fewer distinct
+        # nodes than compile requests.
+        assert plan.compile_shared > 0
+        assert plan.distinct_nodes() < plan.compile_requests
+
+    def test_late_rule_starts_fresh(self):
+        """A rule registered mid-run must not inherit the history-laden
+        temporal state of an identical earlier rule (birth-epoch guard):
+        its firings match a fresh independent evaluator started at the
+        same position."""
+        from repro.ptl.parser import parse_formula
+
+        f = parse_formula("previously @ping")
+        rng = random.Random(3)
+        history = list(random_history(rng, 10))
+        # make some states carry the ping event
+        from repro.events.model import Event
+        from repro.history.state import SystemState
+
+        states = [
+            SystemState(
+                s.db,
+                [Event("ping", ())] if i in (1, 6) else [Event("e0", ())],
+                s.timestamp,
+                index=s.index,
+            )
+            for i, s in enumerate(history)
+        ]
+        plan = SharedPlan()
+        early = plan.add_rule("early", f)
+        for state in states[:4]:
+            early.step(state)
+        late = plan.add_rule("late", f)
+        fresh = IncrementalEvaluator(f, EvalContext())
+        for state in states[4:]:
+            early.step(state)
+            assert late.step(state).fired == fresh.step(state).fired
+        # the early rule saw the ping at position 1, the late one did not
+        # until position 6 re-fired it; both end up true, but the plan kept
+        # them distinct until then.
+        assert early.steps == len(states)
+        assert late.steps == len(states) - 4
+
+    def test_plan_metrics_exported(self):
+        registry = MetricsRegistry()
+        plan = SharedPlan(metrics=registry)
+        rng = random.Random(5)
+        formulas = overlapping_formulas(rng)
+        for i, f in enumerate(formulas):
+            plan.add_rule(f"r{i}", f)
+        for state in random_history(rng, 6):
+            plan.step(state)
+        assert registry.value("plan_rules") == 3
+        assert registry.value("plan_distinct_nodes") == plan.distinct_nodes()
+        assert 0.0 < registry.value("plan_dedup_ratio") <= 1.0
+        assert registry.value("plan_state_size") == plan.state_size()
+
+
+def _run_stock_workload(shared_plan):
+    adb = make_stock_db([("IBM", 40.0), ("ACME", 80.0)])
+    manager = RuleManager(adb, shared_plan=shared_plan)
+    manager.add_trigger(
+        "spike",
+        "(previously[6] (price(IBM) > 45)) & price(IBM) > 45",
+        RecordingAction(),
+    )
+    manager.add_trigger(
+        "spike_shadow",
+        "previously[6] (price(IBM) > 45)",
+        RecordingAction(),
+    )
+    manager.add_trigger(
+        "followup",
+        "executed(spike, t) & time <= t + 4",
+        RecordingAction(),
+    )
+    manager.add_trigger(
+        "any_high",
+        "price($s) > 75",
+        RecordingAction(),
+        domains={"s": "RETRIEVE (S.name) FROM STOCK S"},
+    )
+    for ts, price in [(1, 42.0), (2, 50.0), (4, 44.0), (6, 47.0), (9, 30.0), (12, 31.0)]:
+        apply_tick(adb, "IBM", price, at_time=ts)
+    adb.post_event(user_event("ping"), at_time=13)
+    return manager
+
+
+class TestManagerSharedPlan:
+    def test_firings_match_per_rule_manager(self):
+        with_plan = _run_stock_workload(shared_plan=True)
+        without = _run_stock_workload(shared_plan=False)
+        assert with_plan.firings == without.firings
+        assert with_plan.firings  # the workload actually fires rules
+
+    def test_total_state_size_counts_plan_once(self):
+        with_plan = _run_stock_workload(shared_plan=True)
+        without = _run_stock_workload(shared_plan=False)
+        assert 0 < with_plan.total_state_size() <= without.total_state_size()
+
+    def test_remove_rule_detaches_from_plan(self):
+        manager = _run_stock_workload(shared_plan=True)
+        manager.remove_rule("spike_shadow")
+        assert "spike_shadow" not in manager.plan.rule_names()
+        # remaining rules keep evaluating
+        adb = manager.engine
+        before = len(manager.firings)
+        apply_tick(adb, "IBM", 60.0, at_time=20)
+        apply_tick(adb, "IBM", 61.0, at_time=21)
+        assert len(manager.firings) > before
