@@ -1,0 +1,250 @@
+"""E13 — compiled query plans (hash joins) + delta-aware atom skipping.
+
+Two workloads, one per optimization:
+
+* **join-heavy** — a two-relation equi-join with a selection, evaluated
+  repeatedly against fresh relation versions.  The compiled plan probes a
+  cached :class:`~repro.storage.index.HashIndex` on the join column; the
+  pre-plan evaluator enumerates the cross product.  The asymptotic gap is
+  O(|R|+|S|) vs O(|R|x|S|).
+* **sparse-update** — rules over several relations replayed against an
+  engine history where each commit touches exactly one relation.  With
+  delta skipping, query atoms over untouched relations reuse the previous
+  step's value instead of re-running the query.
+
+Equivalence is asserted before any timing is reported: the planned join
+must return the naive result, and the delta-skip replay must produce the
+identical firing sequence.
+"""
+
+import random
+
+from conftest import report
+
+from repro.bench import (
+    Table,
+    emit_bench_json,
+    per_update_micros,
+    smoke_mode,
+    time_best,
+)
+from repro.datamodel import FLOAT, INT, STRING, Relation, Schema
+from repro.engine import ActiveDatabase
+from repro.obs import MetricsRegistry
+from repro.ptl import EvalContext, IncrementalEvaluator, parse_formula
+from repro.query import parse_query
+from repro.query import plan as qplan
+from repro.query.evaluator import eval_query
+from repro.query.subst import QueryRegistry
+
+SMOKE = smoke_mode()
+
+# -- join-heavy workload ----------------------------------------------------
+
+N_ROWS = 60 if SMOKE else 200
+N_JOIN_ITERS = 10 if SMOKE else 20
+
+ORDERS_SCHEMA = Schema.of(oid=INT, cust=INT, amount=FLOAT)
+CUSTOMERS_SCHEMA = Schema.of(cust=INT, region=STRING)
+
+JOIN_QUERY = parse_query(
+    "RETRIEVE (O.oid, C.region) FROM ORDERS O, CUSTOMERS C "
+    "WHERE O.cust = C.cust AND O.amount > 50"
+)
+
+
+def join_states(n, iters, seed=3):
+    """One state per iteration with fresh relation versions, so plans-off
+    cannot benefit from any per-relation caching."""
+    rng = random.Random(seed)
+    regions = ["east", "west", "north", "south"]
+    states = []
+    for _ in range(iters):
+        orders = Relation.from_values(
+            ORDERS_SCHEMA,
+            [
+                (i, rng.randrange(n), float(rng.randrange(100)))
+                for i in range(n)
+            ],
+        )
+        customers = Relation.from_values(
+            CUSTOMERS_SCHEMA,
+            [(i, rng.choice(regions)) for i in range(n)],
+        )
+        from repro.storage.snapshot import DatabaseState
+
+        states.append(
+            DatabaseState({"ORDERS": orders, "CUSTOMERS": customers})
+        )
+    return states
+
+
+def run_join(states):
+    total = 0
+    for state in states:
+        total += len(eval_query(JOIN_QUERY, state, {}))
+    return total
+
+
+def bench_join():
+    states = join_states(N_ROWS, N_JOIN_ITERS)
+
+    # equivalence first
+    prev = qplan.set_plans_enabled(True)
+    try:
+        on = [eval_query(JOIN_QUERY, s, {}) for s in states]
+        qplan.set_plans_enabled(False)
+        off = [eval_query(JOIN_QUERY, s, {}) for s in states]
+        assert on == off, "planned join diverged from naive evaluation"
+
+        qplan.set_plans_enabled(True)
+        qplan.clear_plan_cache()
+        t_on = time_best(lambda: run_join(states), repeat=3)
+        qplan.set_plans_enabled(False)
+        t_off = time_best(lambda: run_join(states), repeat=3)
+    finally:
+        qplan.set_plans_enabled(prev)
+    return t_on, t_off
+
+
+# -- sparse-update workload -------------------------------------------------
+
+N_RELATIONS = 6
+N_UPDATES = 40 if SMOKE else 150
+
+
+def sparse_registry():
+    reg = QueryRegistry()
+    for k in range(N_RELATIONS):
+        reg.define_text(
+            f"total{k}",
+            (),
+            f"SUM(T.v) FROM T{k} T",
+        )
+    return reg
+
+
+def sparse_history():
+    """Round-robin commits: each touches exactly one of the relations."""
+    adb = ActiveDatabase(start_time=0)
+    for k in range(N_RELATIONS):
+        adb.create_relation(
+            f"T{k}",
+            Schema.of(k=INT, v=INT),
+            [(i, i) for i in range(40)],
+        )
+    states = []
+    for i in range(N_UPDATES):
+        target = f"T{i % N_RELATIONS}"
+        adb.execute(
+            lambda t, target=target, i=i: t.insert(target, (100 + i, i))
+        )
+        states.append(adb.last_state)
+    return states
+
+
+def sparse_rules(registry):
+    # One threshold rule per relation: each step, exactly one atom's
+    # relation changed; the other N-1 can reuse their memoized value.
+    return [
+        parse_formula(f"total{k}() > 100", registry)
+        for k in range(N_RELATIONS)
+    ]
+
+
+def run_sparse(formulas, states):
+    evaluators = [IncrementalEvaluator(f) for f in formulas]
+    fired = []
+    for state in states:
+        fired.append(tuple(ev.step(state).fired for ev in evaluators))
+    return tuple(fired)
+
+
+def bench_sparse():
+    registry = sparse_registry()
+    states = sparse_history()
+    formulas = sparse_rules(registry)
+
+    prev = qplan.set_delta_skip(True)
+    try:
+        qplan.STATS.reset()
+        fired_on = run_sparse(formulas, states)
+        skipped = qplan.STATS.atoms_skipped
+        qplan.set_delta_skip(False)
+        fired_off = run_sparse(formulas, states)
+        assert fired_on == fired_off, "delta skipping changed firings"
+        assert skipped > 0, "sparse workload never skipped an atom"
+
+        qplan.set_delta_skip(True)
+        t_on = time_best(lambda: run_sparse(formulas, states), repeat=3)
+        qplan.set_delta_skip(False)
+        t_off = time_best(lambda: run_sparse(formulas, states), repeat=3)
+    finally:
+        qplan.set_delta_skip(prev)
+    return t_on, t_off, skipped
+
+
+# -- driver -----------------------------------------------------------------
+
+
+def compute():
+    registry = MetricsRegistry()
+    qplan.STATS.reset()
+    join_on, join_off = bench_join()
+    sparse_on, sparse_off, skipped = bench_sparse()
+    qplan.STATS.publish(registry)
+    return join_on, join_off, sparse_on, sparse_off, skipped, registry
+
+
+def test_e13_query_plans(benchmark):
+    join_on, join_off, sparse_on, sparse_off, skipped, registry = (
+        benchmark.pedantic(compute, rounds=1, iterations=1)
+    )
+    join_speedup = join_off / join_on
+    sparse_speedup = sparse_off / sparse_on
+
+    table = Table(
+        f"E13: compiled plans + delta skipping ({N_ROWS}x{N_ROWS} join, "
+        f"{N_RELATIONS} relations / {N_UPDATES} sparse updates)",
+        ["workload", "plans/skip on (s)", "off (s)", "speedup"],
+    )
+    table.add_row("join-heavy", join_on, join_off, round(join_speedup, 2))
+    table.add_row(
+        "sparse-update", sparse_on, sparse_off, round(sparse_speedup, 2)
+    )
+    report(table)
+
+    emit_bench_json(
+        "E13",
+        {
+            "join": {
+                "rows_per_relation": N_ROWS,
+                "iterations": N_JOIN_ITERS,
+                "plans_on_seconds": join_on,
+                "plans_off_seconds": join_off,
+                "speedup": join_speedup,
+            },
+            "sparse": {
+                "relations": N_RELATIONS,
+                "updates": N_UPDATES,
+                "skip_on_seconds": sparse_on,
+                "skip_off_seconds": sparse_off,
+                "speedup": sparse_speedup,
+                "on_us_per_update": per_update_micros(sparse_on, N_UPDATES),
+                "off_us_per_update": per_update_micros(sparse_off, N_UPDATES),
+                "atoms_skipped": skipped,
+            },
+            "qplan_stats": qplan.STATS.snapshot(),
+        },
+        registry=registry,
+    )
+
+    # Acceptance: >=5x join / >=3x sparse at full size; smaller inputs in
+    # smoke mode shrink the asymptotic gap, so the bar relaxes there.
+    join_bar, sparse_bar = (2.0, 1.3) if SMOKE else (5.0, 3.0)
+    assert join_speedup >= join_bar, (
+        f"join speedup {join_speedup:.2f}x below {join_bar}x"
+    )
+    assert sparse_speedup >= sparse_bar, (
+        f"sparse speedup {sparse_speedup:.2f}x below {sparse_bar}x"
+    )

@@ -21,10 +21,11 @@ class Relation:
     :mod:`repro.storage.index`) — safe because the row set never changes.
     """
 
-    __slots__ = ("_schema", "_rows", "_index_cache")
+    __slots__ = ("_schema", "_rows", "_index_cache", "_sorted_cache")
 
     def __init__(self, schema: Schema, rows: Iterable[Row] = ()):
         self._index_cache = None
+        self._sorted_cache = None
         self._schema = schema
         frozen: frozenset[Row] = (
             rows if isinstance(rows, frozenset) else frozenset(rows)
@@ -92,8 +93,18 @@ class Relation:
         return not self._rows
 
     def sorted_rows(self) -> list[Row]:
-        """Rows in a deterministic order (for printing and testing)."""
-        return sorted(self._rows, key=lambda r: tuple(map(_sort_key, r.values)))
+        """Rows in a deterministic order (for printing and testing).
+
+        Memoized on the (immutable) relation — callers must not mutate
+        the returned list.
+        """
+        cached = self._sorted_cache
+        if cached is None:
+            cached = sorted(
+                self._rows, key=lambda r: tuple(map(_sort_key, r.values))
+            )
+            self._sorted_cache = cached
+        return cached
 
     # -- scalar view -------------------------------------------------------
 

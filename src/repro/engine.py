@@ -169,8 +169,18 @@ class ActiveDatabase:
 
     # -- state appends ----------------------------------------------------------------
 
-    def _append(self, db_state, events: Iterable[ev.Event], ts: int) -> SystemState:
-        state = SystemState(db_state, events, ts, index=self._state_count)
+    _NO_DELTA: frozenset = frozenset()
+
+    def _append(
+        self,
+        db_state,
+        events: Iterable[ev.Event],
+        ts: int,
+        delta: Optional[frozenset] = _NO_DELTA,
+    ) -> SystemState:
+        state = SystemState(
+            db_state, events, ts, index=self._state_count, delta=delta
+        )
         if self.history is not None:
             state = self.history.append(state)
         self._state_count += 1
@@ -238,7 +248,10 @@ class ActiveDatabase:
             [ev.attempts_to_commit(txn.id), ev.transaction_commit(txn.id)]
             + txn.events
         )
-        candidate = SystemState(candidate_db, events, ts, index=self._state_count)
+        delta = txn.write_set()
+        candidate = SystemState(
+            candidate_db, events, ts, index=self._state_count, delta=delta
+        )
 
         violations: list[str] = []
         for validator in self._commit_validators:
@@ -256,7 +269,7 @@ class ActiveDatabase:
             raise TransactionAborted(txn.id, "; ".join(violations))
 
         self.db._set_state(candidate_db)
-        state = self._append(candidate_db, events, ts)
+        state = self._append(candidate_db, events, ts, delta=delta)
         self.txns.finish(txn, TxnStatus.COMMITTED)
         if self._obs_on:
             self._m_commits.inc()

@@ -9,7 +9,7 @@ timestamp is associated with each system state and exposed through the
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Iterable, Optional
 
 from repro.datamodel.relation import Relation
 from repro.events.clock import TIME_ITEM
@@ -25,7 +25,7 @@ class SystemState:
     atoms such as ``time <= t - 10`` evaluate naturally at any state.
     """
 
-    __slots__ = ("db", "events", "timestamp", "index")
+    __slots__ = ("db", "events", "timestamp", "index", "delta")
 
     def __init__(
         self,
@@ -33,11 +33,17 @@ class SystemState:
         events: Iterable[Event],
         timestamp: int,
         index: int = -1,
+        delta: Optional[frozenset[str]] = None,
     ):
         self.db = db
         self.events = frozenset(events)
         self.timestamp = timestamp
         self.index = index
+        #: Names of the database items this state's update wrote (the
+        #: transaction's write-set; empty for event/tick states).  ``None``
+        #: means unknown — delta-aware evaluation then falls back to the
+        #: item-identity check (see :mod:`repro.query.plan`).
+        self.delta = delta
 
     # -- StateView protocol -------------------------------------------------
 
@@ -75,13 +81,14 @@ class SystemState:
         return None
 
     def with_index(self, index: int) -> "SystemState":
-        return SystemState(self.db, self.events, self.timestamp, index)
+        return SystemState(self.db, self.events, self.timestamp, index, self.delta)
 
     def with_events(self, events: Iterable[Event]) -> "SystemState":
-        return SystemState(self.db, events, self.timestamp, self.index)
+        return SystemState(self.db, events, self.timestamp, self.index, self.delta)
 
     def with_db(self, db: DatabaseState) -> "SystemState":
-        return SystemState(db, self.events, self.timestamp, self.index)
+        # An arbitrary database swap invalidates the recorded write-set.
+        return SystemState(db, self.events, self.timestamp, self.index, None)
 
     def __repr__(self) -> str:
         evs = ", ".join(sorted(str(e) for e in self.events))

@@ -75,7 +75,7 @@ class _MaintainedAggregate:
     """Runtime state of one rewritten aggregate: the r1/r2 rule pair."""
 
     def __init__(self, term: ast.AggT, names: tuple[str, ...], ctx: EvalContext):
-        from repro.ptl.incremental import _CoreEvaluator
+        from repro.ptl.incremental import _CoreEvaluator, _atom_gate, gated_query_value
 
         if ast.free_variables(term.start) or ast.free_variables(term.sample):
             raise UnsafeFormulaError(
@@ -88,6 +88,8 @@ class _MaintainedAggregate:
         self.started = False
         self.poisoned = False
         self.values: dict[str, Any] = {name: None for name in names}
+        self._qgate = _atom_gate((term.query,))
+        self._gated_value = gated_query_value
 
     def _initialize(self) -> None:
         func = self.term.func
@@ -111,7 +113,7 @@ class _MaintainedAggregate:
         # r2: update on the sampling formula.
         sampled = self.sample_eval.step(state).fired
         if sampled and self.started and not self.poisoned:
-            value = eval_query_value(self.term.query, state, {})
+            value = self._gated_value(self._qgate, self.term.query, state)
             if value is UNDEFINED:
                 self.poisoned = True
             elif func in ("sum", "avg"):

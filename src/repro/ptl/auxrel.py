@@ -46,9 +46,13 @@ class AuxiliaryRelation:
     """Versioned values of one query over time (the paper's R_x)."""
 
     def __init__(self, name: str, query: Query):
+        from repro.ptl.incremental import _atom_gate, gated_query_value
+
         self.name = name
         self.query = query
         self._rows: list[VersionRow] = []
+        self._gate = _atom_gate((query,))
+        self._gated = gated_query_value
 
     # -- maintenance -----------------------------------------------------------
 
@@ -56,7 +60,7 @@ class AuxiliaryRelation:
         """Evaluate the query at a new state; open a new version row iff
         the value changed ("later, as the value of query q changes ...
         T_start and T_end are appropriately modified")."""
-        value = eval_query_value(self.query, state, {})
+        value = self._gated(self._gate, self.query, state)
         if self._rows and self._rows[-1].value == value:
             return value
         if self._rows:

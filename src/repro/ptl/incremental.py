@@ -54,6 +54,7 @@ from repro.ptl.optimize import prune_time_bounds
 from repro.ptl.rewrite import TIME_QUERY, normalize
 from repro.ptl.semantics import UNDEFINED, eval_query_value
 from repro.query import ast as qast
+from repro.query import plan as qplan
 from repro.query.functions import RunningAggregate
 from repro.query.subst import substitute_query
 
@@ -174,6 +175,49 @@ def query_param_vars(f: ast.Formula) -> frozenset[str]:
 
 
 # ---------------------------------------------------------------------------
+# Delta-aware atom gating
+# ---------------------------------------------------------------------------
+
+
+def _term_queries(term: ast.Term, out: list) -> bool:
+    """Collect the queries ``term`` reads into ``out``.  Returns False if
+    the term contains an aggregate — aggregate values evolve with the
+    evaluator's own running state, not the database state alone, so atoms
+    over them must re-evaluate every step."""
+    if isinstance(term, ast.QueryT):
+        out.append(term.query)
+        return True
+    if isinstance(term, ast.AggT):
+        return False
+    if isinstance(term, ast.FuncT):
+        ok = True
+        for a in term.args:
+            ok = _term_queries(a, out) and ok
+        return ok
+    return True  # Var / ConstT: state-independent
+
+
+def _atom_gate(queries) -> Optional[qplan.DeltaGate]:
+    """A delta gate over ``queries``, or None when gating is unsound for
+    them (time-dependent or unanalyzable)."""
+    gate = qplan.DeltaGate(queries)
+    return gate if gate.enabled else None
+
+
+def gated_query_value(gate, query, state):
+    """``eval_query_value(query, state, {})`` memoized through ``gate``
+    (None = always evaluate).  Only valid for ground queries."""
+    if gate is not None:
+        value = gate.lookup(state)
+        if value is not qplan.MISS:
+            return value
+    value = eval_query_value(query, state, {})
+    if gate is not None:
+        gate.store(state, value)
+    return value
+
+
+# ---------------------------------------------------------------------------
 # Compiled node tree
 # ---------------------------------------------------------------------------
 
@@ -215,18 +259,31 @@ class _BoolNode(_Node):
 
 
 class _ComparisonNode(_Node):
-    __slots__ = ("formula", "evaluator")
+    __slots__ = ("formula", "evaluator", "_gate")
 
     def __init__(self, formula: ast.Comparison, evaluator: "_CoreEvaluator"):
         self.formula = formula
         self.evaluator = evaluator
+        queries: list = []
+        left_ok = _term_queries(formula.left, queries)
+        right_ok = _term_queries(formula.right, queries)
+        self._gate = _atom_gate(queries) if (left_ok and right_ok) else None
 
     def compute(self, state):
+        gate = self._gate
+        if gate is not None:
+            hit = gate.lookup(state)
+            if hit is not qplan.MISS:
+                return hit
         left = self.evaluator._term_value(self.formula.left, state)
         right = self.evaluator._term_value(self.formula.right, state)
         if left is None or right is None:  # undefined subterm
-            return cs.CFALSE
-        return cs.catom(self.formula.op, left, right)
+            result = cs.CFALSE
+        else:
+            result = cs.catom(self.formula.op, left, right)
+        if gate is not None:
+            gate.store(state, result)
+        return result
 
 
 class _EventNode(_Node):
@@ -285,13 +342,27 @@ class _ExecutedNode(_Node):
 
 
 class _InQueryNode(_Node):
-    __slots__ = ("formula", "evaluator")
+    __slots__ = ("formula", "evaluator", "_gate")
 
     def __init__(self, formula: ast.InQuery, evaluator):
         self.formula = formula
         self.evaluator = evaluator
+        queries: list = [formula.query]
+        args_ok = all(_term_queries(a, queries) for a in formula.args)
+        self._gate = _atom_gate(queries) if args_ok else None
 
     def compute(self, state):
+        gate = self._gate
+        if gate is not None:
+            hit = gate.lookup(state)
+            if hit is not qplan.MISS:
+                return hit
+        result = self._compute(state)
+        if gate is not None:
+            gate.store(state, result)
+        return result
+
+    def _compute(self, state):
         from repro.query.evaluator import eval_query
 
         try:
@@ -418,16 +489,17 @@ class _SinceNode(_Node):
 
 
 class _AssignNode(_Node):
-    __slots__ = ("var", "query", "child")
+    __slots__ = ("var", "query", "child", "_gate")
 
     def __init__(self, var: str, query, child: _Node):
         self.var = var
         self.query = query
         self.child = child
+        self._gate = _atom_gate((query,))
 
     def compute(self, state):
         inner = self.child.compute(state)
-        value = eval_query_value(self.query, state, {})
+        value = gated_query_value(self._gate, self.query, state)
         if value is UNDEFINED:
             return cs.CFALSE
         return cs.substitute(inner, {self.var: value})
@@ -579,6 +651,7 @@ class _AggregateState:
         "log",
         "prunable",
         "now",
+        "_qgate",
     )
 
     def __init__(
@@ -597,6 +670,7 @@ class _AggregateState:
         self.avail = frozenset(avail_time_vars)
         self.sample_eval = _CoreEvaluator(term.sample, ctx, optimize)
         self.poisoned = False
+        self._qgate = _atom_gate((term.query,))
         if not start_free:
             self.mode = "running"
             self.start_eval = _CoreEvaluator(term.start, ctx, optimize)
@@ -631,7 +705,7 @@ class _AggregateState:
                 self.poisoned = False
             sampled = self.sample_eval.step(state).fired
             if sampled and self.started:
-                value = eval_query_value(self.term.query, state, {})
+                value = gated_query_value(self._qgate, self.term.query, state)
                 if value is UNDEFINED:
                     self.poisoned = True
                 else:
@@ -641,7 +715,7 @@ class _AggregateState:
         sampled = self.sample_eval.step(state).fired
         value = None
         if sampled:
-            v = eval_query_value(self.term.query, state, {})
+            v = gated_query_value(self._qgate, self.term.query, state)
             if v is UNDEFINED:
                 self.poisoned = True
             else:
@@ -1061,6 +1135,7 @@ class IncrementalEvaluator:
         self._m_instances.set(
             1 if self._core is not None else len(self._instances)
         )
+        qplan.STATS.publish(self._obs[0])
 
     def _refresh_instances(self, state: SystemState) -> None:
         per_var: list[list] = []

@@ -439,11 +439,14 @@ class SharedPlan:
         return stored + aux
 
     def _record_metrics(self) -> None:
+        from repro.query import plan as qplan
+
         self._m_rules.set(len(self._rules))
         self._m_nodes.set(len(self._nodes))
         self._m_dedup.set(self.dedup_ratio())
         self._m_state_size.set(self.state_size())
         self._m_intern.set(cs.intern_stats()["hit_rate"])
+        qplan.STATS.publish(self.metrics)
 
     # ------------------------------------------------------------------
     # Snapshot / restore (trial evaluation)

@@ -161,7 +161,12 @@ def eval_scalar(
 
 
 def _bindings(ranges, state: StateView, params: Env):
-    """Yield row environments for the cross product of the range variables."""
+    """Yield row environments for the cross product of the range variables.
+
+    Iterates ``rows`` directly — binding order is irrelevant to the set
+    semantics of query results; callers needing a deterministic row order
+    use :meth:`Relation.sorted_rows` (memoized) on the *result*.
+    """
     if not ranges:
         yield {}
         return
@@ -177,7 +182,7 @@ def _bindings(ranges, state: StateView, params: Env):
             yield env
             return
         name, rel = relations[i]
-        for row in rel.sorted_rows():
+        for row in rel.rows:
             child = dict(env)
             for attr, value in zip(rel.schema.names, row.values):
                 child[f"{name}.{attr}"] = value
@@ -221,14 +226,40 @@ def _equality_probe(query: ast.Retrieve, params: Env):
     return attrs, values
 
 
+_qplan = None
+
+
+def _plan_module():
+    """The plan module, imported lazily (it imports this module)."""
+    global _qplan
+    if _qplan is None:
+        from repro.query import plan as _qplan_mod
+
+        _qplan = _qplan_mod
+    return _qplan
+
+
 def _eval_retrieve(
     query: ast.Retrieve, state: StateView, params: Env
 ) -> Relation:
+    qplan = _plan_module()
+    if qplan.plans_enabled():
+        result = qplan.try_execute(query, state, params)
+        if result is not qplan.FALLBACK:
+            return result
+    return _eval_retrieve_scan(query, state, params)
+
+
+def _eval_retrieve_scan(
+    query: ast.Retrieve, state: StateView, params: Env, probe: bool = True
+) -> Relation:
+    """The naive nested-loop path (kept as the differential-test oracle);
+    ``probe=False`` also disables the single-range equality fast path."""
     out_rows: list[tuple] = []
 
     # Fast path: equality selections on a single range probe the cached
     # hash index instead of scanning (see repro.storage.index).
-    probe = _equality_probe(query, params)
+    probe = _equality_probe(query, params) if probe else None
     if probe is not None:
         from repro.storage.index import index_for
 
@@ -320,6 +351,17 @@ def _infer_expr_type(expr: ast.Expr, range_schemas: Mapping[str, Schema]):
 
 
 def _eval_aggregate(
+    query: ast.AggregateQuery, state: StateView, params: Env
+) -> Any:
+    qplan = _plan_module()
+    if qplan.plans_enabled():
+        result = qplan.try_execute(query, state, params)
+        if result is not qplan.FALLBACK:
+            return result
+    return _eval_aggregate_scan(query, state, params)
+
+
+def _eval_aggregate_scan(
     query: ast.AggregateQuery, state: StateView, params: Env
 ) -> Any:
     fn = aggregate_function(query.func)

@@ -155,6 +155,12 @@ class Transaction:
 
     # -- resolution ------------------------------------------------------------
 
+    def write_set(self) -> frozenset[str]:
+        """Names of the database items this transaction's writes touch —
+        recorded as ``SystemState.delta`` on the commit state so the
+        temporal component can skip atoms over untouched items."""
+        return frozenset(op.item for op in self.writes)
+
     def apply_to(self, state: DatabaseState) -> DatabaseState:
         """The state with this transaction's buffered writes applied."""
         changes: dict[str, Any] = {}
