@@ -1,0 +1,177 @@
+"""E14 — crash recovery: WAL overhead and recovery time vs tail length.
+
+Not a paper experiment; this measures the durability layer from
+``repro.recovery``: the per-update cost of write-ahead logging (with and
+without fsync) and — the property checkpoints exist to buy — that
+recovery time is governed by the length of the WAL tail past the last
+checkpoint, not by the total length of the run's history.  For one fixed
+workload we checkpoint at different points and time a full recovery,
+asserting ``replayed_steps`` equals exactly the tail length and that the
+rebuilt system reports the same firings as the uninterrupted run.
+"""
+
+import random
+
+from conftest import report
+
+from repro.bench import (
+    Table,
+    emit_bench_json,
+    per_update_micros,
+    smoke_mode,
+    time_best,
+)
+from repro.engine import ActiveDatabase
+from repro.recovery import RecoveryManager
+from repro.rules.actions import RecordingAction
+from repro.rules.rule import FireMode
+
+SMOKE = smoke_mode()
+N = 150 if SMOKE else 600
+#: WAL tail lengths (states replayed after checkpoint load).
+TAILS = [N // 8, N // 4, N // 2, N]
+
+
+def make_ops(n):
+    rng = random.Random(7)
+    price = 50
+    ops = []
+    for i in range(n):
+        price = max(1, price + rng.randint(-9, 11))
+        ops.append(("set", price))
+    return ops
+
+
+OPS = make_ops(N)
+
+
+def setup(adb):
+    manager = adb.rule_manager(shared_plan=True)
+    manager.add_trigger(
+        "rising",
+        "price > 60 & lasttime price <= 60",
+        RecordingAction(),
+        fire_mode=FireMode.RISING_EDGE,
+    )
+    manager.add_integrity_constraint("cap", "!(price > 10000)")
+    return manager
+
+
+def drive(adb, ops):
+    for _, value in ops:
+        adb.execute(lambda t, v=value: t.set_item("price", v))
+
+
+def run_workload(directory=None, fsync=False, checkpoint_at=None):
+    adb = ActiveDatabase()
+    adb.declare_item("price", 50)
+    manager = setup(adb)
+    rm = None
+    if directory is not None:
+        rm = RecoveryManager(directory, fsync=fsync)
+        rm.start(adb)
+    if checkpoint_at is None:
+        drive(adb, OPS)
+    else:
+        drive(adb, OPS[:checkpoint_at])
+        manager.flush()
+        rm.checkpoint(adb, manager)
+        drive(adb, OPS[checkpoint_at:])
+    if rm is not None:
+        rm.stop()
+    return adb, manager
+
+
+def firing_sig(manager):
+    return [
+        (f.rule, f.bindings, f.state_index, f.timestamp)
+        for f in manager.firings
+    ]
+
+
+def test_e14_recovery(benchmark, tmp_path):
+    def compute():
+        t_plain = time_best(lambda: run_workload(), repeat=2)
+        t_wal = time_best(
+            lambda: run_workload(tmp_path / "nosync"), repeat=2
+        )
+        t_wal_fsync = time_best(
+            lambda: run_workload(tmp_path / "sync", fsync=True), repeat=1
+        )
+        _, oracle = run_workload()
+        oracle_sig = firing_sig(oracle)
+
+        curve = []
+        for tail in TAILS:
+            directory = tmp_path / f"tail{tail}"
+            ckpt_at = N - tail
+            run_workload(directory, checkpoint_at=ckpt_at or None)
+            t_rec = time_best(
+                lambda d=directory: RecoveryManager(d).recover(setup=setup),
+                repeat=2,
+            )
+            rep = RecoveryManager(directory).recover(setup=setup)
+            assert rep.replayed_steps == tail
+            assert rep.checkpoint_used == (ckpt_at > 0)
+            assert firing_sig(rep.manager) == oracle_sig
+            wal_bytes = RecoveryManager(directory).wal_path.stat().st_size
+            curve.append((tail, t_rec, wal_bytes))
+        return t_plain, t_wal, t_wal_fsync, curve
+
+    t_plain, t_wal, t_wal_fsync, curve = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+
+    table = Table(
+        f"E14: WAL overhead and recovery time ({N} updates)",
+        ["metric", "value"],
+    )
+    table.add_row(
+        "workload, no WAL (us/update)",
+        round(per_update_micros(t_plain, N), 1),
+    )
+    table.add_row(
+        "workload + WAL (us/update)", round(per_update_micros(t_wal, N), 1)
+    )
+    table.add_row(
+        "workload + WAL, fsync (us/update)",
+        round(per_update_micros(t_wal_fsync, N), 1),
+    )
+    for tail, t_rec, _ in curve:
+        table.add_row(f"recover, tail={tail}/{N} (s)", t_rec)
+    report(table)
+
+    emit_bench_json(
+        "E14",
+        {
+            "updates": N,
+            "wal_overhead": {
+                "plain_seconds": t_plain,
+                "wal_seconds": t_wal,
+                "wal_fsync_seconds": t_wal_fsync,
+                "us_per_update_plain": per_update_micros(t_plain, N),
+                "us_per_update_wal": per_update_micros(t_wal, N),
+                "us_per_update_wal_fsync": per_update_micros(
+                    t_wal_fsync, N
+                ),
+            },
+            "recovery_curve": [
+                {
+                    "wal_tail": tail,
+                    "recover_seconds": t_rec,
+                    "wal_bytes": wal_bytes,
+                }
+                for tail, t_rec, wal_bytes in curve
+            ],
+        },
+    )
+
+    # Acceptance: checkpoints bound recovery work — recovering the
+    # shortest tail is faster than replaying the whole run.  Timings at
+    # smoke sizes are noisy, so the bar relaxes there.
+    t_short, t_full = curve[0][1], curve[-1][1]
+    bar = 1.0 if SMOKE else 2.0
+    assert t_full >= bar * t_short, (
+        f"full replay {t_full:.4f}s not >= {bar}x short-tail "
+        f"{t_short:.4f}s — checkpoint is not bounding recovery work"
+    )

@@ -6,7 +6,11 @@ Subcommands
              the step-by-step state-formula table.
 ``monitor``  — run the stock-monitor workload with the observability layer
              enabled and print a firing summary; with ``--metrics-json``
-             also dump the metrics registry + firing traces as JSON.
+             also dump the metrics registry + firing traces as JSON, and
+             with ``--wal DIR`` log every state to a write-ahead log and
+             leave a checkpoint behind in DIR.
+``recover``  — rebuild the monitor system from a ``--wal DIR`` left by a
+             previous (possibly crashed) run and print what was replayed.
 ``version``  — print the package version.
 
 ``--metrics-json [PATH]`` writes the JSON document to PATH (or stdout when
@@ -59,7 +63,7 @@ def run_demo() -> int:
     return 0 if fired_at == [8] else 1
 
 
-def run_monitor(metrics_json=None, ticks: int = 200, seed: int = 7) -> int:
+def run_monitor(metrics_json=None, ticks: int = 200, wal=None) -> int:
     """Stock-monitor workload with metrics + traces enabled."""
     from repro.facade import TemporalDatabase
     from repro.workloads.stock import STOCK_SCHEMA, spike_trace
@@ -72,6 +76,13 @@ def run_monitor(metrics_json=None, ticks: int = 200, seed: int = 7) -> int:
         "price", ["name"],
         "RETRIEVE (S.price) FROM STOCK S WHERE S.name = $name",
     )
+
+    recovery = None
+    if wal is not None:
+        from repro.recovery import RecoveryManager
+
+        recovery = RecoveryManager(wal)
+        recovery.start(tdb.engine)
 
     firings = []
     tdb.on(
@@ -87,6 +98,11 @@ def run_monitor(metrics_json=None, ticks: int = 200, seed: int = 7) -> int:
 
     print(f"stock monitor: {ticks} ticks, "
           f"{len(firings)} sharp_increase firings")
+    if recovery is not None:
+        tdb.rules.flush()
+        recovery.checkpoint(tdb.engine, tdb.rules)
+        recovery.stop()
+        print(f"write-ahead log + checkpoint in {wal}")
     print(f"metrics collected: {len(tdb.metrics.metrics())}   "
           f"trace events: {len(tdb.trace)}")
     doc = tdb.metrics_json()
@@ -99,6 +115,33 @@ def run_monitor(metrics_json=None, ticks: int = 200, seed: int = 7) -> int:
     return 0 if firings else 1
 
 
+def run_recover(wal) -> int:
+    """Rebuild the monitor system from a durable directory."""
+    from repro.recovery import RecoveryManager
+
+    def setup(engine):
+        manager = engine.rule_manager()
+        manager.add_trigger(
+            "sharp_increase", SHARP_INCREASE, lambda ctx: None
+        )
+        manager.add_integrity_constraint(
+            "positive_price", "price(IBM) >= 0"
+        )
+        return manager
+
+    report = RecoveryManager(wal).recover(setup=setup)
+    print(f"recovered from {wal}")
+    print(f"  checkpoint used:  {report.checkpoint_used}")
+    print(f"  WAL records:      {report.wal_records}")
+    print(f"  replayed steps:   {report.replayed_steps}")
+    print(f"  torn tail cut:    {report.truncated}")
+    print(f"  states:           {report.engine.state_count} "
+          f"(clock at {report.engine.now})")
+    if report.manager is not None:
+        print(f"  firings on record: {len(report.manager.firings)}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -109,7 +152,7 @@ def main(argv=None) -> int:
         "command",
         nargs="?",
         default="demo",
-        choices=["demo", "monitor", "version"],
+        choices=["demo", "monitor", "recover", "version"],
     )
     parser.add_argument(
         "--metrics-json",
@@ -124,12 +167,24 @@ def main(argv=None) -> int:
         "--ticks", type=int, default=200,
         help="number of price ticks for the monitor workload",
     )
+    parser.add_argument(
+        "--wal", metavar="DIR", default=None,
+        help="durable directory: monitor logs every state to a "
+        "write-ahead log there and checkpoints on exit; recover "
+        "rebuilds from it",
+    )
     args = parser.parse_args(argv)
     if args.command == "version":
         print(__version__)
         return 0
+    if args.command == "recover":
+        if args.wal is None:
+            parser.error("recover requires --wal DIR")
+        return run_recover(args.wal)
     if args.command == "monitor" or args.metrics_json is not None:
-        return run_monitor(metrics_json=args.metrics_json, ticks=args.ticks)
+        return run_monitor(
+            metrics_json=args.metrics_json, ticks=args.ticks, wal=args.wal
+        )
     return run_demo()
 
 

@@ -26,7 +26,13 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
-from repro.errors import ClockError, HistoryError, TransactionAborted
+from repro.errors import (
+    ActionError,
+    ClockError,
+    HistoryError,
+    ReproError,
+    TransactionAborted,
+)
 from repro.events import model as ev
 from repro.events.bus import EventBus
 from repro.events.clock import Clock
@@ -189,7 +195,18 @@ class ActiveDatabase:
             self._m_states.inc()
             if self.history is not None:
                 self._m_history_len.set(len(self.history))
-        self.bus.publish(state)
+        try:
+            self.bus.publish(state)
+        except ReproError:
+            raise
+        except Exception as exc:
+            # The state is already appended (and, with a WAL attached,
+            # durable); a subscriber blowing up is an action failure, not a
+            # storage or transaction failure.
+            raise ActionError(
+                f"subscriber failed while processing state "
+                f"#{state.index} (t={ts}): {exc}"
+            ) from exc
         return state
 
     def post_event(
@@ -268,12 +285,16 @@ class ActiveDatabase:
             )
             raise TransactionAborted(txn.id, "; ".join(violations))
 
+        # Durable point: the transaction is committed the moment the new
+        # database state is installed — before rule actions run.  An
+        # exception raised by an action (publication below) therefore
+        # surfaces as a typed ActionError with the transaction already
+        # COMMITTED, instead of masquerading as a transaction failure.
         self.db._set_state(candidate_db)
-        state = self._append(candidate_db, events, ts, delta=delta)
         self.txns.finish(txn, TxnStatus.COMMITTED)
         if self._obs_on:
             self._m_commits.inc()
-        return state
+        return self._append(candidate_db, events, ts, delta=delta)
 
     def _abort(
         self, txn: Transaction, at_time: Optional[int], reason: str

@@ -80,6 +80,15 @@ class DuplicateRelationError(StorageError):
     """Attempt to create a relation that already exists."""
 
 
+class SerializationError(StorageError):
+    """Evaluator or engine state could not be encoded/decoded."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery failed: unreadable checkpoint, corrupt WAL record,
+    or a mismatch between the checkpoint and the re-registered rules."""
+
+
 class TransactionError(ReproError):
     """Base class for transaction lifecycle errors."""
 

@@ -63,12 +63,18 @@ class EventBus:
         self,
         listener: Listener,
         event_names: Optional[Iterable[str]] = None,
+        front: bool = False,
     ) -> Subscription:
         """Register ``listener``; if ``event_names`` is given, the listener
         is only invoked for states whose event set intersects it (the
-        Section 8 relevance filter)."""
+        Section 8 relevance filter).  ``front=True`` places the listener
+        ahead of existing subscribers — the write-ahead log uses this so a
+        state is durable before any rule action observes it."""
         sub = Subscription(self, listener, event_names)
-        self._subscriptions.append(sub)
+        if front:
+            self._subscriptions.insert(0, sub)
+        else:
+            self._subscriptions.append(sub)
         return sub
 
     def publish(self, state) -> None:

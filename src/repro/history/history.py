@@ -32,9 +32,15 @@ class SystemHistory:
         self,
         states: Iterable[SystemState] = (),
         validate_transaction_time: bool = True,
+        base_index: int = 0,
     ):
         self._states: list[SystemState] = []
         self.validate_transaction_time = validate_transaction_time
+        #: Global index of this history's first state.  A crash-recovered
+        #: engine keeps only the post-checkpoint suffix of the run's
+        #: history; offsetting the assigned indices keeps firing records
+        #: and state identities consistent across the crash.
+        self.base_index = base_index
         for s in states:
             self.append(s)
 
@@ -61,7 +67,7 @@ class SystemHistory:
             raise HistoryError(
                 "database state changed without a transaction commit"
             )
-        indexed = state.with_index(len(self._states))
+        indexed = state.with_index(self.base_index + len(self._states))
         self._states.append(indexed)
         return indexed
 

@@ -24,6 +24,7 @@ DEFAULT_TRACE_LIMIT = 10_000
 #: Event kinds the rule manager emits.
 FIRING = "firing"
 ACTION = "action"
+ACTION_FAILURE = "action_failure"
 IC_VIOLATION = "ic_violation"
 MONITOR = "monitor"
 

@@ -33,7 +33,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Optional
 
-from repro.errors import EvaluationError, QueryEvaluationError
+from repro.errors import (
+    EvaluationError,
+    QueryEvaluationError,
+    SerializationError,
+)
 from repro.query.evaluator import apply_comparison
 from repro.query.functions import scalar_function
 
@@ -550,6 +554,125 @@ class FreshValue:
 
 
 FRESH = FreshValue()
+
+
+# ---------------------------------------------------------------------------
+# JSON serialization (recovery checkpoints)
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any):
+    """Encode a constraint-level value as a JSON-compatible structure.
+
+    Scalars pass through; tuples and the :data:`FRESH` witness get marker
+    objects so decoding is lossless (JSON has no tuple, and FRESH must
+    come back as the singleton)."""
+    if value is FRESH:
+        return {"__fresh__": True}
+    from repro.ptl.semantics import UNDEFINED
+
+    if value is UNDEFINED:
+        return {"__undefined__": True}
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {"__list__": [encode_value(v) for v in value]}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise SerializationError(
+        f"cannot serialize value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def decode_value(payload: Any):
+    """Inverse of :func:`encode_value`."""
+    if isinstance(payload, dict):
+        if payload.get("__fresh__"):
+            return FRESH
+        if payload.get("__undefined__"):
+            from repro.ptl.semantics import UNDEFINED
+
+            return UNDEFINED
+        if "__tuple__" in payload:
+            return tuple(decode_value(v) for v in payload["__tuple__"])
+        if "__list__" in payload:
+            return [decode_value(v) for v in payload["__list__"]]
+        raise SerializationError(f"unknown value marker: {payload!r}")
+    return payload
+
+
+def term_to_payload(term: STerm) -> Any:
+    if isinstance(term, SConst):
+        return {"t": "const", "v": encode_value(term.value)}
+    if isinstance(term, SVar):
+        return {"t": "var", "n": term.name}
+    if isinstance(term, SApp):
+        return {
+            "t": "app",
+            "f": term.func,
+            "a": [term_to_payload(a) for a in term.args],
+        }
+    raise SerializationError(f"unknown term node {term!r}")
+
+
+def term_from_payload(payload: Any) -> STerm:
+    kind = payload.get("t") if isinstance(payload, dict) else None
+    if kind == "const":
+        return SConst(decode_value(payload["v"]))
+    if kind == "var":
+        return SVar(payload["n"])
+    if kind == "app":
+        args = tuple(term_from_payload(a) for a in payload["a"])
+        # Rebuild through the interning table, but never constant-fold:
+        # the original node survived folding at construction time.
+        return _intern(
+            _intern_terms, (payload["f"], args), SApp(payload["f"], args)
+        )
+    raise SerializationError(f"unknown term payload: {payload!r}")
+
+
+def to_payload(c: C) -> Any:
+    """Encode a constraint formula as a JSON-compatible structure."""
+    if isinstance(c, CBool):
+        return {"c": "bool", "v": c.value}
+    if isinstance(c, CAtom):
+        return {
+            "c": "atom",
+            "op": c.op,
+            "l": term_to_payload(c.left),
+            "r": term_to_payload(c.right),
+        }
+    if isinstance(c, CAnd):
+        return {"c": "and", "ops": [to_payload(x) for x in c.operands]}
+    if isinstance(c, COr):
+        return {"c": "or", "ops": [to_payload(x) for x in c.operands]}
+    if isinstance(c, CNot):
+        return {"c": "not", "op": to_payload(c.operand)}
+    raise SerializationError(f"unknown constraint node {c!r}")
+
+
+def from_payload(payload: Any) -> C:
+    """Inverse of :func:`to_payload`.
+
+    Decoding goes through the smart constructors, which are idempotent on
+    already-normalized formulas, so the rebuilt graph is re-interned and
+    structurally equal to the original."""
+    kind = payload.get("c") if isinstance(payload, dict) else None
+    if kind == "bool":
+        return CTRUE if payload["v"] else CFALSE
+    if kind == "atom":
+        return catom(
+            payload["op"],
+            term_from_payload(payload["l"]),
+            term_from_payload(payload["r"]),
+        )
+    if kind == "and":
+        return cand(from_payload(x) for x in payload["ops"])
+    if kind == "or":
+        return cor(from_payload(x) for x in payload["ops"])
+    if kind == "not":
+        return cnot(from_payload(payload["op"]))
+    raise SerializationError(f"unknown constraint payload: {payload!r}")
 
 
 def solve(

@@ -23,11 +23,18 @@ from repro.query.evaluator import StateView, eval_query
 
 @dataclass(frozen=True)
 class ExecutionRecord:
-    """One rule execution: rule name, parameter tuple, commit time."""
+    """One rule execution: rule name, parameter tuple, commit time.
+
+    ``status`` is ``"ok"`` for a successful action, ``"failed"`` when the
+    action raised and was isolated (see action failure isolation in
+    :mod:`repro.rules.manager`).  Failed executions still satisfy the
+    ``executed`` predicate — the rule *fired*; only its side effect was
+    lost — so condition evaluation is independent of action health."""
 
     rule: str
     params: tuple
     time: int
+    status: str = "ok"
 
 
 class ExecutedStore:
@@ -41,10 +48,21 @@ class ExecutedStore:
     def __init__(self) -> None:
         self._records: list[ExecutionRecord] = []
 
-    def record(self, rule: str, params: tuple, time: int) -> ExecutionRecord:
-        rec = ExecutionRecord(rule, tuple(params), time)
+    def record(
+        self, rule: str, params: tuple, time: int, status: str = "ok"
+    ) -> ExecutionRecord:
+        rec = ExecutionRecord(rule, tuple(params), time, status)
         self._records.append(rec)
         return rec
+
+    def mark_failed(self, rec: ExecutionRecord) -> ExecutionRecord:
+        """Replace ``rec`` with a ``status="failed"`` copy in place."""
+        failed = ExecutionRecord(rec.rule, rec.params, rec.time, "failed")
+        for i in range(len(self._records) - 1, -1, -1):
+            if self._records[i] is rec:
+                self._records[i] = failed
+                break
+        return failed
 
     def records(
         self, rule: Optional[str] = None, before: Optional[int] = None
@@ -64,6 +82,24 @@ class ExecutedStore:
 
     def __len__(self) -> int:
         return len(self._records)
+
+    # -- serialization (recovery checkpoints) --------------------------------
+
+    def to_state(self) -> list:
+        from repro.ptl.constraints import encode_value
+
+        return [
+            [r.rule, encode_value(r.params), r.time, r.status]
+            for r in self._records
+        ]
+
+    def from_state(self, state: list) -> None:
+        from repro.ptl.constraints import decode_value
+
+        self._records = [
+            ExecutionRecord(rule, decode_value(params), time, status)
+            for rule, params, time, status in state
+        ]
 
 
 #: A domain is a fixed collection of values or a query evaluated at the

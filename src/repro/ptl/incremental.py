@@ -44,7 +44,12 @@ from time import perf_counter
 from typing import Any, Mapping, Optional
 
 from repro.datamodel.relation import Relation
-from repro.errors import EvaluationError, PTLError, UnsafeFormulaError
+from repro.errors import (
+    EvaluationError,
+    PTLError,
+    RecoveryError,
+    UnsafeFormulaError,
+)
 from repro.history.state import SystemState
 from repro.obs.metrics import as_registry
 from repro.ptl import ast
@@ -797,6 +802,68 @@ class _AggregateState:
             total += len(self.log)
         return total
 
+    # -- serialization (recovery checkpoints) --------------------------------
+
+    def to_state(self) -> dict:
+        if self.mode == "running":
+            return {
+                "mode": "running",
+                "started": self.started,
+                "poisoned": self.poisoned,
+                "samples": [cs.encode_value(v) for v in self.agg._samples],
+                "start": self.start_eval.to_state(),
+                "sample": self.sample_eval.to_state(),
+            }
+        return {
+            "mode": "windowed",
+            "poisoned": self.poisoned,
+            "log": [
+                [ts, sampled, cs.encode_value(v)]
+                for ts, sampled, v in self.log
+            ],
+            "now": self.now,
+            "sample": self.sample_eval.to_state(),
+        }
+
+    def from_state(self, state: dict) -> None:
+        if state.get("mode") != self.mode:
+            raise RecoveryError(
+                f"aggregate mode mismatch: checkpoint says "
+                f"{state.get('mode')!r}, evaluator compiled {self.mode!r}"
+            )
+        self.poisoned = state["poisoned"]
+        self.sample_eval.from_state(state["sample"])
+        if self.mode == "running":
+            self.started = state["started"]
+            self.agg.reset()
+            self.agg.add_all([cs.decode_value(v) for v in state["samples"]])
+            self.start_eval.from_state(state["start"])
+        else:
+            self.log = [
+                (ts, sampled, cs.decode_value(v))
+                for ts, sampled, v in state["log"]
+            ]
+            self.now = state["now"]
+
+
+def _encode_node_state(snap) -> Optional[dict]:
+    """JSON-encode one temporal node's stored state (``Lasttime`` stores a
+    constraint formula; ``Since`` stores a formula plus its started flag)."""
+    if snap is None:
+        return None
+    if isinstance(snap, tuple):
+        stored, started = snap
+        return {"k": "since", "f": cs.to_payload(stored), "started": started}
+    return {"k": "last", "f": cs.to_payload(snap)}
+
+
+def _decode_node_state(payload):
+    if payload is None:
+        return None
+    if payload["k"] == "since":
+        return (cs.from_payload(payload["f"]), payload["started"])
+    return cs.from_payload(payload["f"])
+
 
 # ---------------------------------------------------------------------------
 # Core evaluator (formula with all queries ground)
@@ -1004,6 +1071,53 @@ class _CoreEvaluator:
             node.set_state(stored)
         for term, stored in agg_states.items():
             self._aggregates[term].set_state(stored)
+
+    # -- serialization (recovery checkpoints) --------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable counterpart of :meth:`snapshot`.  Temporal
+        nodes and aggregates are stored positionally (compilation order is
+        deterministic for a given formula), with the aggregate term's text
+        as a fingerprint."""
+        return {
+            "steps": self.steps,
+            "last_top": cs.to_payload(self.last_top),
+            "nodes": [
+                _encode_node_state(n.get_state())
+                for n in self._temporal_nodes
+            ],
+            "aggregates": [
+                [str(term), agg.to_state()]
+                for term, agg in self._aggregates.items()
+            ],
+        }
+
+    def from_state(self, state: dict) -> None:
+        nodes = state["nodes"]
+        aggs = state["aggregates"]
+        if len(nodes) != len(self._temporal_nodes):
+            raise RecoveryError(
+                f"checkpoint has {len(nodes)} temporal nodes; this "
+                f"evaluator compiled {len(self._temporal_nodes)}"
+            )
+        if len(aggs) != len(self._aggregates):
+            raise RecoveryError(
+                f"checkpoint has {len(aggs)} aggregates; this evaluator "
+                f"compiled {len(self._aggregates)}"
+            )
+        self.steps = state["steps"]
+        self.last_top = cs.from_payload(state["last_top"])
+        for node, payload in zip(self._temporal_nodes, nodes):
+            node.set_state(_decode_node_state(payload))
+        for (term, agg), (fingerprint, payload) in zip(
+            self._aggregates.items(), aggs
+        ):
+            if str(term) != fingerprint:
+                raise RecoveryError(
+                    f"aggregate mismatch: checkpoint has {fingerprint!r}, "
+                    f"evaluator compiled {str(term)!r}"
+                )
+            agg.from_state(payload)
 
 
 # ---------------------------------------------------------------------------
@@ -1219,4 +1333,69 @@ class IncrementalEvaluator:
         if self._obs_on:
             # Gauges must reflect the restored state, not the pre-restore
             # one (no stale R_x counts after a snapshot round-trip).
+            self._record_gauges()
+
+    # -- serialization (recovery checkpoints) --------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable evaluator state (the recovery counterpart of
+        the in-memory :meth:`snapshot`).  The normalized formula's text is
+        included as a fingerprint: :meth:`from_state` refuses to load state
+        into an evaluator compiled from a different condition."""
+        out = {
+            "format": 1,
+            "formula": str(self.formula),
+            "steps": self.steps,
+        }
+        if self._core is not None:
+            out["kind"] = "core"
+            out["core"] = self._core.to_state()
+        else:
+            out["kind"] = "indexed"
+            out["instances"] = [
+                [cs.encode_value(key), core.to_state()]
+                for key, core in self._instances.items()
+            ]
+        return out
+
+    def from_state(self, payload: dict) -> None:
+        """Load serialized state produced by :meth:`to_state`.  The
+        evaluator must have been constructed from the same formula (and
+        context domains); domain-indexed instances are re-instantiated
+        from their recorded keys."""
+        if payload.get("format") != 1:
+            raise RecoveryError(
+                f"unsupported evaluator state format: {payload.get('format')!r}"
+            )
+        if payload.get("formula") != str(self.formula):
+            raise RecoveryError(
+                "evaluator state belongs to a different formula:\n"
+                f"  checkpoint: {payload.get('formula')}\n"
+                f"  evaluator:  {self.formula}"
+            )
+        self.steps = payload["steps"]
+        if payload["kind"] == "core":
+            if self._core is None:
+                raise RecoveryError(
+                    "checkpoint is for a ground formula but this evaluator "
+                    "is domain-indexed"
+                )
+            self._core.from_state(payload["core"])
+        else:
+            if self._core is not None:
+                raise RecoveryError(
+                    "checkpoint is domain-indexed but this evaluator "
+                    "compiled a ground formula"
+                )
+            self._instances = {}
+            for enc_key, inst_state in payload["instances"]:
+                key = cs.decode_value(enc_key)
+                env = dict(zip(self._qvars, key))
+                inst = instantiate_formula(self.formula, env)
+                core = _CoreEvaluator(
+                    inst, self.ctx, self.optimize, obs=self._obs
+                )
+                core.from_state(inst_state)
+                self._instances[key] = core
+        if self._obs_on:
             self._record_gauges()

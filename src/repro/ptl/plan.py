@@ -42,7 +42,12 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.errors import DuplicateRuleError, UnknownRuleError, UnsafeFormulaError
+from repro.errors import (
+    DuplicateRuleError,
+    RecoveryError,
+    UnknownRuleError,
+    UnsafeFormulaError,
+)
 from repro.history.state import SystemState
 from repro.obs.metrics import as_registry
 from repro.ptl import ast
@@ -139,6 +144,9 @@ class _PlanRule:
         "instances",
         "last_top",
         "result",
+        "birth",
+        "seq",
+        "instance_births",
     )
 
     def __init__(self, name, formula, ctx, time_vars, qvars):
@@ -152,6 +160,12 @@ class _PlanRule:
         self.instances: dict[tuple, _Node] = {}
         self.last_top: cs.C = cs.CFALSE
         self.result: FireResult = FireResult(False)
+        #: Plan epoch when this rule's root was compiled.
+        self.birth = 0
+        #: Global compilation sequence number (checkpoint replay order).
+        self.seq = 0
+        #: combo -> (birth epoch, sequence number) per instance.
+        self.instance_births: dict[tuple, tuple[int, int]] = {}
 
     def roots(self) -> Iterator[_Node]:
         if self.root is not None:
@@ -194,6 +208,8 @@ class SharedPlan:
         #: (aggregate term, avail, birth epoch) -> shared running state.
         self._aggregates: dict = {}
         self._subevals: dict = {}
+        #: Next root-compilation sequence number (checkpoint replay order).
+        self._next_seq = 0
         #: Compile-time sharing counters (dedup ratio).
         self.compile_requests = 0
         self.compile_shared = 0
@@ -235,6 +251,9 @@ class SharedPlan:
                     f"needs a domain (EvalContext.domains[{qv!r}])"
                 )
         entry = _PlanRule(name, formula, rule_ctx, time_vars, qvars)
+        entry.birth = self.epoch
+        entry.seq = self._next_seq
+        self._next_seq += 1
         if not qvars:
             entry.root = self._compile(formula, frozenset(), time_vars)
         self._rules[name] = entry
@@ -407,6 +426,8 @@ class SharedPlan:
                 for var, query in ast.assigned_variables(inst).items()
                 if query == TIME_QUERY
             )
+            entry.instance_births[combo] = (self.epoch, self._next_seq)
+            self._next_seq += 1
             entry.instances[combo] = self._compile(inst, frozenset(), time_vars)
 
     # ------------------------------------------------------------------
@@ -479,6 +500,181 @@ class SharedPlan:
             if name in self._rules:
                 self._rules[name].last_top = last_top
                 self._rules[name].result = result
+
+    # ------------------------------------------------------------------
+    # Serialization (recovery checkpoints)
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable whole-plan state.
+
+        Alongside every temporal node's stored formula and every shared
+        aggregate's running state, the payload records each rule root's
+        (and each query-parameter instance's) *birth epoch* and global
+        compilation sequence number: :meth:`from_state` replays the
+        compilations in that exact order, at those exact epochs, so the
+        sharing keys — and therefore the temporal-node order — reproduce
+        the checkpointed DAG.  Limitation: temporal nodes orphaned by
+        :meth:`remove_rule` are still serialized but cannot be rebuilt;
+        checkpoint after removing rules is not supported."""
+        from repro.ptl.incremental import _encode_node_state
+
+        return {
+            "format": 1,
+            "epoch": self.epoch,
+            "next_seq": self._next_seq,
+            "rules": [
+                {
+                    "name": entry.name,
+                    "formula": str(entry.formula),
+                    "birth": entry.birth,
+                    "seq": entry.seq,
+                    "instances": [
+                        [cs.encode_value(combo), birth, seq]
+                        for combo, (birth, seq) in entry.instance_births.items()
+                    ],
+                    "last_top": cs.to_payload(entry.last_top),
+                    "result": _encode_fire_result(entry.result),
+                }
+                for entry in self._rules.values()
+            ],
+            "temporal": [
+                [node.label, sorted(prune_set), _encode_node_state(node.get_state())]
+                for node, prune_set in self._temporal
+            ],
+            "aggregates": [
+                [str(term), sorted(avail), birth, agg.to_state()]
+                for (term, avail, birth), agg in self._aggregates.items()
+            ],
+        }
+
+    def from_state(self, payload: dict) -> None:
+        """Load a checkpoint into a plan with the *same rules registered*
+        (same names, conditions, and domains; registration order need not
+        match — the payload's recorded compilation order wins).  The
+        compiled DAG is rebuilt from scratch by replaying the checkpointed
+        compilation sequence, then every temporal node and aggregate gets
+        its stored state back."""
+        from repro.ptl.incremental import _decode_node_state
+
+        if payload.get("format") != 1:
+            raise RecoveryError(
+                f"unsupported plan state format: {payload.get('format')!r}"
+            )
+        by_name = {r["name"]: r for r in payload["rules"]}
+        if set(by_name) != set(self._rules):
+            raise RecoveryError(
+                f"plan rule set mismatch: checkpoint has "
+                f"{sorted(by_name)}, plan has {sorted(self._rules)}"
+            )
+        for name, entry in self._rules.items():
+            if by_name[name]["formula"] != str(entry.formula):
+                raise RecoveryError(
+                    f"rule {name!r} condition differs from checkpoint:\n"
+                    f"  checkpoint: {by_name[name]['formula']}\n"
+                    f"  plan:       {entry.formula}"
+                )
+
+        # Rebuild the compiled DAG by replaying the recorded compilations.
+        self._nodes = {}
+        self._temporal = []
+        self._aggregates = {}
+        self._subevals = {}
+        self.compile_requests = 0
+        self.compile_shared = 0
+        jobs = []  # (seq, birth, entry, combo-or-None)
+        for name, entry in self._rules.items():
+            rec = by_name[name]
+            entry.birth = rec["birth"]
+            entry.seq = rec["seq"]
+            entry.root = None
+            entry.instances = {}
+            entry.instance_births = {}
+            if not entry.qvars:
+                jobs.append((rec["seq"], rec["birth"], entry, None))
+            for enc_combo, birth, seq in rec["instances"]:
+                combo = cs.decode_value(enc_combo)
+                jobs.append((seq, birth, entry, combo))
+        for seq, birth, entry, combo in sorted(jobs):
+            self.epoch = birth
+            if combo is None:
+                entry.root = self._compile(
+                    entry.formula, frozenset(), entry.time_vars
+                )
+                continue
+            env = dict(zip(entry.qvars, combo))
+            inst = instantiate_formula(entry.formula, env)
+            time_vars = frozenset(
+                var
+                for var, query in ast.assigned_variables(inst).items()
+                if query == TIME_QUERY
+            )
+            entry.instance_births[combo] = (birth, seq)
+            entry.instances[combo] = self._compile(
+                inst, frozenset(), time_vars
+            )
+        self._next_seq = payload["next_seq"]
+        self.epoch = payload["epoch"]
+        self._last_state = None
+
+        temporal = payload["temporal"]
+        if len(temporal) != len(self._temporal):
+            raise RecoveryError(
+                f"checkpoint has {len(temporal)} temporal nodes; rebuilt "
+                f"plan has {len(self._temporal)} (was a rule removed "
+                "before the checkpoint?)"
+            )
+        for (node, prune_set), (label, ps, state) in zip(
+            self._temporal, temporal
+        ):
+            if node.label != label or sorted(prune_set) != ps:
+                raise RecoveryError(
+                    f"temporal node mismatch: checkpoint {label!r}/{ps}, "
+                    f"plan {node.label!r}/{sorted(prune_set)}"
+                )
+            node.set_state(_decode_node_state(state))
+        aggs = payload["aggregates"]
+        if len(aggs) != len(self._aggregates):
+            raise RecoveryError(
+                f"checkpoint has {len(aggs)} shared aggregates; rebuilt "
+                f"plan has {len(self._aggregates)}"
+            )
+        for ((term, avail, birth), agg), (fp, fp_avail, fp_birth, state) in zip(
+            self._aggregates.items(), aggs
+        ):
+            if str(term) != fp or sorted(avail) != fp_avail or birth != fp_birth:
+                raise RecoveryError(
+                    f"shared aggregate mismatch: checkpoint "
+                    f"({fp!r}, {fp_avail}, {fp_birth}), plan "
+                    f"({str(term)!r}, {sorted(avail)}, {birth})"
+                )
+            agg.from_state(state)
+        for name, entry in self._rules.items():
+            rec = by_name[name]
+            entry.last_top = cs.from_payload(rec["last_top"])
+            entry.result = _decode_fire_result(rec["result"])
+        if self._obs_on:
+            self._record_metrics()
+
+
+def _encode_fire_result(result: FireResult) -> dict:
+    return {
+        "fired": result.fired,
+        "bindings": [
+            {name: cs.encode_value(v) for name, v in b.items()}
+            for b in result.bindings
+        ],
+    }
+
+
+def _decode_fire_result(payload: dict) -> FireResult:
+    return FireResult(
+        payload["fired"],
+        tuple(
+            {name: cs.decode_value(v) for name, v in b.items()}
+            for b in payload["bindings"]
+        ),
+    )
 
 
 class PlanBoundEvaluator:

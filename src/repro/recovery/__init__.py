@@ -1,0 +1,47 @@
+"""Crash recovery for the active database: WAL, checkpoints, replay.
+
+The paper's temporal component "maintains only information necessary for
+future evaluation of conditions" — which makes that retained state
+precious: losing it silently changes which rules fire.  This package
+makes it durable:
+
+* :class:`~repro.recovery.wal.WriteAheadLog` — every committed system
+  state hits the disk before any rule action sees it;
+* :mod:`~repro.recovery.checkpoint` — atomic snapshots of engine +
+  evaluator state (via the ``to_state``/``from_state`` protocol) that
+  bound replay work;
+* :class:`~repro.recovery.manager.RecoveryManager` — checkpoint load +
+  torn-tail truncation + WAL tail replay with actions suppressed;
+* :mod:`~repro.recovery.faultinject` — deterministic crash points for
+  differential crash-consistency tests.
+"""
+
+from repro.recovery.checkpoint import read_checkpoint, write_checkpoint
+from repro.recovery.faultinject import (
+    CRASH_POINTS,
+    MID_CHECKPOINT,
+    MID_WAL,
+    POST_COMMIT,
+    PRE_COMMIT,
+    FaultInjector,
+    SimulatedCrash,
+)
+from repro.recovery.manager import RecoveryManager, RecoveryReport, recover
+from repro.recovery.wal import WriteAheadLog, load_wal
+
+__all__ = [
+    "CRASH_POINTS",
+    "MID_CHECKPOINT",
+    "MID_WAL",
+    "POST_COMMIT",
+    "PRE_COMMIT",
+    "FaultInjector",
+    "RecoveryManager",
+    "RecoveryReport",
+    "SimulatedCrash",
+    "WriteAheadLog",
+    "load_wal",
+    "read_checkpoint",
+    "recover",
+    "write_checkpoint",
+]

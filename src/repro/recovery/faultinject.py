@@ -1,0 +1,97 @@
+"""Deterministic fault injection for crash-consistency testing.
+
+A :class:`FaultInjector` is threaded through the write-ahead log and the
+checkpointer; tests arm a *crash point* and drive a workload until the
+injector raises :class:`SimulatedCrash` there.  The crash points map to
+the distinct durability windows of the commit protocol:
+
+``pre-commit``
+    Before the WAL record is written: the state exists in memory but not
+    on disk.  Recovery must behave as if the operation never happened.
+``post-commit``
+    After the WAL record is durable but before any rule action runs.
+    Recovery must replay the state (actions suppressed — Section 3's
+    detached couplings make this safe).
+``mid-wal-append``
+    A torn write: only a prefix of the record reaches the disk.  Recovery
+    must truncate the torn tail and proceed as for ``pre-commit``.
+``mid-checkpoint``
+    After the checkpoint temp file is written but before the atomic
+    rename.  Recovery must keep using the previous checkpoint.
+"""
+
+from __future__ import annotations
+
+#: Crash before the WAL append — the state is lost.
+PRE_COMMIT = "pre-commit"
+#: Crash after the durable WAL append, before rule actions.
+POST_COMMIT = "post-commit"
+#: Torn WAL write — a prefix of the record reaches the disk.
+MID_WAL = "mid-wal-append"
+#: Crash between the checkpoint temp-file write and its rename.
+MID_CHECKPOINT = "mid-checkpoint"
+
+CRASH_POINTS = (PRE_COMMIT, POST_COMMIT, MID_WAL, MID_CHECKPOINT)
+
+
+class SimulatedCrash(BaseException):
+    """Raised at an armed crash point.
+
+    Deliberately *not* an :class:`Exception`: the rule manager's action
+    retry/isolation machinery catches ``Exception``, and a crash must
+    tear through it exactly as ``KeyboardInterrupt`` would, never be
+    retried or quarantined away.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"simulated crash at {point!r}")
+        self.point = point
+
+
+class FaultInjector:
+    """Arms crash points; raises :class:`SimulatedCrash` when one is hit.
+
+    ``arm(point, after=n)`` fires on the ``n+1``-th hit of ``point`` —
+    ``after`` counts the hits that are survived first, making the crash
+    schedule fully deterministic for differential tests.
+    """
+
+    def __init__(self) -> None:
+        self._armed: dict[str, int] = {}
+        #: Points that have fired, in order.
+        self.fired: list[str] = []
+
+    def arm(self, point: str, after: int = 0) -> None:
+        if point not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {point!r}")
+        self._armed[point] = max(0, after)
+
+    def disarm(self, point: str) -> None:
+        self._armed.pop(point, None)
+
+    def pending(self, point: str) -> bool:
+        """Whether the next :meth:`hit` of ``point`` will crash."""
+        return self._armed.get(point) == 0
+
+    def due(self, point: str) -> bool:
+        """Advance ``point``'s countdown by one pass; ``True`` when the
+        crash is due *now* (the point stays armed — a following
+        :meth:`hit` raises).  For crash points that need preparatory
+        side effects before raising, e.g. the torn WAL write."""
+        if point not in self._armed:
+            return False
+        if self._armed[point] > 0:
+            self._armed[point] -= 1
+            return False
+        return True
+
+    def hit(self, point: str) -> None:
+        """Record one pass through ``point``; crash if armed and due."""
+        if point not in self._armed:
+            return
+        if self._armed[point] > 0:
+            self._armed[point] -= 1
+            return
+        del self._armed[point]
+        self.fired.append(point)
+        raise SimulatedCrash(point)

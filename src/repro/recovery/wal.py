@@ -1,0 +1,191 @@
+"""Durable write-ahead log of committed system states.
+
+Every state the engine appends — transaction commits, user events, clock
+ticks — is written to an append-only JSONL file *before* the rule manager
+(and therefore any rule action) observes it: the log subscribes at the
+front of the event bus.  Each record carries the state's identity and
+delta::
+
+    {"seq": 7, "ts": 12, "events": [["transaction_commit", [3]]],
+     "changes": {"price": {"kind": "scalar", "value": 60.0}},
+     "delta": ["price"]}
+
+plus one *base* record (``"seq": null``) capturing the full catalog when
+the log is first attached, so a log is replayable even without a
+checkpoint.  Torn final records (a crash mid-append) are detected and
+truncated by :func:`load_wal`; corruption anywhere else raises
+:class:`~repro.errors.RecoveryError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import RecoveryError
+from repro.recovery.faultinject import MID_WAL, POST_COMMIT, PRE_COMMIT
+from repro.storage.persist import _encode_item, _encode_value
+
+PathLike = Union[str, Path]
+
+
+class WriteAheadLog:
+    """Append-only durable log of (seq, ts, events, changes, delta)."""
+
+    def __init__(
+        self,
+        path: PathLike,
+        fsync: bool = True,
+        injector=None,
+    ):
+        self.path = Path(path)
+        self.fsync = fsync
+        self.injector = injector
+        self.records_written = 0
+        self._prev = None
+        self._fp = None
+        self._subscription = None
+        self._m_records = None
+        self._m_bytes = None
+
+    @classmethod
+    def attach(
+        cls,
+        engine,
+        path: PathLike,
+        fsync: bool = True,
+        injector=None,
+    ) -> "WriteAheadLog":
+        """Start logging ``engine``'s states to ``path``.
+
+        If the file is empty (or absent) a base record with the full
+        current state and query catalog is written first.  The
+        subscription goes to the *front* of the bus: a state is durable
+        before any other subscriber — in particular the rule manager —
+        sees it."""
+        wal = cls(path, fsync=fsync, injector=injector)
+        wal._prev = engine.db.state
+        fresh = not wal.path.exists() or wal.path.stat().st_size == 0
+        wal._fp = open(wal.path, "a")
+        if fresh:
+            state = engine.db.state
+            wal._write_line(
+                {
+                    "seq": None,
+                    "ts": None,
+                    "items": {
+                        name: _encode_item(state.raw_item(name))
+                        for name in state.item_names()
+                    },
+                    "queries": {
+                        name: {
+                            "params": list(engine.db.queries.get(name).params),
+                            "text": str(engine.db.queries.get(name).body),
+                        }
+                        for name in engine.db.queries.names()
+                    },
+                }
+            )
+        wal._subscription = engine.bus.subscribe(wal._on_state, front=True)
+        registry = getattr(engine, "metrics", None)
+        if registry is not None and registry.enabled:
+            wal._m_records = registry.counter("wal_records_total")
+            wal._m_bytes = registry.gauge("wal_bytes")
+        return wal
+
+    # -- appending ---------------------------------------------------------
+
+    def _on_state(self, state) -> None:
+        if self.injector is not None:
+            self.injector.hit(PRE_COMMIT)
+        record = {
+            "seq": state.index,
+            "ts": state.timestamp,
+            "events": [
+                [e.name, [_encode_value(p) for p in e.params]]
+                for e in sorted(state.events, key=str)
+            ],
+            "changes": {
+                name: _encode_item(state.db.raw_item(name))
+                for name in state.db.changed_items(self._prev)
+            },
+            "delta": (
+                None if state.delta is None else sorted(state.delta)
+            ),
+        }
+        self._write_line(record)
+        self._prev = state.db
+        if self.injector is not None:
+            self.injector.hit(POST_COMMIT)
+
+    def _write_line(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if self.injector is not None and self.injector.due(MID_WAL):
+            # Torn write: a prefix of the record reaches the disk, then
+            # the "machine" dies.
+            torn = line[: max(1, len(line) // 2)]
+            self._fp.write(torn)
+            self._fp.flush()
+            os.fsync(self._fp.fileno())
+            self.injector.hit(MID_WAL)
+        self._fp.write(line)
+        self._fp.flush()
+        if self.fsync:
+            os.fsync(self._fp.fileno())
+        self.records_written += 1
+        if self._m_records is not None:
+            self._m_records.inc()
+            self._m_bytes.set(self._fp.tell())
+
+    def detach(self) -> None:
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+        if self._fp is not None:
+            self._fp.close()
+            self._fp = None
+
+
+def load_wal(
+    path: PathLike, truncate_torn: bool = True
+) -> tuple[list[dict], bool]:
+    """Read a WAL; returns ``(records, torn)``.
+
+    A torn *final* record — the signature of a crash mid-append — is
+    dropped, and with ``truncate_torn`` (the default) the file itself is
+    truncated back to the last complete record so later appends produce a
+    clean log.  A malformed record with complete records *after* it is
+    real corruption and raises :class:`~repro.errors.RecoveryError`."""
+    target = Path(path)
+    if not target.exists():
+        return [], False
+    data = target.read_bytes()
+    records: list[dict] = []
+    offset = 0
+    good_end = 0
+    torn = False
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        end = len(data) if newline < 0 else newline + 1
+        raw = data[offset:end]
+        stripped = raw.strip()
+        if stripped:
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                if data[end:].strip():
+                    raise RecoveryError(
+                        f"corrupt WAL record at byte {offset} of "
+                        f"{str(path)!r} (not the final record)"
+                    ) from None
+                torn = True
+                break
+            records.append(record)
+            good_end = end
+        offset = end
+    if torn and truncate_torn:
+        with open(target, "rb+") as fp:
+            fp.truncate(good_end)
+    return records, torn

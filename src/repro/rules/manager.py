@@ -25,9 +25,21 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
-from repro.errors import DuplicateRuleError, HistoryError, UnknownRuleError
+from repro.errors import (
+    DuplicateRuleError,
+    HistoryError,
+    RecoveryError,
+    UnknownRuleError,
+)
 from repro.obs.metrics import NULL_REGISTRY, as_registry
-from repro.obs.trace import ACTION, FIRING, IC_VIOLATION, MONITOR, as_trace
+from repro.obs.trace import (
+    ACTION,
+    ACTION_FAILURE,
+    FIRING,
+    IC_VIOLATION,
+    MONITOR,
+    as_trace,
+)
 from repro.ptl import ast
 from repro.ptl.aggregates import RewrittenEvaluator
 from repro.ptl.context import EvalContext, ExecutedStore
@@ -188,6 +200,9 @@ class RuleManager:
         metrics=None,
         trace=None,
         shared_plan: bool = True,
+        isolate_action_failures: bool = False,
+        action_retries: int = 0,
+        quarantine_after: Optional[int] = 3,
     ):
         """``metrics`` is ``None`` (inherit the engine's registry — the
         no-op registry unless the engine was built with one), ``True``, or
@@ -202,7 +217,20 @@ class RuleManager:
         :class:`IncrementalEvaluator` per rule (the pre-plan behaviour,
         and the baseline benchmark E11 compares against).  Integrity
         constraints and ``rewrite_aggregates`` rules always get their own
-        evaluators (IC trial evaluation must not touch shared state)."""
+        evaluators (IC trial evaluation must not touch shared state).
+
+        ``isolate_action_failures=True`` contains a raising trigger action
+        to its own rule: the exception is recorded (a ``"failed"``
+        execution record, the ``action_failures_total`` counter, an
+        ``action_failure`` trace event) instead of propagating, so one
+        broken action cannot lose or duplicate other rules' firings.  A
+        failing action is first retried ``action_retries`` times, and a
+        rule whose action fails ``quarantine_after`` times is quarantined
+        — its firings are still recorded, its action no longer runs
+        (``None`` disables quarantining).  Integrity constraints are
+        unaffected either way: their abort(X) is enforced as a commit
+        veto, never as an executed action, so the tightly-coupled TCA
+        abort semantics survive isolation."""
         self.engine = engine
         self.relevance_filtering = relevance_filtering
         self.batch_size = max(1, batch_size)
@@ -220,11 +248,15 @@ class RuleManager:
             if shared_plan
             else None
         )
+        self.isolate_action_failures = isolate_action_failures
+        self.action_retries = max(0, action_retries)
+        self.quarantine_after = quarantine_after
         self._obs_on = self.metrics.enabled or self.trace.enabled
         self._m_states = self.metrics.counter("manager_states_total")
         self._m_pending = self.metrics.gauge("manager_pending_actions")
         self._m_batch = self.metrics.gauge("manager_batch_depth")
         self._m_state_size = self.metrics.gauge("manager_state_size")
+        self._m_quarantined = self.metrics.gauge("rules_quarantined")
 
         self._rules: dict[str, _RegisteredRule] = {}
         self._ics: dict[str, _RegisteredRule] = {}
@@ -236,6 +268,13 @@ class RuleManager:
         self._draining = False
         self._validator_installed = False
         self.states_seen = 0
+        #: Consecutive-failure count per rule and the quarantined set.
+        self._action_failures: dict[str, int] = {}
+        self._quarantined: set[str] = set()
+        #: True while crash recovery replays the WAL tail: firings and
+        #: execution records are reproduced, actions are suppressed (they
+        #: already ran — or deliberately never will — before the crash).
+        self._replaying = False
 
         self._subscription = engine.bus.subscribe(self._on_state)
 
@@ -559,29 +598,90 @@ class RuleManager:
                 )
 
     def _execute(self, rule: Rule, binding: dict, state) -> None:
+        rec = None
         if rule.record_executions:
             params = tuple(binding.get(p) for p in rule.params)
-            self.executed.record(rule.name, params, state.timestamp)
-        if not self._obs_on:
-            rule.action.execute(
-                ActionContext(self.engine, binding, state, rule.name)
-            )
+            rec = self.executed.record(rule.name, params, state.timestamp)
+        if self._replaying or rule.name in self._quarantined:
             return
-        t0 = perf_counter()
-        rule.action.execute(
-            ActionContext(self.engine, binding, state, rule.name)
+        ctx = ActionContext(self.engine, binding, state, rule.name)
+        if (
+            not self._obs_on
+            and not self.isolate_action_failures
+            and self.action_retries == 0
+        ):
+            rule.action.execute(ctx)
+            return
+        failure = None
+        for attempt in range(self.action_retries + 1):
+            try:
+                t0 = perf_counter()
+                rule.action.execute(ctx)
+                failure = None
+                break
+            except Exception as exc:
+                # Exception, never BaseException: a simulated (or real)
+                # crash must tear through, not be retried or isolated.
+                failure = exc
+                if attempt < self.action_retries and self._obs_on:
+                    self.metrics.counter(
+                        "action_retries_total", rule=rule.name
+                    ).inc()
+        if failure is None:
+            if self._obs_on:
+                elapsed = perf_counter() - t0
+                reg = self._rules.get(rule.name)
+                if reg is not None:
+                    reg.m_action_seconds.observe(elapsed)
+                self.trace.emit(
+                    ACTION,
+                    timestamp=state.timestamp,
+                    rule=rule.name,
+                    coupling=rule.coupling.value,
+                    seconds=elapsed,
+                )
+            return
+        self._record_action_failure(rule, rec, state, failure)
+        if not self.isolate_action_failures:
+            raise failure
+
+    def _record_action_failure(self, rule, rec, state, failure) -> None:
+        if rec is not None:
+            self.executed.mark_failed(rec)
+        count = self._action_failures.get(rule.name, 0) + 1
+        self._action_failures[rule.name] = count
+        quarantined = (
+            self.quarantine_after is not None
+            and count >= self.quarantine_after
+            and self.isolate_action_failures
         )
-        elapsed = perf_counter() - t0
-        reg = self._rules.get(rule.name)
-        if reg is not None:
-            reg.m_action_seconds.observe(elapsed)
-        self.trace.emit(
-            ACTION,
-            timestamp=state.timestamp,
-            rule=rule.name,
-            coupling=rule.coupling.value,
-            seconds=elapsed,
-        )
+        if quarantined:
+            self._quarantined.add(rule.name)
+        if self._obs_on:
+            self.metrics.counter(
+                "action_failures_total", rule=rule.name
+            ).inc()
+            self._m_quarantined.set(len(self._quarantined))
+            self.trace.emit(
+                ACTION_FAILURE,
+                timestamp=state.timestamp,
+                rule=rule.name,
+                coupling=rule.coupling.value,
+                error=str(failure),
+                failures=count,
+                quarantined=quarantined,
+            )
+
+    def quarantined_rules(self) -> list[str]:
+        """Rules whose actions are suspended after repeated failures."""
+        return sorted(self._quarantined)
+
+    def reinstate_rule(self, name: str) -> None:
+        """Lift a rule's quarantine and reset its failure count."""
+        self._quarantined.discard(name)
+        self._action_failures.pop(name, None)
+        if self._obs_on:
+            self._m_quarantined.set(len(self._quarantined))
 
     def run_pending(self) -> int:
         """Execute queued T-C-A actions; returns how many ran."""
@@ -591,6 +691,189 @@ class RuleManager:
         if self._obs_on:
             self._m_pending.set(0)
         return len(pending)
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialization (crash recovery)
+    # ------------------------------------------------------------------
+
+    _STATE_FORMAT = 1
+
+    @staticmethod
+    def _encode_pairs(pairs) -> list:
+        from repro.ptl.constraints import encode_value
+
+        return [[k, encode_value(v)] for k, v in pairs]
+
+    @staticmethod
+    def _decode_pairs(payload) -> tuple:
+        from repro.ptl.constraints import decode_value
+
+        return tuple((k, decode_value(v)) for k, v in payload)
+
+    def to_state(self) -> dict:
+        """Serialize the temporal component for a recovery checkpoint.
+
+        Everything needed to resume monitoring is captured: evaluator
+        states (through the shared plan or per rule), the executed store,
+        firing records, per-rule rising-edge memory, queued T-C-A actions,
+        and the failure-isolation bookkeeping.  The manager must be
+        quiescent — no batched or queued states (call :meth:`flush`
+        first).  Restore into a freshly built manager with the *same*
+        rules registered (see :meth:`from_state`)."""
+        if self._monitors:
+            raise RecoveryError(
+                "future-obligation monitors are not checkpointable"
+            )
+        if self._batch or self._queue:
+            raise RecoveryError(
+                "cannot checkpoint with batched states pending; flush() first"
+            )
+        rules = {}
+        for name, reg in self._rules.items():
+            if isinstance(reg.evaluator, RewrittenEvaluator):
+                raise RecoveryError(
+                    f"rule {name!r} uses rewrite_aggregates; rewritten "
+                    "evaluators are not checkpointable (their generated "
+                    "item names are process-local) — use the direct "
+                    "aggregate pipeline"
+                )
+            entry = {
+                "prev": [
+                    self._encode_pairs(t) for t in sorted(reg._prev_bindings)
+                ],
+                "stats": [
+                    reg.stats.evaluations,
+                    reg.stats.skips,
+                    reg.stats.firings,
+                ],
+            }
+            if not isinstance(reg.evaluator, PlanBoundEvaluator):
+                entry["evaluator"] = reg.evaluator.to_state()
+            rules[name] = entry
+        return {
+            "format": self._STATE_FORMAT,
+            "states_seen": self.states_seen,
+            "executed": self.executed.to_state(),
+            "firings": [
+                [f.rule, self._encode_pairs(f.bindings), f.state_index, f.timestamp]
+                for f in self._firings
+            ],
+            "rules": rules,
+            "plan": (
+                self.plan.to_state()
+                if self.plan is not None and self.plan.rule_names()
+                else None
+            ),
+            "ics": {
+                name: {
+                    "evaluator": reg.evaluator.to_state(),
+                    "stats": [
+                        reg.stats.evaluations,
+                        reg.stats.skips,
+                        reg.stats.firings,
+                    ],
+                }
+                for name, reg in self._ics.items()
+            },
+            "pending": [
+                [
+                    rule.name,
+                    self._encode_pairs(sorted(binding.items())),
+                    state.index,
+                    state.timestamp,
+                ]
+                for rule, binding, state in self._pending_actions
+            ],
+            "action_failures": dict(self._action_failures),
+            "quarantined": sorted(self._quarantined),
+        }
+
+    def from_state(self, payload: dict) -> None:
+        """Restore a checkpoint taken by :meth:`to_state`.
+
+        The same rules (names, conditions, domains, couplings) must
+        already be re-registered on this manager, and the engine must be
+        at the checkpointed state — recovery rebuilds both before calling
+        this.  Mismatches raise
+        :class:`~repro.errors.RecoveryError`."""
+        from repro.history.state import SystemState
+
+        if payload.get("format") != self._STATE_FORMAT:
+            raise RecoveryError(
+                f"unsupported manager state format {payload.get('format')!r}"
+            )
+        if self._monitors:
+            raise RecoveryError(
+                "future-obligation monitors are not checkpointable"
+            )
+        if set(payload["rules"]) != set(self._rules):
+            raise RecoveryError(
+                "checkpointed trigger set "
+                f"{sorted(payload['rules'])} != registered "
+                f"{sorted(self._rules)}"
+            )
+        if set(payload["ics"]) != set(self._ics):
+            raise RecoveryError(
+                "checkpointed integrity-constraint set "
+                f"{sorted(payload['ics'])} != registered "
+                f"{sorted(self._ics)}"
+            )
+        plan_state = payload.get("plan")
+        if plan_state is not None and self.plan is None:
+            raise RecoveryError(
+                "checkpoint used a shared plan; manager has shared_plan=False"
+            )
+        self.states_seen = payload["states_seen"]
+        self.executed.from_state(payload["executed"])
+        self._firings = [
+            FiringRecord(rule, self._decode_pairs(bindings), index, ts)
+            for rule, bindings, index, ts in payload["firings"]
+        ]
+        if plan_state is not None:
+            self.plan.from_state(plan_state)
+        for name, entry in payload["rules"].items():
+            reg = self._rules[name]
+            reg._prev_bindings = frozenset(
+                self._decode_pairs(t) for t in entry["prev"]
+            )
+            ev, sk, fi = entry["stats"]
+            reg.stats.evaluations, reg.stats.skips, reg.stats.firings = ev, sk, fi
+            if "evaluator" in entry:
+                if isinstance(reg.evaluator, PlanBoundEvaluator):
+                    raise RecoveryError(
+                        f"rule {name!r} was checkpointed with an "
+                        "independent evaluator but is now plan-backed"
+                    )
+                reg.evaluator.from_state(entry["evaluator"])
+            elif not isinstance(reg.evaluator, PlanBoundEvaluator):
+                raise RecoveryError(
+                    f"rule {name!r} was checkpointed plan-backed but is "
+                    "now independent"
+                )
+        for name, entry in payload["ics"].items():
+            reg = self._ics[name]
+            reg.evaluator.from_state(entry["evaluator"])
+            ev, sk, fi = entry["stats"]
+            reg.stats.evaluations, reg.stats.skips, reg.stats.firings = ev, sk, fi
+        self._pending_actions = []
+        for name, binding, index, ts in payload["pending"]:
+            if name not in self._rules:
+                raise RecoveryError(f"pending action for unknown rule {name!r}")
+            # The original SystemState is gone; a queued detached action
+            # gets the current committed database under the firing's
+            # timestamp/index identity.
+            stub = SystemState(
+                self.engine.db.state, (), ts, index=index
+            )
+            self._pending_actions.append(
+                (self._rules[name].rule, dict(self._decode_pairs(binding)), stub)
+            )
+        self._action_failures = dict(payload["action_failures"])
+        self._quarantined = set(payload["quarantined"])
+        if self._obs_on:
+            self._m_pending.set(len(self._pending_actions))
+            self._m_quarantined.set(len(self._quarantined))
+            self._m_state_size.set(self.total_state_size())
 
     # ------------------------------------------------------------------
     # Introspection

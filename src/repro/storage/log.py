@@ -18,6 +18,8 @@ exactly (values are serialized with the same codec as snapshots).
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from pathlib import Path
 from typing import Optional, Union
 
@@ -25,7 +27,12 @@ from repro.errors import StorageError
 from repro.events.model import Event
 from repro.history.history import SystemHistory
 from repro.history.state import SystemState
-from repro.storage.persist import _decode_item, _encode_item, _encode_value
+from repro.storage.persist import (
+    _decode_item,
+    _encode_item,
+    _encode_value,
+    atomic_write_text,
+)
 from repro.storage.snapshot import DatabaseState
 
 PathLike = Union[str, Path]
@@ -42,6 +49,10 @@ class ChangeLog:
         self._subscription = None
         self._registry = None
         self._m_records = None
+        #: Records already persisted by append_jsonl / the stream.
+        self._appended = 0
+        self._stream = None
+        self._stream_fsync = False
 
     # -- recording ------------------------------------------------------------
 
@@ -84,6 +95,8 @@ class ChangeLog:
             }
         )
         self._prev = state.db
+        if self._stream is not None:
+            self._stream_records()
         if self._m_records is not None:
             self._m_records.inc()
 
@@ -91,27 +104,92 @@ class ChangeLog:
         if self._subscription is not None:
             self._subscription.cancel()
             self._subscription = None
+        self.close_stream()
 
     # -- persistence ---------------------------------------------------------------
 
     def to_jsonl(self, path: PathLike) -> None:
-        written = 0
-        with open(path, "w") as fp:
-            for record in self.records:
-                written += fp.write(json.dumps(record, sort_keys=True) + "\n")
+        """Rewrite ``path`` with the full record list.  The write is
+        atomic (sibling temp file + fsync + rename): a crash mid-save
+        leaves any previous log intact."""
+        text = "".join(
+            json.dumps(record, sort_keys=True) + "\n"
+            for record in self.records
+        )
+        atomic_write_text(path, text)
         if self._registry is not None:
-            self._registry.gauge("changelog_bytes").set(written)
+            self._registry.gauge("changelog_bytes").set(len(text))
+
+    def append_jsonl(self, path: PathLike, fsync: bool = False) -> int:
+        """Streaming append: write only the records captured since the
+        last append (or since the log was loaded), returning how many were
+        written.  Unlike :meth:`to_jsonl`, cost is proportional to the new
+        records, not the log length."""
+        pending = self.records[self._appended :]
+        if pending:
+            with open(path, "a") as fp:
+                for record in pending:
+                    fp.write(json.dumps(record, sort_keys=True) + "\n")
+                fp.flush()
+                if fsync:
+                    os.fsync(fp.fileno())
+            self._appended = len(self.records)
+        return len(pending)
+
+    def stream_to(self, path: PathLike, fsync: bool = False) -> None:
+        """Open ``path`` for continuous appending: already-captured
+        records are flushed now, and every future record is appended as it
+        is captured (with an fsync per record when ``fsync`` is true)."""
+        self.close_stream()
+        self._stream = open(path, "a")
+        self._stream_fsync = fsync
+        self._stream_records()
+
+    def close_stream(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def _stream_records(self) -> None:
+        pending = self.records[self._appended :]
+        if not pending:
+            return
+        for record in pending:
+            self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self._stream.flush()
+        if self._stream_fsync:
+            os.fsync(self._stream.fileno())
+        self._appended = len(self.records)
 
     @classmethod
     def from_jsonl(cls, path: PathLike) -> "ChangeLog":
+        """Load a log.  A torn *trailing* record (crash mid-append) is
+        skipped with a warning; corruption anywhere else raises
+        :class:`~repro.errors.StorageError`."""
         log = cls()
-        with open(path) as fp:
-            for line in fp:
-                line = line.strip()
-                if line:
-                    log.records.append(json.loads(line))
+        lines = Path(path).read_text().splitlines()
+        for i, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                if any(rest.strip() for rest in lines[i + 1 :]):
+                    raise StorageError(
+                        f"corrupt change log record at line {i + 1} "
+                        f"of {str(path)!r}"
+                    ) from None
+                warnings.warn(
+                    f"change log {str(path)!r}: skipping torn trailing "
+                    f"record at line {i + 1}",
+                    stacklevel=2,
+                )
+                break
+            log.records.append(record)
         if not log.records:
-            raise StorageError(f"empty change log {path!r}")
+            raise StorageError(f"empty change log {str(path)!r}")
+        log._appended = len(log.records)
         return log
 
     # -- replay -----------------------------------------------------------------------

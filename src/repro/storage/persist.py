@@ -10,8 +10,10 @@ reload and re-register rules to resume monitoring from the restored state.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Callable, Optional, Union
 
 from repro.datamodel.relation import Relation
 from repro.datamodel.schema import Attribute, Schema
@@ -22,6 +24,40 @@ from repro.storage.snapshot import IndexedItem
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+
+
+def atomic_write_text(
+    path: PathLike,
+    text: str,
+    fsync: bool = True,
+    before_replace: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Durably replace ``path`` with ``text``: write a sibling temp file,
+    flush (and by default fsync) it, then ``os.replace`` over the target.
+    A crash at any point leaves either the old file or the new one — never
+    a truncated mix.  ``before_replace`` is a fault-injection hook called
+    with the temp path after the write but before the rename."""
+    target = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(target.parent) if str(target.parent) else ".",
+        prefix=target.name + ".",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w") as fp:
+            fp.write(text)
+            fp.flush()
+            if fsync:
+                os.fsync(fp.fileno())
+        if before_replace is not None:
+            before_replace(tmp)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _encode_value(value: Any):
@@ -88,7 +124,7 @@ def dump_database(engine, path: PathLike) -> None:
         },
     }
     text = json.dumps(payload, indent=2, sort_keys=True)
-    Path(path).write_text(text)
+    atomic_write_text(path, text)
     registry = getattr(engine, "metrics", None)
     if registry is not None and registry.enabled:
         registry.gauge("storage_snapshot_bytes").set(len(text))

@@ -1,0 +1,422 @@
+"""Differential crash-consistency tests and action failure isolation.
+
+For every crash point (pre-commit, post-commit, torn WAL append,
+mid-checkpoint), both evaluator backends, with and without a checkpoint:
+crash a workload at a deterministic step, recover from the durable
+directory, finish the remaining operations, and require the recovered
+run to be indistinguishable from an uninterrupted oracle — same firings
+(rule, bindings, state index, timestamp), same database, same executed
+store.  Recovery must also replay *only* the WAL tail past the
+checkpoint (``replayed_steps``), never re-evaluating older history.
+
+Action failure isolation: a rule whose action raises must neither lose
+nor duplicate the firings of other rules, is retried by the bounded
+policy, and is quarantined after repeated failures.
+"""
+
+import pytest
+
+from repro.engine import ActiveDatabase
+from repro.errors import ActionError, RecoveryError
+from repro.events import user_event
+from repro.recovery import (
+    MID_CHECKPOINT,
+    MID_WAL,
+    POST_COMMIT,
+    PRE_COMMIT,
+    FaultInjector,
+    RecoveryManager,
+    SimulatedCrash,
+    load_wal,
+)
+from repro.rules.actions import Action, RecordingAction
+from repro.rules.rule import CouplingMode, FireMode
+
+
+def make_engine():
+    adb = ActiveDatabase()
+    adb.declare_item("price", 0)
+    return adb
+
+
+def setup_rules(adb, shared=True):
+    manager = adb.rule_manager(shared_plan=shared)
+    manager.add_trigger(
+        "rising",
+        "price > 50 & lasttime price <= 50",
+        RecordingAction(),
+        fire_mode=FireMode.RISING_EDGE,
+    )
+    manager.add_trigger(
+        "detached",
+        "@go & (price > 10 since @go)",
+        RecordingAction(),
+        coupling=CouplingMode.T_C_A,
+    )
+    manager.add_integrity_constraint("cap", "!(price > 1000)")
+    return manager
+
+
+OPS = [
+    ("set", 20), ("ev", "go"), ("set", 60), ("set", 40),
+    ("ev", "go"), ("set", 80), ("set", 55), ("ev", "go"),
+]
+
+
+def drive(adb, ops):
+    for kind, val in ops:
+        if kind == "set":
+            adb.execute(lambda t, v=val: t.set_item("price", v))
+        else:
+            adb.post_event(user_event(val))
+
+
+def firing_sig(manager):
+    return [
+        (f.rule, f.bindings, f.state_index, f.timestamp)
+        for f in manager.firings
+    ]
+
+
+def oracle_run():
+    adb = make_engine()
+    manager = setup_rules(adb)
+    drive(adb, OPS)
+    return adb, manager
+
+
+class TestCrashMatrix:
+    """Crash at a deterministic point, recover, finish; compare against
+    the uninterrupted oracle."""
+
+    @pytest.mark.parametrize("shared", [True, False])
+    @pytest.mark.parametrize("checkpoint_at", [None, 4])
+    @pytest.mark.parametrize(
+        "point", [PRE_COMMIT, POST_COMMIT, MID_WAL]
+    )
+    def test_crash_recover_differential(
+        self, tmp_path, shared, checkpoint_at, point
+    ):
+        oracle_adb, oracle_m = oracle_run()
+
+        injector = FaultInjector()
+        rm = RecoveryManager(tmp_path, injector=injector)
+        adb = make_engine()
+        manager = setup_rules(adb, shared)
+        rm.start(adb)
+        injector.arm(point, after=5)  # crash during the 6th state
+        done = 0
+        with pytest.raises(SimulatedCrash):
+            for op in OPS:
+                drive(adb, [op])
+                done += 1
+                if checkpoint_at is not None and done == checkpoint_at:
+                    manager.flush()
+                    rm.checkpoint(adb, manager)
+        rm.stop()
+
+        report = RecoveryManager(tmp_path).recover(
+            setup=lambda e: setup_rules(e, shared)
+        )
+        survived = report.engine.state_count
+        # pre-commit / torn-write crashes lose the in-flight state;
+        # post-commit keeps it (durable before the action ran)
+        assert survived == (6 if point == POST_COMMIT else 5)
+        assert report.truncated == (point == MID_WAL)
+        if checkpoint_at is not None:
+            assert report.checkpoint_used
+            # never re-evaluates history older than the WAL tail
+            assert report.replayed_steps == survived - checkpoint_at
+        else:
+            assert report.replayed_steps == survived
+
+        drive(report.engine, OPS[survived:])
+        assert firing_sig(report.manager) == firing_sig(oracle_m)
+        assert (
+            report.engine.state.item("price")
+            == oracle_adb.state.item("price")
+        )
+        assert (
+            report.manager.executed.to_state()
+            == oracle_m.executed.to_state()
+        )
+        assert report.engine.state_count == oracle_adb.state_count
+
+    @pytest.mark.parametrize("shared", [True, False])
+    def test_mid_checkpoint_crash_keeps_previous_checkpoint(
+        self, tmp_path, shared
+    ):
+        oracle_adb, oracle_m = oracle_run()
+
+        injector = FaultInjector()
+        rm = RecoveryManager(tmp_path, injector=injector)
+        adb = make_engine()
+        manager = setup_rules(adb, shared)
+        rm.start(adb)
+        drive(adb, OPS[:3])
+        manager.flush()
+        rm.checkpoint(adb, manager)
+        drive(adb, OPS[3:6])
+        manager.flush()
+        injector.arm(MID_CHECKPOINT)
+        with pytest.raises(SimulatedCrash):
+            rm.checkpoint(adb, manager)
+        rm.stop()
+
+        report = RecoveryManager(tmp_path).recover(
+            setup=lambda e: setup_rules(e, shared)
+        )
+        assert report.checkpoint_used
+        # the surviving checkpoint is the *old* one: 3 states replayed
+        assert report.replayed_steps == 3
+        assert report.engine.state_count == 6
+        drive(report.engine, OPS[6:])
+        assert firing_sig(report.manager) == firing_sig(oracle_m)
+        assert (
+            report.engine.state.item("price")
+            == oracle_adb.state.item("price")
+        )
+
+    def test_repeated_crashes_converge(self, tmp_path):
+        """Crash, recover, crash again on the very next state, recover —
+        the second recovery still matches the oracle."""
+        oracle_adb, oracle_m = oracle_run()
+
+        injector = FaultInjector()
+        rm = RecoveryManager(tmp_path, injector=injector)
+        adb = make_engine()
+        manager = setup_rules(adb)
+        rm.start(adb)
+        injector.arm(PRE_COMMIT, after=3)
+        with pytest.raises(SimulatedCrash):
+            drive(adb, OPS)
+        rm.stop()
+
+        injector2 = FaultInjector()
+        rm2 = RecoveryManager(tmp_path, injector=injector2)
+        report = rm2.recover(setup=lambda e: setup_rules(e))
+        survived = report.engine.state_count
+        rm2.start(report.engine)
+        injector2.arm(MID_WAL, after=1)
+        with pytest.raises(SimulatedCrash):
+            drive(report.engine, OPS[survived:])
+        rm2.stop()
+
+        final = RecoveryManager(tmp_path).recover(
+            setup=lambda e: setup_rules(e)
+        )
+        survived2 = final.engine.state_count
+        assert survived2 > survived
+        drive(final.engine, OPS[survived2:])
+        assert firing_sig(final.manager) == firing_sig(oracle_m)
+        assert (
+            final.engine.state.item("price")
+            == oracle_adb.state.item("price")
+        )
+
+
+class TestWalFile:
+    def test_torn_tail_truncated_on_load(self, tmp_path):
+        adb = make_engine()
+        setup_rules(adb)
+        rm = RecoveryManager(tmp_path)
+        rm.start(adb)
+        drive(adb, OPS[:4])
+        rm.stop()
+        size_before = rm.wal_path.stat().st_size
+        with open(rm.wal_path, "a") as fp:
+            fp.write('{"seq": 4, "ts": 5, "ev')  # torn append
+        records, torn = load_wal(rm.wal_path)
+        assert torn
+        assert len(records) == 5  # base + 4 states
+        assert rm.wal_path.stat().st_size == size_before  # truncated back
+
+    def test_mid_file_corruption_rejected(self, tmp_path):
+        adb = make_engine()
+        setup_rules(adb)
+        rm = RecoveryManager(tmp_path)
+        rm.start(adb)
+        drive(adb, OPS[:4])
+        rm.stop()
+        lines = rm.wal_path.read_text().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]
+        rm.wal_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(RecoveryError):
+            load_wal(rm.wal_path)
+
+    def test_reattach_appends_after_truncation(self, tmp_path):
+        adb = make_engine()
+        manager = setup_rules(adb)
+        injector = FaultInjector()
+        rm = RecoveryManager(tmp_path, injector=injector)
+        rm.start(adb)
+        injector.arm(MID_WAL, after=3)
+        with pytest.raises(SimulatedCrash):
+            drive(adb, OPS)
+        rm.stop()
+
+        rm2 = RecoveryManager(tmp_path)
+        report = rm2.recover(setup=lambda e: setup_rules(e))
+        rm2.start(report.engine)
+        drive(report.engine, OPS[report.engine.state_count:])
+        rm2.stop()
+        records, torn = load_wal(rm2.wal_path)
+        assert not torn
+        seqs = [r["seq"] for r in records if r["seq"] is not None]
+        assert seqs == list(range(len(OPS)))  # clean, gap-free log
+
+
+class FlakyAction(Action):
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+        self.successes = 0
+
+    def execute(self, ctx):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError(f"flaky failure #{self.calls}")
+        self.successes += 1
+
+
+class TestActionFailureIsolation:
+    def _system(self, **manager_kwargs):
+        adb = ActiveDatabase(metrics=True)
+        adb.declare_item("price", 0)
+        manager = adb.rule_manager(trace=True, **manager_kwargs)
+        return adb, manager
+
+    def test_default_propagates(self):
+        """Without isolation an action failure surfaces as a typed
+        ActionError (the commit itself is already durable)."""
+        adb, manager = self._system()
+        manager.add_trigger("bad", "@go", FlakyAction(99))
+        with pytest.raises(ActionError):
+            adb.post_event(user_event("go"))
+
+    def test_isolated_failure_spares_other_rules(self):
+        """The acceptance property: a failing action neither loses nor
+        duplicates other rules' firings."""
+        oracle_adb, oracle_m = self._system()
+        good_o = RecordingAction()
+        oracle_m.add_trigger("good", "@go", good_o)
+
+        adb, manager = self._system(isolate_action_failures=True)
+        good = RecordingAction()
+        manager.add_trigger("bad", "@go", FlakyAction(99), priority=1)
+        manager.add_trigger("good", "@go", good)
+
+        for _ in range(3):
+            oracle_adb.post_event(user_event("go"))
+            adb.post_event(user_event("go"))
+        assert good.calls == good_o.calls
+        assert [f for f in firing_sig(manager) if f[0] == "good"] == \
+            firing_sig(oracle_m)
+        # the failing rule still *fired* (and is on the record as failed)
+        assert len(manager.firings_of("bad")) == 3
+        statuses = [
+            r.status for r in manager.executed.records(rule="bad")
+        ]
+        assert "failed" in statuses
+
+    def test_bounded_retry_then_success(self):
+        adb, manager = self._system(
+            isolate_action_failures=True, action_retries=2
+        )
+        flaky = FlakyAction(2)  # fails twice, third attempt succeeds
+        manager.add_trigger("flaky", "@go", flaky)
+        adb.post_event(user_event("go"))
+        assert flaky.successes == 1
+        assert flaky.calls == 3
+        assert (
+            adb.metrics.counter("action_retries_total", rule="flaky").value
+            == 2
+        )
+        assert [r.status for r in manager.executed.records(rule="flaky")] \
+            == ["ok"]
+
+    def test_quarantine_after_repeated_failures(self):
+        adb, manager = self._system(
+            isolate_action_failures=True, quarantine_after=2
+        )
+        flaky = FlakyAction(99)
+        manager.add_trigger("bad", "@go", flaky)
+        for _ in range(4):
+            adb.post_event(user_event("go"))
+        assert manager.quarantined_rules() == ["bad"]
+        assert flaky.calls == 2  # not called once quarantined
+        assert len(manager.firings_of("bad")) == 4  # firings still recorded
+        assert adb.metrics.gauge("rules_quarantined").value == 1
+        assert (
+            adb.metrics.counter("action_failures_total", rule="bad").value
+            == 2
+        )
+        failures = manager.trace.events("action_failure")
+        assert failures and failures[-1].data["quarantined"]
+
+        manager.reinstate_rule("bad")
+        assert manager.quarantined_rules() == []
+        adb.post_event(user_event("go"))
+        assert flaky.calls == 3
+
+    def test_ic_abort_unaffected_by_isolation(self):
+        from repro.errors import TransactionAborted
+
+        adb, manager = self._system(isolate_action_failures=True)
+        manager.add_integrity_constraint("cap", "!(price > 100)")
+        with pytest.raises(TransactionAborted):
+            adb.execute(lambda t: t.set_item("price", 200))
+        assert adb.state.item("price") == 0
+
+    def test_crash_tears_through_isolation(self, tmp_path):
+        """SimulatedCrash is a BaseException: isolation and retries must
+        not absorb it."""
+        injector = FaultInjector()
+        rm = RecoveryManager(tmp_path, injector=injector)
+        adb, manager = self._system(
+            isolate_action_failures=True, action_retries=5
+        )
+        rm.start(adb)
+        manager.add_trigger("t", "@go", RecordingAction())
+        injector.arm(POST_COMMIT)
+        with pytest.raises(SimulatedCrash):
+            adb.post_event(user_event("go"))
+        rm.stop()
+
+    def test_failed_db_action_wrapped_as_action_error(self):
+        """Engine-level: a subscriber exception surfaces as ActionError
+        with the transaction already committed."""
+        from repro.rules.actions import DbAction
+
+        adb, manager = self._system()
+
+        def explode(txn, bindings):
+            raise RuntimeError("boom")
+
+        manager.add_trigger(
+            "bad", "price > 10", DbAction(explode)
+        )
+        with pytest.raises(ActionError):
+            adb.execute(lambda t: t.set_item("price", 20))
+        # the durable point was reached before the action ran
+        assert adb.state.item("price") == 20
+        assert not adb.txns.active
+
+
+class TestFaultInjector:
+    def test_arm_counts_down(self):
+        injector = FaultInjector()
+        injector.arm(PRE_COMMIT, after=2)
+        injector.hit(PRE_COMMIT)
+        injector.hit(PRE_COMMIT)
+        with pytest.raises(SimulatedCrash) as exc:
+            injector.hit(PRE_COMMIT)
+        assert exc.value.point == PRE_COMMIT
+        injector.hit(PRE_COMMIT)  # disarmed after firing
+        assert injector.fired == [PRE_COMMIT]
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector().arm("quantum-bitflip")
