@@ -63,12 +63,16 @@ def run_demo() -> int:
     return 0 if fired_at == [8] else 1
 
 
-def run_monitor(metrics_json=None, ticks: int = 200, wal=None) -> int:
+def run_monitor(
+    metrics_json=None, ticks: int = 200, wal=None, shards=None, batch: int = 1
+) -> int:
     """Stock-monitor workload with metrics + traces enabled."""
     from repro.facade import TemporalDatabase
     from repro.workloads.stock import STOCK_SCHEMA, spike_trace
 
-    tdb = TemporalDatabase(metrics=True, trace=True)
+    tdb = TemporalDatabase(
+        metrics=True, trace=True, shards=shards, batch_size=batch
+    )
     tdb.create_relation(
         "STOCK", STOCK_SCHEMA, [("IBM", 50.0, "IBM Corp", "tech")]
     )
@@ -96,10 +100,13 @@ def run_monitor(metrics_json=None, ticks: int = 200, wal=None) -> int:
 
     apply_trace(tdb.engine, spike_trace(ticks, spike_every=40))
 
+    tdb.rules.flush()
     print(f"stock monitor: {ticks} ticks, "
           f"{len(firings)} sharp_increase firings")
+    if shards is not None:
+        print(f"  sharded evaluation: {shards} shard(s), "
+              f"{tdb.rules.worker_rebuilds} worker rebuild(s)")
     if recovery is not None:
-        tdb.rules.flush()
         recovery.checkpoint(tdb.engine, tdb.rules)
         recovery.stop()
         print(f"write-ahead log + checkpoint in {wal}")
@@ -112,15 +119,21 @@ def run_monitor(metrics_json=None, ticks: int = 200, wal=None) -> int:
         with open(metrics_json, "w") as fp:
             fp.write(doc + "\n")
         print(f"metrics written to {metrics_json}")
+    tdb.close()
     return 0 if firings else 1
 
 
-def run_recover(wal) -> int:
+def run_recover(wal, shards=None) -> int:
     """Rebuild the monitor system from a durable directory."""
     from repro.recovery import RecoveryManager
 
     def setup(engine):
-        manager = engine.rule_manager()
+        if shards is None:
+            manager = engine.rule_manager()
+        else:
+            from repro.parallel import ShardedRuleManager
+
+            manager = ShardedRuleManager(engine, shards=shards)
         manager.add_trigger(
             "sharp_increase", SHARP_INCREASE, lambda ctx: None
         )
@@ -173,6 +186,16 @@ def main(argv=None) -> int:
         "write-ahead log there and checkpoints on exit; recover "
         "rebuilds from it",
     )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="evaluate the monitor's rules across K shard workers "
+        "(sharded rule manager); default is the serial manager",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=1, metavar="N",
+        help="rule-manager batch size for the monitor workload "
+        "(Section 8 batched invocation)",
+    )
     args = parser.parse_args(argv)
     if args.command == "version":
         print(__version__)
@@ -180,10 +203,11 @@ def main(argv=None) -> int:
     if args.command == "recover":
         if args.wal is None:
             parser.error("recover requires --wal DIR")
-        return run_recover(args.wal)
+        return run_recover(args.wal, shards=args.shards)
     if args.command == "monitor" or args.metrics_json is not None:
         return run_monitor(
-            metrics_json=args.metrics_json, ticks=args.ticks, wal=args.wal
+            metrics_json=args.metrics_json, ticks=args.ticks, wal=args.wal,
+            shards=args.shards, batch=args.batch,
         )
     return run_demo()
 

@@ -24,12 +24,15 @@ integrity constraint "is a rule in which the action is abort(X)").
 
 from __future__ import annotations
 
+from collections import deque
+from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
 from repro.errors import (
     ActionError,
     ClockError,
     HistoryError,
+    QueueFullError,
     ReproError,
     TransactionAborted,
 )
@@ -56,6 +59,7 @@ class ActiveDatabase:
         keep_history: bool = True,
         begin_states: bool = False,
         metrics=None,
+        max_queue: int = 1024,
     ):
         """``begin_states=True`` records a system state for every
         ``transaction_begin`` event (the paper's model records a state per
@@ -66,7 +70,10 @@ class ActiveDatabase:
         ``metrics`` (``None``/``True``/a registry) enables engine-level
         counters and event-bus throughput metrics; a
         :class:`~repro.rules.manager.RuleManager` attached to this engine
-        inherits the registry by default."""
+        inherits the registry by default.
+
+        ``max_queue`` bounds the ingest queue used by :meth:`enqueue` /
+        :meth:`drain` (update batching with group commit)."""
         self.db = Database()
         self.begin_states = begin_states
         self.clock = Clock(start_time)
@@ -85,6 +92,21 @@ class ActiveDatabase:
         self._m_aborts = self.metrics.counter("engine_aborts_total")
         self._m_history_len = self.metrics.gauge("engine_history_len")
         self.bus.attach_metrics(self.metrics)
+        # -- ingest batching / group commit --------------------------------
+        #: True while a batch() is open: durability consumers amortize
+        #: their fsync, rule managers hold trigger processing until the
+        #: batch is durable.
+        self.in_batch = False
+        #: A durability provider (the WAL when attached) offering
+        #: begin_group()/end_group(); None when nothing durable is wired.
+        self.durability = None
+        #: Called (no args) after each batch turns durable.
+        self.batch_listeners: list[Callable[[], None]] = []
+        self.max_queue = max(1, max_queue)
+        self._txn_queue: deque = deque()
+        self._m_queue_depth = self.metrics.gauge("batch_queue_depth")
+        self._m_batches = self.metrics.counter("batch_commits_total")
+        self._m_batch_txns = self.metrics.histogram("batch_txns")
 
     # -- catalog delegation ---------------------------------------------------
 
@@ -257,6 +279,88 @@ class ActiveDatabase:
             raise
         txn.commit(commit_time)
         return txn
+
+    # -- ingest batching / group commit --------------------------------------------
+
+    @contextmanager
+    def batch(self):
+        """Group-commit scope: every state appended inside the ``with``
+        block is logged to the WAL (when attached) without an fsync of its
+        own; one fsync at block exit makes the whole batch durable
+        atomically — recovery replays the batch entirely or not at all,
+        never a prefix.  Rule managers defer trigger processing until the
+        batch is durable (integrity constraints still check every commit
+        immediately — aborts must veto *inside* the batch)."""
+        if self.in_batch:
+            raise ReproError("engine batches do not nest")
+        self.in_batch = True
+        if self.durability is not None:
+            self.durability.begin_group()
+        try:
+            yield self
+        finally:
+            self.in_batch = False
+            if self.durability is not None:
+                self.durability.end_group()
+        # Only on clean exit (durable point reached): let the temporal
+        # component process the batched states.
+        if self._obs_on:
+            self._m_batches.inc()
+        for listener in list(self.batch_listeners):
+            listener()
+
+    def enqueue(self, work: Callable[[Transaction], Any]) -> int:
+        """Queue a transaction body for the next :meth:`drain`; returns
+        the queue depth.  Raises :class:`QueueFullError` past
+        ``max_queue`` — backpressure, not silent loss."""
+        if len(self._txn_queue) >= self.max_queue:
+            raise QueueFullError(
+                f"ingest queue full ({self.max_queue} transactions); "
+                "drain() before enqueueing more"
+            )
+        self._txn_queue.append(work)
+        depth = len(self._txn_queue)
+        if self._obs_on:
+            self._m_queue_depth.set(depth)
+        return depth
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._txn_queue)
+
+    def drain(self, max_batch: Optional[int] = None) -> list[Transaction]:
+        """Run queued transaction bodies (up to ``max_batch``) inside one
+        :meth:`batch`: their WAL records reach the disk with a single
+        fsync and their triggers are dispatched to the temporal component
+        in one round.  A transaction aborted by an integrity constraint
+        stays aborted without poisoning the rest of the batch.  Returns
+        the finished transactions (committed and aborted)."""
+        count = len(self._txn_queue)
+        if max_batch is not None:
+            count = min(count, max_batch)
+        if count == 0:
+            return []
+        done: list[Transaction] = []
+        with self.batch():
+            for _ in range(count):
+                work = self._txn_queue.popleft()
+                txn = self.begin()
+                try:
+                    work(txn)
+                    txn.commit()
+                except TransactionAborted:
+                    # An integrity-constraint veto aborts this
+                    # transaction only; the batch carries on.
+                    pass
+                except Exception:
+                    if txn.status is TxnStatus.ACTIVE:
+                        txn.abort(reason="exception in transaction body")
+                    raise
+                done.append(txn)
+        if self._obs_on:
+            self._m_queue_depth.set(len(self._txn_queue))
+            self._m_batch_txns.observe(count)
+        return done
 
     def _commit(self, txn: Transaction, at_time: Optional[int]) -> SystemState:
         ts = self._next_timestamp(at_time)

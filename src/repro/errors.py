@@ -109,6 +109,10 @@ class TransactionAborted(TransactionError):
         self.reason = reason
 
 
+class QueueFullError(TransactionError):
+    """The engine's bounded ingest queue is full (backpressure)."""
+
+
 # --------------------------------------------------------------------------
 # Histories and clock
 # --------------------------------------------------------------------------

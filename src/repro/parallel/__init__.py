@@ -1,0 +1,47 @@
+"""Sharded parallel rule evaluation.
+
+The rule base is partitioned into K *shards* (dependency-aware — rules
+coupled through the ``executed`` relation or through overlapping declared
+write-sets land in the same shard), one
+:class:`~repro.ptl.plan.SharedPlan` is compiled per shard, and every
+committed system state is dispatched to the shards concurrently.  See
+``docs/PARALLEL.md`` for the shard model and the determinism /
+serializability argument.
+
+Public surface:
+
+* :class:`ShardedRuleManager` — drop-in
+  :class:`~repro.rules.manager.RuleManager` evaluating trigger
+  conditions across shard workers.
+* :func:`partition_rules` / :class:`RulePartition` — the deterministic
+  dependency-aware partitioner.
+* :class:`ProcessShardRuntime` / :class:`ThreadShardRuntime` — the
+  execution backends (persistent worker processes holding shard state
+  resident, and the in-process fallback for spawn-only platforms).
+"""
+
+from repro.parallel.manager import ShardedRuleManager
+from repro.parallel.partition import (
+    RulePartition,
+    RuleProfile,
+    partition_rules,
+    rule_profile,
+)
+from repro.parallel.runtime import (
+    ProcessShardRuntime,
+    ShardRuntime,
+    ThreadShardRuntime,
+    make_runtime,
+)
+
+__all__ = [
+    "ShardedRuleManager",
+    "RulePartition",
+    "RuleProfile",
+    "partition_rules",
+    "rule_profile",
+    "ProcessShardRuntime",
+    "ShardRuntime",
+    "ThreadShardRuntime",
+    "make_runtime",
+]

@@ -1,0 +1,199 @@
+"""Dependency-aware rule partitioning.
+
+Rules only interact through the database and the ``executed`` relation
+(Section 7), so a rule base splits into independently evaluable modules
+along those couplings:
+
+* a rule whose condition mentions ``executed(r, ...)`` must live in the
+  same shard as rule ``r`` — the worker-resident executed store is the
+  only one visible at evaluation time, and co-sharding keeps it exact;
+* rules with overlapping *write-sets* (the database items their actions
+  write, declared at registration) are co-sharded, so the read-your-own-
+  shard locality argument of ``docs/PARALLEL.md`` holds per shard.
+
+Read-sets come from :func:`repro.query.deps.query_deps` applied to every
+query embedded in the condition; couplings induce a union-find over the
+rule base, and the resulting groups are bin-packed onto K shards
+deterministically (largest group first, least-loaded shard, ties to the
+lowest shard id), so the same rule base always yields the same layout —
+a property the recovery fingerprints rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.ptl import ast
+from repro.query.deps import query_deps
+
+
+@dataclass(frozen=True)
+class RuleProfile:
+    """What the partitioner knows about one rule."""
+
+    name: str
+    #: Database items the condition's queries read.
+    reads: frozenset[str]
+    #: Database items the rule's action writes (declared; empty when the
+    #: action is an opaque callable with no declaration).
+    writes: frozenset[str]
+    #: Rule names referenced through ``executed(r, ...)`` atoms.
+    executed_refs: frozenset[str]
+    #: Event names appearing in event atoms (locality hint only).
+    events: frozenset[str]
+
+
+def _queries_of(formula: ast.Formula):
+    """Every query AST embedded in ``formula``, including queries inside
+    aggregate terms and assignment operators."""
+
+    def from_term(term: ast.Term):
+        if isinstance(term, ast.QueryT):
+            yield term.query
+        elif isinstance(term, ast.AggT):
+            yield term.query
+            yield from from_formula(term.start)
+            yield from from_formula(term.sample)
+        elif isinstance(term, ast.FuncT):
+            for a in term.args:
+                yield from from_term(a)
+
+    def from_formula(f: ast.Formula):
+        if isinstance(f, ast.Comparison):
+            yield from from_term(f.left)
+            yield from from_term(f.right)
+        elif isinstance(f, ast.InQuery):
+            yield f.query
+            for a in f.args:
+                yield from from_term(a)
+        elif isinstance(f, ast.Assign):
+            yield f.query
+            yield from from_formula(f.body)
+        elif isinstance(f, (ast.EventAtom, ast.ExecutedAtom, ast.BoolConst)):
+            return
+        else:
+            for child in f.children():
+                yield from from_formula(child)
+
+    yield from from_formula(formula)
+
+
+def rule_profile(
+    name: str,
+    formula: ast.Formula,
+    writes: Sequence[str] = (),
+) -> RuleProfile:
+    """Analyze one rule's condition (plus its declared write-set)."""
+    reads: set[str] = set()
+    for query in _queries_of(formula):
+        reads |= query_deps(query).items
+    executed_refs = frozenset(
+        sub.rule for sub in ast.walk(formula) if isinstance(sub, ast.ExecutedAtom)
+    )
+    events = frozenset(
+        sub.name for sub in ast.walk(formula) if isinstance(sub, ast.EventAtom)
+    )
+    return RuleProfile(
+        name=name,
+        reads=frozenset(reads),
+        writes=frozenset(writes),
+        executed_refs=executed_refs,
+        events=events,
+    )
+
+
+@dataclass(frozen=True)
+class RulePartition:
+    """A deterministic assignment of rules to shards."""
+
+    shards: int
+    #: rule name -> shard id.
+    assignment: dict
+    #: Coupled groups (each a tuple of rule names, registration order).
+    groups: tuple
+
+    def shard_of(self, name: str) -> int:
+        return self.assignment[name]
+
+    def rules_of(self, shard: int) -> list[str]:
+        return [n for n, s in self.assignment.items() if s == shard]
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, i: int) -> int:
+        while self.parent[i] != i:
+            self.parent[i] = self.parent[self.parent[i]]
+            i = self.parent[i]
+        return i
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Smaller root wins: group identity is the earliest member.
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+
+def partition_rules(
+    profiles: Sequence[RuleProfile],
+    shards: int,
+    coupled: Optional[Sequence[tuple[str, str]]] = None,
+) -> RulePartition:
+    """Partition ``profiles`` (registration order) into ``shards`` shards.
+
+    Couplings (same shard):
+
+    * A references ``executed(B, ...)`` — in either direction;
+    * writes(A) ∩ writes(B) is non-empty;
+    * any extra ``coupled`` pairs the caller supplies.
+
+    A reference to an unknown rule name through ``executed`` couples
+    nothing (the atom can still bind against records the application
+    seeds into the store); unknown names in ``coupled`` raise.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    names = [p.name for p in profiles]
+    index = {name: i for i, name in enumerate(names)}
+    if len(index) != len(names):
+        raise ValueError("duplicate rule names in partition input")
+
+    uf = _UnionFind(len(profiles))
+    for i, profile in enumerate(profiles):
+        for ref in profile.executed_refs:
+            j = index.get(ref)
+            if j is not None:
+                uf.union(i, j)
+    # Write-set overlap: itemize writers per item.
+    writers: dict[str, int] = {}
+    for i, profile in enumerate(profiles):
+        for item in sorted(profile.writes):
+            first = writers.setdefault(item, i)
+            if first != i:
+                uf.union(first, i)
+    for a, b in coupled or ():
+        if a not in index or b not in index:
+            raise ValueError(f"coupled pair ({a!r}, {b!r}) names unknown rules")
+        uf.union(index[a], index[b])
+
+    by_root: dict[int, list[int]] = {}
+    for i in range(len(profiles)):
+        by_root.setdefault(uf.find(i), []).append(i)
+    # Deterministic packing: biggest groups first (ties by earliest
+    # member), each onto the least-loaded shard (ties to the lowest id).
+    groups = sorted(by_root.values(), key=lambda g: (-len(g), g[0]))
+    loads = [0] * shards
+    assignment: dict[str, int] = {}
+    for group in groups:
+        shard = min(range(shards), key=lambda s: (loads[s], s))
+        loads[shard] += len(group)
+        for i in group:
+            assignment[names[i]] = shard
+    return RulePartition(
+        shards=shards,
+        assignment={name: assignment[name] for name in names},
+        groups=tuple(tuple(names[i] for i in g) for g in groups),
+    )

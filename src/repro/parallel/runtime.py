@@ -1,0 +1,315 @@
+"""Shard execution backends: where the resident workers live.
+
+:class:`ProcessShardRuntime` gives every shard a persistent
+``ProcessPoolExecutor(max_workers=1)`` (fork start method): the worker
+process holds the shard's plan, database state, and executed store
+resident, and each dispatch ships only the delta step records.
+:class:`ThreadShardRuntime` hosts the same :class:`ShardWorker` objects
+in-process — the fallback for spawn-only platforms, and the cheaper
+backend when rule evaluation is too light to amortize IPC.
+
+Both backends run through the same resilience bookkeeping in
+:class:`ShardRuntime`: the runtime remembers, per shard, the last
+known-good init payload and the *tail* of step records applied since.  A
+crashed worker (``BrokenProcessPool`` — or the injected kill in tests) is
+rebuilt by re-initialising a fresh worker from the payload and replaying
+the tail; evaluation is deterministic, so the rebuilt shard lands in the
+exact state the dead one held.  Every ``snapshot_interval`` records the
+baseline payload is refreshed from the live worker and the tail
+truncated, bounding both replay time and parent-side memory.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import multiprocessing as mp
+from typing import Optional
+
+from repro.errors import RecoveryError
+from repro.parallel.worker import (
+    ShardWorker,
+    _crash_worker,
+    _init_worker,
+    _snapshot_worker,
+    _state_size_worker,
+    _step_worker,
+)
+
+try:  # pragma: no cover - import location is version-dependent detail
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+    BrokenProcessPool = cf.process.BrokenProcessPool
+
+
+class _ShardCrashed(Exception):
+    """The thread backend's stand-in for a dead worker process."""
+
+
+class ShardRuntime:
+    """Base backend: crash-rebuild bookkeeping shared by both hosts.
+
+    Subclasses implement ``_start_shard``, ``_submit``, ``_result``,
+    ``_snapshot_shard``, ``_state_size_shard``, ``kill_worker``, and
+    ``close``; ``_crash_exceptions`` is the tuple that marks a dead
+    worker (anything else propagates)."""
+
+    kind = "?"
+    _crash_exceptions: tuple = ()
+
+    def __init__(self, snapshot_interval: int = 256):
+        self.snapshot_interval = max(1, snapshot_interval)
+        #: Last known-good init payload per shard, and the step records
+        #: applied since it was taken.
+        self._payloads: list[dict] = []
+        self._tails: list[list[dict]] = []
+        self._rules_payloads: list[list[dict]] = []
+        self.rebuilds = 0
+        self.started = False
+
+    @property
+    def shards(self) -> int:
+        return len(self._payloads)
+
+    def start(self, payloads: list[dict], rules_payloads: list[list[dict]]) -> None:
+        """Bring up one resident worker per shard (payloads are the
+        :class:`~repro.parallel.worker.ShardWorker` init payloads)."""
+        if self.started:
+            raise RecoveryError("shard runtime already started")
+        self._payloads = list(payloads)
+        self._tails = [[] for _ in payloads]
+        self._rules_payloads = [list(r) for r in rules_payloads]
+        for shard, payload in enumerate(payloads):
+            self._start_shard(shard, payload)
+        self.started = True
+
+    # -- dispatch -----------------------------------------------------------
+
+    def dispatch(self, per_shard: dict[int, list[dict]]) -> dict[int, list[dict]]:
+        """Step every listed shard on its records — submissions overlap,
+        results are collected per shard.  Dead workers are rebuilt and
+        replayed transparently; the caller always gets full results."""
+        futures: dict[int, object] = {}
+        crashed: list[int] = []
+        for shard in sorted(per_shard):
+            if not per_shard[shard]:
+                continue
+            try:
+                futures[shard] = self._submit(shard, per_shard[shard])
+            except self._crash_exceptions:
+                crashed.append(shard)
+        results: dict[int, list[dict]] = {}
+        for shard, future in futures.items():
+            try:
+                results[shard] = self._result(future)
+            except self._crash_exceptions:
+                crashed.append(shard)
+            else:
+                self._tails[shard].extend(per_shard[shard])
+        for shard in crashed:
+            results[shard] = self._rebuild_and_step(shard, per_shard[shard])
+        for shard in per_shard:
+            if len(self._tails[shard]) >= self.snapshot_interval:
+                self._refresh_baseline(shard)
+        return results
+
+    def _rebuild_and_step(self, shard: int, records: list[dict]) -> list[dict]:
+        """Fresh worker from the baseline payload, tail replayed, then the
+        in-flight records applied.  A second crash during the rebuild is
+        not survivable and propagates."""
+        self.rebuilds += 1
+        self._start_shard(shard, self._payloads[shard])
+        tail = self._tails[shard]
+        if tail:
+            self._result(self._submit(shard, tail))
+        out = self._result(self._submit(shard, records))
+        self._tails[shard].extend(records)
+        return out
+
+    def _refresh_baseline(self, shard: int) -> None:
+        try:
+            snap = self._snapshot_shard(shard, self._rules_payloads[shard])
+        except self._crash_exceptions:
+            # The worker died under the snapshot request: rebuild it from
+            # the old baseline and keep that baseline for now.
+            self.rebuilds += 1
+            self._start_shard(shard, self._payloads[shard])
+            if self._tails[shard]:
+                self._result(self._submit(shard, self._tails[shard]))
+            return
+        self._payloads[shard] = snap
+        self._tails[shard] = []
+
+    # -- snapshots & introspection ------------------------------------------
+
+    def snapshot_all(self) -> list[dict]:
+        """Fresh init payloads from every live worker (also adopted as
+        the new rebuild baselines) — checkpointing runs through this."""
+        for shard in range(self.shards):
+            self._refresh_baseline(shard)
+        return [dict(p) for p in self._payloads]
+
+    def state_sizes(self) -> list[int]:
+        sizes = []
+        for shard in range(self.shards):
+            try:
+                sizes.append(self._state_size_shard(shard))
+            except self._crash_exceptions:
+                sizes.append(0)
+        return sizes
+
+    # -- subclass surface ---------------------------------------------------
+
+    def _start_shard(self, shard: int, payload: dict) -> None:
+        raise NotImplementedError
+
+    def _submit(self, shard: int, records: list[dict]):
+        raise NotImplementedError
+
+    def _result(self, future):
+        raise NotImplementedError
+
+    def _snapshot_shard(self, shard: int, rules_payload: list[dict]) -> dict:
+        raise NotImplementedError
+
+    def _state_size_shard(self, shard: int) -> int:
+        raise NotImplementedError
+
+    def kill_worker(self, shard: int) -> None:
+        """Test hook: make the shard's worker die as a crashed process
+        would, exercising the rebuild path on the next dispatch."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class ProcessShardRuntime(ShardRuntime):
+    """One persistent single-worker process pool per shard."""
+
+    kind = "process"
+    _crash_exceptions = (BrokenProcessPool,)
+
+    def __init__(
+        self, snapshot_interval: int = 256, start_method: str = "fork"
+    ):
+        super().__init__(snapshot_interval)
+        if start_method not in mp.get_all_start_methods():
+            raise RecoveryError(
+                f"multiprocessing start method {start_method!r} is not "
+                f"available on this platform"
+            )
+        self._mp_context = mp.get_context(start_method)
+        self._pools: list[Optional[cf.ProcessPoolExecutor]] = []
+
+    def _start_shard(self, shard: int, payload: dict) -> None:
+        while len(self._pools) <= shard:
+            self._pools.append(None)
+        old = self._pools[shard]
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
+        pool = cf.ProcessPoolExecutor(
+            max_workers=1, mp_context=self._mp_context
+        )
+        self._pools[shard] = pool
+        # Synchronous init: a bad payload should fail here, not at the
+        # first dispatch.
+        pool.submit(_init_worker, payload).result()
+
+    def _submit(self, shard: int, records: list[dict]):
+        return self._pools[shard].submit(_step_worker, records)
+
+    def _result(self, future):
+        return future.result()
+
+    def _snapshot_shard(self, shard: int, rules_payload: list[dict]) -> dict:
+        return self._pools[shard].submit(
+            _snapshot_worker, rules_payload
+        ).result()
+
+    def _state_size_shard(self, shard: int) -> int:
+        return self._pools[shard].submit(_state_size_worker).result()
+
+    def kill_worker(self, shard: int) -> None:
+        try:
+            self._pools[shard].submit(_crash_worker).result()
+        except self._crash_exceptions:
+            pass
+
+    def close(self) -> None:
+        for pool in self._pools:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        self._pools = []
+
+
+class ThreadShardRuntime(ShardRuntime):
+    """In-process fallback: the same :class:`ShardWorker` objects, held
+    directly and stepped on a small thread pool.  Runs the identical
+    payload/record protocol, so conformance between backends is a test
+    over data, not code paths."""
+
+    kind = "thread"
+    _crash_exceptions = (_ShardCrashed,)
+
+    def __init__(self, snapshot_interval: int = 256):
+        super().__init__(snapshot_interval)
+        self._workers: list[Optional[ShardWorker]] = []
+        self._pool: Optional[cf.ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> cf.ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = cf.ThreadPoolExecutor(
+                max_workers=max(1, self.shards or 1),
+                thread_name_prefix="repro-shard",
+            )
+        return self._pool
+
+    def _start_shard(self, shard: int, payload: dict) -> None:
+        while len(self._workers) <= shard:
+            self._workers.append(None)
+        self._workers[shard] = ShardWorker(payload)
+
+    def _worker(self, shard: int) -> ShardWorker:
+        worker = self._workers[shard]
+        if worker is None:
+            raise _ShardCrashed(f"shard {shard} worker is down")
+        return worker
+
+    def _submit(self, shard: int, records: list[dict]):
+        worker = self._worker(shard)
+        return self._ensure_pool().submit(worker.step, records)
+
+    def _result(self, future):
+        try:
+            return future.result()
+        except _ShardCrashed:
+            raise
+
+    def _snapshot_shard(self, shard: int, rules_payload: list[dict]) -> dict:
+        return self._worker(shard).snapshot(rules_payload)
+
+    def _state_size_shard(self, shard: int) -> int:
+        return self._worker(shard).state_size()
+
+    def kill_worker(self, shard: int) -> None:
+        self._workers[shard] = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._workers = []
+
+
+def make_runtime(kind: str = "auto", **kwargs) -> ShardRuntime:
+    """Build a shard runtime: ``"process"``, ``"thread"``, or ``"auto"``
+    (process where ``fork`` is available, thread otherwise)."""
+    if kind == "auto":
+        kind = (
+            "process" if "fork" in mp.get_all_start_methods() else "thread"
+        )
+    if kind == "process":
+        return ProcessShardRuntime(**kwargs)
+    if kind == "thread":
+        return ThreadShardRuntime(**kwargs)
+    raise ValueError(f"unknown shard runtime kind {kind!r}")

@@ -113,7 +113,17 @@ class AggT(Term):
         )
 
     def __str__(self) -> str:
-        return f"{self.func}({self.query}; {self.start}; {self.sample})"
+        from repro.query.ast import Retrieve
+
+        # A RETRIEVE body needs its braces back to re-parse in aggregate
+        # position (scalar query parts — item refs, constants, query-symbol
+        # expansions — re-parse bare).
+        query = (
+            f"{{{self.query}}}"
+            if isinstance(self.query, Retrieve)
+            else str(self.query)
+        )
+        return f"{self.func}({query}; {self.start}; {self.sample})"
 
 
 # ---------------------------------------------------------------------------
@@ -375,7 +385,14 @@ class Assign(Formula):
         return (self.body,)
 
     def __str__(self) -> str:
-        return f"[{self.var} := {self.query}] {self.body}"
+        from repro.query.ast import Retrieve
+
+        query = (
+            f"{{{self.query}}}"
+            if isinstance(self.query, Retrieve)
+            else str(self.query)
+        )
+        return f"[{self.var} := {query}] {self.body}"
 
 
 # ---------------------------------------------------------------------------

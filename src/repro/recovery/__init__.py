@@ -20,6 +20,7 @@ from repro.recovery.checkpoint import read_checkpoint, write_checkpoint
 from repro.recovery.faultinject import (
     CRASH_POINTS,
     MID_CHECKPOINT,
+    MID_GROUP_COMMIT,
     MID_WAL,
     POST_COMMIT,
     PRE_COMMIT,
@@ -32,6 +33,7 @@ from repro.recovery.wal import WriteAheadLog, load_wal
 __all__ = [
     "CRASH_POINTS",
     "MID_CHECKPOINT",
+    "MID_GROUP_COMMIT",
     "MID_WAL",
     "POST_COMMIT",
     "PRE_COMMIT",

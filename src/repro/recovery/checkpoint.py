@@ -51,6 +51,7 @@ def write_checkpoint(
             for name in engine.db.queries.names()
         },
         "manager": None if manager is None else manager.to_state(),
+        "manager_kind": None if manager is None else type(manager).__name__,
     }
     text = json.dumps(payload, sort_keys=True)
     before_replace = None

@@ -18,6 +18,11 @@ the distinct durability windows of the commit protocol:
 ``mid-checkpoint``
     After the checkpoint temp file is written but before the atomic
     rename.  Recovery must keep using the previous checkpoint.
+``mid-group-commit``
+    During a group commit: the batch's WAL records are written (and may
+    even be on disk) but the commit marker is not.  Recovery must drop
+    the whole batch — an unmarked group is all-or-nothing, never a
+    replayed prefix.
 """
 
 from __future__ import annotations
@@ -30,8 +35,12 @@ POST_COMMIT = "post-commit"
 MID_WAL = "mid-wal-append"
 #: Crash between the checkpoint temp-file write and its rename.
 MID_CHECKPOINT = "mid-checkpoint"
+#: Crash after a batch's WAL records but before its commit marker.
+MID_GROUP_COMMIT = "mid-group-commit"
 
-CRASH_POINTS = (PRE_COMMIT, POST_COMMIT, MID_WAL, MID_CHECKPOINT)
+CRASH_POINTS = (
+    PRE_COMMIT, POST_COMMIT, MID_WAL, MID_CHECKPOINT, MID_GROUP_COMMIT
+)
 
 
 class SimulatedCrash(BaseException):

@@ -162,6 +162,13 @@ class RecoveryManager:
                     "checkpoint contains temporal-component state but "
                     "setup() returned no manager"
                 )
+            kind = checkpoint.get("manager_kind")
+            if kind is not None and type(manager).__name__ != kind:
+                raise RecoveryError(
+                    f"checkpoint was taken by a {kind}; setup() returned "
+                    f"a {type(manager).__name__} — recover with the same "
+                    "manager kind (and shard layout) it was taken with"
+                )
             manager.from_state(manager_state)
 
         start_seq = engine.state_count

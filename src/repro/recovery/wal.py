@@ -15,6 +15,15 @@ the log is first attached, so a log is replayable even without a
 checkpoint.  Torn final records (a crash mid-append) are detected and
 truncated by :func:`load_wal`; corruption anywhere else raises
 :class:`~repro.errors.RecoveryError`.
+
+Group commit (:meth:`WriteAheadLog.begin_group` / ``end_group``, driven
+by :meth:`repro.engine.ActiveDatabase.batch`): records inside a group are
+tagged ``"g": <id>`` and written *without* per-record fsync; the group
+ends with a commit-marker record ``{"g": id, "end": true}`` followed by a
+single fsync.  :func:`load_wal` drops (and truncates) a trailing group
+that lacks its marker — a crash mid-batch loses the batch atomically,
+never a prefix of it.  Untagged records keep their own fsync and remain
+individually durable, so group and non-group traffic interleave safely.
 """
 
 from __future__ import annotations
@@ -25,7 +34,12 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.errors import RecoveryError
-from repro.recovery.faultinject import MID_WAL, POST_COMMIT, PRE_COMMIT
+from repro.recovery.faultinject import (
+    MID_GROUP_COMMIT,
+    MID_WAL,
+    POST_COMMIT,
+    PRE_COMMIT,
+)
 from repro.storage.persist import _encode_item, _encode_value
 
 PathLike = Union[str, Path]
@@ -49,6 +63,13 @@ class WriteAheadLog:
         self._subscription = None
         self._m_records = None
         self._m_bytes = None
+        self._m_groups = None
+        #: Active group id (None outside a group) and whether the group
+        #: has written any record yet (empty groups skip the marker).
+        self._group: Optional[int] = None
+        self._group_dirty = False
+        self._next_group = 0
+        self._engine = None
 
     @classmethod
     def attach(
@@ -89,10 +110,16 @@ class WriteAheadLog:
                 }
             )
         wal._subscription = engine.bus.subscribe(wal._on_state, front=True)
+        wal._engine = engine
+        if hasattr(engine, "durability"):
+            # The engine's batch() amortizes our fsync via
+            # begin_group()/end_group().
+            engine.durability = wal
         registry = getattr(engine, "metrics", None)
         if registry is not None and registry.enabled:
             wal._m_records = registry.counter("wal_records_total")
             wal._m_bytes = registry.gauge("wal_bytes")
+            wal._m_groups = registry.counter("wal_group_commits_total")
         return wal
 
     # -- appending ---------------------------------------------------------
@@ -115,6 +142,8 @@ class WriteAheadLog:
                 None if state.delta is None else sorted(state.delta)
             ),
         }
+        if self._group is not None:
+            record["g"] = self._group
         self._write_line(record)
         self._prev = state.db
         if self.injector is not None:
@@ -132,17 +161,58 @@ class WriteAheadLog:
             self.injector.hit(MID_WAL)
         self._fp.write(line)
         self._fp.flush()
-        if self.fsync:
+        if self._group is not None:
+            # Group commit: durability is deferred to the single fsync in
+            # end_group().  The record is flushed (visible to load_wal for
+            # inspection) but not yet guaranteed on disk.
+            self._group_dirty = True
+        elif self.fsync:
             os.fsync(self._fp.fileno())
         self.records_written += 1
         if self._m_records is not None:
             self._m_records.inc()
             self._m_bytes.set(self._fp.tell())
 
+    # -- group commit ------------------------------------------------------
+
+    def begin_group(self) -> int:
+        """Start a commit group: subsequent records are tagged with the
+        group id and their fsyncs deferred until :meth:`end_group`."""
+        if self._group is not None:
+            raise RecoveryError("WAL commit groups do not nest")
+        self._group = self._next_group
+        self._next_group += 1
+        self._group_dirty = False
+        return self._group
+
+    def end_group(self) -> None:
+        """Close the current group: write its commit marker and make the
+        whole batch durable with one fsync.  An empty group (no records
+        written) leaves no trace in the log."""
+        if self._group is None:
+            raise RecoveryError("end_group() without begin_group()")
+        group, self._group = self._group, None
+        if not self._group_dirty:
+            return
+        if self.injector is not None:
+            self.injector.hit(MID_GROUP_COMMIT)
+        marker = json.dumps({"g": group, "end": True}) + "\n"
+        self._fp.write(marker)
+        self._fp.flush()
+        if self.fsync:
+            os.fsync(self._fp.fileno())
+        if self._m_groups is not None:
+            self._m_groups.inc()
+            self._m_bytes.set(self._fp.tell())
+
     def detach(self) -> None:
         if self._subscription is not None:
             self._subscription.cancel()
             self._subscription = None
+        if self._engine is not None:
+            if getattr(self._engine, "durability", None) is self:
+                self._engine.durability = None
+            self._engine = None
         if self._fp is not None:
             self._fp.close()
             self._fp = None
@@ -157,12 +227,19 @@ def load_wal(
     dropped, and with ``truncate_torn`` (the default) the file itself is
     truncated back to the last complete record so later appends produce a
     clean log.  A malformed record with complete records *after* it is
-    real corruption and raises :class:`~repro.errors.RecoveryError`."""
+    real corruption and raises :class:`~repro.errors.RecoveryError`.
+
+    Group atomicity: records tagged ``"g"`` whose commit marker
+    (``{"g": id, "end": true}``) never made it to the log — a crash
+    mid-group-commit — are dropped (and truncated) as a unit, so a batch
+    replays entirely or not at all.  Because groups are written
+    sequentially, an unmarked group is always a suffix of the log."""
     target = Path(path)
     if not target.exists():
         return [], False
     data = target.read_bytes()
     records: list[dict] = []
+    starts: list[int] = []
     offset = 0
     good_end = 0
     torn = False
@@ -183,8 +260,21 @@ def load_wal(
                 torn = True
                 break
             records.append(record)
+            starts.append(offset)
             good_end = end
         offset = end
+    # Drop a trailing group that never got its commit marker: all-or-
+    # nothing, never a prefix.
+    ended = {r["g"] for r in records if r.get("end") and "g" in r}
+    cut = None
+    for i, record in enumerate(records):
+        if "g" in record and not record.get("end") and record["g"] not in ended:
+            cut = i
+            break
+    if cut is not None:
+        good_end = starts[cut]
+        records = records[:cut]
+        torn = True
     if torn and truncate_torn:
         with open(target, "rb+") as fp:
             fp.truncate(good_end)

@@ -132,6 +132,30 @@ def infer_relevant_events(formula: ast.Formula) -> Optional[frozenset[str]]:
     return None
 
 
+def apply_fire_mode(
+    fire_mode: FireMode, result, prev_bindings: frozenset
+) -> tuple[list[dict], frozenset]:
+    """Turn an evaluator :class:`~repro.ptl.incremental.FireResult` into
+    the bindings that actually fire, given the rule's fire mode and its
+    previous binding set.  Returns ``(bindings, new_prev_bindings)``.
+
+    Shared between the in-process rule registry and the shard workers
+    (:mod:`repro.parallel.worker`) so both backends apply rising-edge
+    semantics identically."""
+    bindings = [dict(b) for b in result.bindings] if result.fired else []
+    if fire_mode is FireMode.RISING_EDGE:
+        current = frozenset(
+            tuple(sorted(b.items(), key=lambda kv: kv[0])) for b in bindings
+        )
+        fresh = current - prev_bindings
+        return [dict(t) for t in sorted(fresh)], current
+    if result.fired:
+        return bindings, frozenset(
+            tuple(sorted(b.items(), key=lambda kv: kv[0])) for b in bindings
+        )
+    return bindings, frozenset()
+
+
 @dataclass
 class RuleStats:
     evaluations: int = 0
@@ -170,20 +194,9 @@ class _RegisteredRule:
     def step(self, state):
         result = self.evaluator.step(state)
         self.stats.evaluations += 1
-        bindings = [dict(b) for b in result.bindings] if result.fired else []
-        if self.rule.fire_mode is FireMode.RISING_EDGE:
-            current = frozenset(
-                tuple(sorted(b.items(), key=lambda kv: kv[0])) for b in bindings
-            )
-            fresh = current - self._prev_bindings
-            self._prev_bindings = current
-            bindings = [dict(t) for t in sorted(fresh)]
-        elif result.fired:
-            self._prev_bindings = frozenset(
-                tuple(sorted(b.items(), key=lambda kv: kv[0])) for b in bindings
-            )
-        else:
-            self._prev_bindings = frozenset()
+        bindings, self._prev_bindings = apply_fire_mode(
+            self.rule.fire_mode, result, self._prev_bindings
+        )
         return bindings
 
 
@@ -277,6 +290,13 @@ class RuleManager:
         self._replaying = False
 
         self._subscription = engine.bus.subscribe(self._on_state)
+        # Group-commit hook: while the engine holds a batch open, trigger
+        # processing is deferred; the engine calls back (post-fsync) when
+        # the batch is durable.
+        self._batch_listener = self._on_batch_end
+        listeners = getattr(engine, "batch_listeners", None)
+        if listeners is not None:
+            listeners.append(self._batch_listener)
 
     # ------------------------------------------------------------------
     # Registration
@@ -508,6 +528,14 @@ class RuleManager:
         if self._obs_on:
             self._m_states.inc()
             self._m_batch.set(len(self._batch))
+        if len(self._batch) >= self.batch_size and not getattr(
+            self.engine, "in_batch", False
+        ):
+            self.flush()
+
+    def _on_batch_end(self) -> None:
+        """The engine finished a group commit (states durable): process
+        everything that was held back while the batch was open."""
         if len(self._batch) >= self.batch_size:
             self.flush()
 
@@ -947,6 +975,9 @@ class RuleManager:
     def detach(self) -> None:
         """Unsubscribe from the engine (rules stop being evaluated)."""
         self._subscription.cancel()
+        listeners = getattr(self.engine, "batch_listeners", None)
+        if listeners is not None and self._batch_listener in listeners:
+            listeners.remove(self._batch_listener)
 
 
 #: The paper's name for this component.

@@ -2,12 +2,19 @@
 
 Two profiles are registered:
 
-* ``ci`` (default) — moderate example counts, keeps the tier-1 suite fast;
-* ``nightly`` — a much deeper search for the property tests.
+* ``ci`` (default) — moderate example counts, keeps the tier-1 suite
+  fast; ``derandomize=True`` pins the example stream so two CI runs of
+  the same tree always see the same inputs (no flaky-only-on-main
+  failures from a fresh random seed);
+* ``nightly`` — a much deeper *randomized* search for the property
+  tests, with ``print_blob=True`` so a failure prints the
+  ``@reproduce_failure`` blob needed to replay it locally.
 
 Select with the ``HYPOTHESIS_PROFILE`` environment variable::
 
     HYPOTHESIS_PROFILE=nightly python -m pytest tests/test_properties.py
+
+See :mod:`tests.helpers` for how to replay a nightly failure.
 """
 
 import os
@@ -19,7 +26,11 @@ _COMMON = dict(
     suppress_health_check=[HealthCheck.too_slow],
 )
 
-settings.register_profile("ci", max_examples=100, **_COMMON)
-settings.register_profile("nightly", max_examples=600, **_COMMON)
+settings.register_profile(
+    "ci", max_examples=100, derandomize=True, **_COMMON
+)
+settings.register_profile(
+    "nightly", max_examples=600, print_blob=True, **_COMMON
+)
 
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

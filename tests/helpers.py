@@ -1,4 +1,20 @@
-"""Shared test helpers: hand-built histories and stock fixtures."""
+"""Shared test helpers: hand-built histories and stock fixtures.
+
+Replaying a nightly hypothesis failure locally
+----------------------------------------------
+The ``nightly`` profile (see ``tests/conftest.py``) searches randomly
+and prints, on failure, a ``@reproduce_failure('<version>', b'...')``
+blob.  To replay:
+
+1. copy the decorator from the CI log onto the failing test function
+   (directly above ``@given``), run the test once, then delete it; or
+2. rerun just that test — hypothesis caches failing examples in
+   ``.hypothesis/examples``, so a plain local rerun of the same test
+   re-tries the shrunk counterexample first.
+
+The default ``ci`` profile is derandomized, so any ``ci`` failure
+reproduces with a plain ``python -m pytest <nodeid>`` — no blob needed.
+"""
 
 from __future__ import annotations
 

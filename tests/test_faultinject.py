@@ -21,6 +21,7 @@ from repro.errors import ActionError, RecoveryError
 from repro.events import user_event
 from repro.recovery import (
     MID_CHECKPOINT,
+    MID_GROUP_COMMIT,
     MID_WAL,
     POST_COMMIT,
     PRE_COMMIT,
@@ -264,6 +265,139 @@ class TestWalFile:
         assert not torn
         seqs = [r["seq"] for r in records if r["seq"] is not None]
         assert seqs == list(range(len(OPS)))  # clean, gap-free log
+
+
+def _enqueue_ops(adb, ops):
+    for kind, val in ops:
+        if kind == "set":
+            adb.enqueue(lambda t, v=val: t.set_item("price", v))
+        else:
+            adb.enqueue(lambda t, v=val: t.post_event(user_event(v)))
+
+
+def _sharded_rules(adb):
+    from repro.parallel import ShardedRuleManager
+
+    manager = ShardedRuleManager(adb, shards=2, runtime="thread")
+    manager.add_trigger(
+        "rising",
+        "price > 50 & lasttime price <= 50",
+        RecordingAction(),
+        fire_mode=FireMode.RISING_EDGE,
+    )
+    manager.add_trigger(
+        "detached",
+        "@go & (price > 10 since @go)",
+        RecordingAction(),
+        coupling=CouplingMode.T_C_A,
+    )
+    manager.add_integrity_constraint("cap", "!(price > 1000)")
+    return manager
+
+
+class TestGroupCommitCrash:
+    """Update batching with WAL group commit: a crash mid-batch-fsync
+    must replay or drop the *whole* batch on recovery — never a prefix
+    of it."""
+
+    KINDS = ["shared", "perrule", "sharded"]
+
+    def _setup_for(self, kind):
+        if kind == "sharded":
+            return _sharded_rules
+        return lambda e: setup_rules(e, shared=(kind == "shared"))
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize(
+        "point", [MID_GROUP_COMMIT, MID_WAL], ids=["fsync", "torn-record"]
+    )
+    def test_crash_mid_batch_drops_whole_batch(self, tmp_path, kind, point):
+        oracle_adb = make_engine()
+        oracle_m = self._setup_for(kind)(oracle_adb)
+        drive(oracle_adb, OPS)
+        oracle_m.flush()
+
+        injector = FaultInjector()
+        rm = RecoveryManager(tmp_path, injector=injector)
+        adb = make_engine()
+        self._setup_for(kind)(adb)
+        rm.start(adb)
+        drive(adb, OPS[:3])  # individually durable states
+        _enqueue_ops(adb, OPS[3:6])
+        if point == MID_GROUP_COMMIT:
+            injector.arm(point)  # crash before the batch fsync
+        else:
+            injector.arm(point, after=1)  # torn record inside the batch
+        with pytest.raises(SimulatedCrash):
+            adb.drain()
+        rm.stop()
+
+        records, torn = load_wal(rm.wal_path)
+        seqs = [r["seq"] for r in records if r.get("seq") is not None]
+        # All-or-nothing: the unmarked group is gone as a unit.
+        assert seqs == [0, 1, 2]
+        assert torn
+
+        report = RecoveryManager(tmp_path).recover(
+            setup=self._setup_for(kind)
+        )
+        assert report.engine.state_count == 3  # no batch prefix survived
+        # Redo the lost batch and the rest; end state matches the oracle.
+        drive(report.engine, OPS[3:])
+        report.manager.flush()
+        assert firing_sig(report.manager) == firing_sig(oracle_m)
+        assert (
+            report.engine.state.item("price")
+            == oracle_adb.state.item("price")
+        )
+        assert (
+            report.manager.executed.to_state()
+            == oracle_m.executed.to_state()
+        )
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_durable_batch_replays_whole_batch(self, tmp_path, kind):
+        """Once the group fsync lands, recovery replays the entire
+        batch."""
+        oracle_adb = make_engine()
+        oracle_m = self._setup_for(kind)(oracle_adb)
+        drive(oracle_adb, OPS)
+        oracle_m.flush()
+
+        rm = RecoveryManager(tmp_path)
+        adb = make_engine()
+        manager = self._setup_for(kind)(adb)
+        rm.start(adb)
+        drive(adb, OPS[:3])
+        _enqueue_ops(adb, OPS[3:])
+        adb.drain()
+        manager.flush()
+        rm.stop()
+
+        report = RecoveryManager(tmp_path).recover(
+            setup=self._setup_for(kind)
+        )
+        assert report.engine.state_count == len(OPS)
+        assert report.replayed_steps == len(OPS)
+        report.manager.flush()
+        assert firing_sig(report.manager) == firing_sig(oracle_m)
+
+    def test_triggers_deferred_until_batch_durable(self, tmp_path):
+        """Rule actions must not observe a state whose batch never
+        became durable."""
+        injector = FaultInjector()
+        rm = RecoveryManager(tmp_path, injector=injector)
+        adb = make_engine()
+        manager = setup_rules(adb)
+        rm.start(adb)
+        action = RecordingAction()
+        manager.add_trigger("watch", "price > 70", action)
+        _enqueue_ops(adb, [("set", 80), ("set", 90)])
+        injector.arm(MID_GROUP_COMMIT)
+        with pytest.raises(SimulatedCrash):
+            adb.drain()
+        rm.stop()
+        assert action.calls == []  # never ran against undurable states
 
 
 class FlakyAction(Action):
