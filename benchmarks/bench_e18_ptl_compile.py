@@ -1,0 +1,290 @@
+"""E18 — compiled recurrence chains vs the interpreted node graph.
+
+The compiled backend (``REPRO_PTL_COMPILE`` /
+:func:`repro.ptl.set_ptl_compile`) lowers a :class:`SharedPlan`'s
+recurrences — ``lasttime``, ``since``, windowed ``previously`` /
+``throughout_past``, aggregate atoms — into one flat closure chain over a
+slot-based state vector, replacing per-state virtual dispatch over the
+node graph with a single generated function.  This benchmark replays the
+E11 50-rule overlapping-condition workload through both backends and
+reports two numbers:
+
+* the **recurrence-pass** speedup — only the F_{g,i} evaluation sweep is
+  timed (chain run vs per-root ``compute``), which is exactly the work
+  the lowering replaces and the benchmark's acceptance metric; and
+* the **end-to-end** ``plan.step`` speedup, which dilutes the same win
+  with the shared per-state work (firing extraction, pruning, metrics)
+  and is reported for honesty.
+
+Firings *and bindings* are differential-checked state-by-state before
+any timing is reported: the compiled chain must be behaviourally
+invisible.
+"""
+
+import random
+import time
+
+from conftest import report
+
+from repro.bench import (
+    Table,
+    emit_bench_json,
+    per_update_micros,
+    smoke_mode,
+    time_once,
+)
+from repro.obs import MetricsRegistry
+from repro.ptl import EvalContext, SharedPlan, parse_formula, set_ptl_compile
+from repro.ptl.plan import fire_result
+from repro.workloads import (
+    SHARP_INCREASE,
+    random_walk_trace,
+    stock_query_registry,
+    trace_history,
+)
+
+SMOKE = smoke_mode()
+N_RULES = 50
+N_STATES = 60 if SMOKE else 300
+REPEAT_FPASS = 5
+REPEAT_STEP = 3
+
+# The E11 condition pool: windowed temporal operators over the shared
+# stock queries, combined 1-2 per rule — heavy subformula overlap.
+POOL = (
+    "previously[6] (price(IBM) > 55)",
+    "throughout_past[4] (price(IBM) > 40)",
+    "lasttime (price(IBM) < 50)",
+    "price(IBM) > 60",
+    "previously[10] (price(IBM) < 45)",
+    "previously[8] (price(IBM) >= 52)",
+    "throughout_past[6] (price(IBM) < 70)",
+    SHARP_INCREASE,
+)
+
+
+def build_rules(seed=7):
+    rng = random.Random(seed)
+    registry = stock_query_registry()
+    rules = []
+    for i in range(N_RULES):
+        picks = rng.sample(POOL, rng.randint(1, 2))
+        if len(picks) == 1:
+            text = picks[0]
+        else:
+            op = rng.choice(["&", "|"])
+            text = f"({picks[0]}) {op} ({picks[1]})"
+        rules.append((f"r{i}", parse_formula(text, registry)))
+    return rules
+
+
+def make_plan(rules, metrics=None):
+    plan = SharedPlan(EvalContext(), metrics=metrics)
+    for name, formula in rules:
+        plan.add_rule(name, formula)
+    return plan
+
+
+def fired_trace(rules, history, compiled, metrics=None):
+    """Full per-state (fired, bindings) trace — the equivalence oracle."""
+    prev = set_ptl_compile(compiled)
+    try:
+        plan = make_plan(rules, metrics=metrics)
+        out = []
+        for state in history:
+            plan.step(state)
+            out.append(
+                tuple(
+                    (
+                        name,
+                        plan.result_of(name).fired,
+                        tuple(
+                            sorted(
+                                tuple(sorted(b.items()))
+                                for b in plan.result_of(name).bindings
+                            )
+                        ),
+                    )
+                    for name, _ in rules
+                )
+            )
+        return plan, out
+    finally:
+        set_ptl_compile(prev)
+
+
+def run_fpass(rules, history, compiled):
+    """Replay the history through ``plan.step``'s phases, but time only
+    the recurrence-evaluation pass (computing F_{g,i} for every root).
+
+    Reaches into the plan's internals on purpose: firing extraction and
+    pruning are identical in both modes and would otherwise drown the
+    number this benchmark exists to measure.
+    """
+    prev = set_ptl_compile(compiled)
+    try:
+        plan = make_plan(rules)
+        entries = list(plan._rules.values())
+        roots = [e.root for e in entries]
+        chain = plan._ensure_chain() if compiled else None
+        total = 0.0
+        for state in history:
+            plan._last_state = state
+            plan.epoch += 1
+            if chain is not None:
+                t0 = time.perf_counter()
+                chain.run(state)
+                total += time.perf_counter() - t0
+            else:
+                t0 = time.perf_counter()
+                for root in roots:
+                    root.compute(state)
+                total += time.perf_counter() - t0
+            # untimed: fire extraction (memoized re-compute) + pruning,
+            # kept so the stored formulas evolve exactly as in plan.step
+            for e in entries:
+                top = (
+                    chain.top_of(e.root)
+                    if chain is not None
+                    else e.root.compute(state)
+                )
+                e.last_top = top
+                e.result = fire_result(top, state, e.ctx)
+            for node, prune_set in plan._temporal:
+                if prune_set:
+                    node.prune(state.timestamp, prune_set)
+        return total
+    finally:
+        set_ptl_compile(prev)
+
+
+def run_steps(rules, history, compiled):
+    """End-to-end ``plan.step`` over the whole history."""
+    prev = set_ptl_compile(compiled)
+    try:
+        plan = make_plan(rules)
+        step = plan.step
+        t0 = time.perf_counter()
+        for state in history:
+            step(state)
+        return time.perf_counter() - t0
+    finally:
+        set_ptl_compile(prev)
+
+
+def compute():
+    rules = build_rules()
+    history = trace_history(random_walk_trace(seed=11, n=N_STATES))
+
+    # Equivalence first: identical firings AND bindings, every state.
+    registry = MetricsRegistry()
+    plan_c, trace_c = fired_trace(rules, history, True, metrics=registry)
+    _, trace_i = fired_trace(rules, history, False)
+    assert trace_c == trace_i, "compiled backend changed rule behaviour"
+    fired = sum(
+        1 for per_state in trace_c for (_, f, _) in per_state if f
+    )
+    # compiled_ops and the checkpoint section are gated on the live
+    # toggle, so introspect the compiled plan with it switched back on
+    prev = set_ptl_compile(True)
+    try:
+        compiled_ops = plan_c.compiled_ops()
+        fingerprint = plan_c.to_state()["compiled"]["fingerprint"]
+    finally:
+        set_ptl_compile(prev)
+    distinct = plan_c.distinct_nodes()
+
+    # Interleaved best-of-N: both modes see the same machine conditions.
+    t_fpass_i = t_fpass_c = float("inf")
+    for _ in range(REPEAT_FPASS):
+        t_fpass_i = min(t_fpass_i, run_fpass(rules, history, False))
+        t_fpass_c = min(t_fpass_c, run_fpass(rules, history, True))
+    t_step_i = t_step_c = float("inf")
+    for _ in range(REPEAT_STEP):
+        t_step_i = min(
+            t_step_i, time_once(lambda: run_steps(rules, history, False))
+        )
+        t_step_c = min(
+            t_step_c, time_once(lambda: run_steps(rules, history, True))
+        )
+    return {
+        "registry": registry,
+        "fired": fired,
+        "compiled_ops": compiled_ops,
+        "fingerprint": fingerprint,
+        "distinct_nodes": distinct,
+        "fpass": (t_fpass_i, t_fpass_c),
+        "step": (t_step_i, t_step_c),
+    }
+
+
+def test_e18_compiled_recurrences_speedup(benchmark):
+    r = benchmark.pedantic(compute, rounds=1, iterations=1)
+    t_fpass_i, t_fpass_c = r["fpass"]
+    t_step_i, t_step_c = r["step"]
+    fpass_speedup = t_fpass_i / t_fpass_c
+    step_speedup = t_step_i / t_step_c
+
+    table = Table(
+        "E18: compiled recurrence chains vs interpreted node graph "
+        f"({N_RULES} rules, {N_STATES} updates)",
+        ["pass", "interp (s)", "compiled (s)", "us/update", "speedup"],
+    )
+    table.add_row(
+        "recurrences (F_g,i)",
+        t_fpass_i,
+        t_fpass_c,
+        round(per_update_micros(t_fpass_c, N_STATES), 1),
+        round(fpass_speedup, 2),
+    )
+    table.add_row(
+        "end-to-end step",
+        t_step_i,
+        t_step_c,
+        round(per_update_micros(t_step_c, N_STATES), 1),
+        round(step_speedup, 2),
+    )
+    report(table)
+
+    emit_bench_json(
+        "E18",
+        {
+            "rules": N_RULES,
+            "updates": N_STATES,
+            "fpass": {
+                "interpreted_seconds": t_fpass_i,
+                "compiled_seconds": t_fpass_c,
+                "speedup": fpass_speedup,
+                "interpreted_us_per_update": per_update_micros(
+                    t_fpass_i, N_STATES
+                ),
+                "compiled_us_per_update": per_update_micros(
+                    t_fpass_c, N_STATES
+                ),
+            },
+            "step": {
+                "interpreted_seconds": t_step_i,
+                "compiled_seconds": t_step_c,
+                "speedup": step_speedup,
+            },
+            "plan": {
+                "compiled_ops": r["compiled_ops"],
+                "distinct_nodes": r["distinct_nodes"],
+                "fingerprint": r["fingerprint"],
+            },
+            "total_firings": r["fired"],
+        },
+        registry=r["registry"],
+    )
+
+    # Acceptance: the lowering must cut per-state recurrence-evaluation
+    # overhead by >=3x on the overlapping 50-rule workload.  The smoke
+    # history is too short for a stable ratio, so CI only checks a floor.
+    floor = 1.5 if SMOKE else 3.0
+    assert fpass_speedup >= floor, (
+        f"expected >={floor}x recurrence-pass speedup, "
+        f"got {fpass_speedup:.2f}x"
+    )
+    assert step_speedup > 1.0, (
+        f"end-to-end step got slower: {step_speedup:.2f}x"
+    )

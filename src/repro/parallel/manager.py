@@ -50,6 +50,7 @@ from repro.parallel.worker import (
     decode_bindings,
     encode_domains,
 )
+from repro.ptl.compiled import ptl_compile_enabled
 from repro.ptl.safety import check_safety
 from repro.rules.actions import as_action
 from repro.rules.manager import (
@@ -307,6 +308,7 @@ class ShardedRuleManager(RuleManager):
                 "executed": executed,
                 "rules": rules_payloads[shard],
                 "plan": None,
+                "ptl_compile": ptl_compile_enabled(),
             }
             for shard in range(self.shards)
         ]

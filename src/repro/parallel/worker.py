@@ -42,6 +42,7 @@ from repro.errors import RecoveryError
 from repro.events.model import Event
 from repro.history.state import SystemState
 from repro.ptl import constraints as cs
+from repro.ptl.compiled import ptl_compile_enabled, set_ptl_compile
 from repro.ptl.context import EvalContext, ExecutedStore
 from repro.ptl.parser import parse_formula
 from repro.ptl.plan import SharedPlan
@@ -160,6 +161,12 @@ class ShardWorker:
         self.shard: int = payload["shard"]
         self.retention: Optional[int] = payload.get("retention")
         self.seq: Optional[int] = payload.get("seq")
+        # The parent pins the recurrence backend at seal time so every
+        # shard process evaluates in the same mode it does (the flag is
+        # process-global; older payloads without the key leave it alone).
+        ptl_compile = payload.get("ptl_compile")
+        if ptl_compile is not None:
+            set_ptl_compile(bool(ptl_compile))
         self.db = DatabaseState(
             {
                 name: _decode_item(item)
@@ -293,6 +300,7 @@ class ShardWorker:
             "executed": self.executed.to_state(),
             "rules": rules,
             "plan": self.plan.to_state() if self.rules else None,
+            "ptl_compile": ptl_compile_enabled(),
         }
 
     def state_size(self) -> int:

@@ -27,6 +27,11 @@ from repro.ptl.ast import (
     free_variables,
 )
 from repro.ptl.auxrel import AuxiliaryRelation, AuxiliaryStore
+from repro.ptl.compiled import (
+    CompiledChain,
+    ptl_compile_enabled,
+    set_ptl_compile,
+)
 from repro.ptl.context import EvalContext, ExecutedStore, ExecutionRecord
 from repro.ptl.incremental import FireResult, IncrementalEvaluator
 from repro.ptl.plan import PlanBoundEvaluator, SharedPlan
@@ -76,6 +81,9 @@ __all__ = [
     "ExecutionRecord",
     "AuxiliaryRelation",
     "AuxiliaryStore",
+    "CompiledChain",
+    "ptl_compile_enabled",
+    "set_ptl_compile",
     "check_safety",
     "unsafe_variables",
 ]

@@ -358,6 +358,14 @@ class RewrittenEvaluator:
     def state_size(self) -> int:
         return self.evaluator.state_size()
 
+    def compiled_ops(self) -> int:
+        """Chain slots of the underlying evaluator when the compiled
+        recurrence backend is active (0 on the interpreted path).  The
+        aggregate-maintenance rules themselves are not lowered — they run
+        the same either way; only the aggregate-free rewritten condition
+        is chained."""
+        return self.evaluator.compiled_ops()
+
     # -- serialization (recovery checkpoints) --------------------------------
 
     def to_state(self) -> dict:

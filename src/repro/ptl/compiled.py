@@ -1,0 +1,881 @@
+"""Compiled recurrence chains: the Section 5 recurrences as flat code.
+
+The interpreted evaluator (:mod:`repro.ptl.incremental`) walks a node-object
+graph on every state: each subformula is a Python object whose ``compute``
+dispatches dynamically, re-enters the epoch-memoization wrapper, builds
+operand lists, and calls the fully general smart constructors.  The
+recurrences themselves are tiny — ``F_{g since h,i} = F_{h,i} | (F_{g,i} &
+F_{g since h,i-1})`` is two boolean combinations — so per-state cost is
+dominated by interpretive overhead, exactly as the tree-walking query
+evaluator was before the compiled query plans (PR 3).
+
+This module lowers a rule set's node DAG (post-normalize, post-hash-consing,
+post common-subformula elimination) into **one generated Python function**,
+compiled once per :class:`~repro.ptl.plan.SharedPlan` (or per core
+evaluator) and reused across steps and shards:
+
+* every distinct subformula becomes one *slot* — a local variable assigned
+  in topological order, so shared subformulas are computed exactly once per
+  state without any memoization machinery;
+* distinct ground queries are read **once per state** at the top of the
+  chain through a shared delta gate (the interpreter re-reads a query at
+  every atom that mentions it);
+* ground atoms compare raw query values with ``apply_comparison`` directly;
+  symbolic atoms rebuild their constraint atom with the same smart
+  constructors the interpreter uses, so the produced ``F_{g,i}`` formulas
+  are structurally identical;
+* the ``Since``/``Lasttime`` recurrences become direct loads/stores of the
+  interpreted nodes' ``stored``/``started`` attributes.
+
+State authority stays with the node objects: the chain reads and writes the
+same per-node storage the interpreter uses, which keeps snapshot/restore,
+checkpointing, time-bound pruning, and ``stored_formulas`` introspection
+working unchanged — and makes the two backends freely switchable mid-run
+(the differential suite in ``tests/test_ptl_compile.py`` holds them together
+step-by-step).  The chain's *slot layout* (temporal and aggregate slots in
+chain order) is fingerprinted; checkpoints carry the fingerprint and restore
+refuses on drift.
+
+Toggle with ``REPRO_PTL_COMPILE=1`` (default off — the interpreted path is
+the differential oracle) or :func:`set_ptl_compile`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Optional
+
+from repro.errors import PTLError, QueryEvaluationError, RecoveryError
+from repro.ptl import ast
+from repro.ptl import constraints as cs
+from repro.ptl.semantics import UNDEFINED
+from repro.query.evaluator import apply_comparison
+
+# ---------------------------------------------------------------------------
+# Toggle
+# ---------------------------------------------------------------------------
+
+_PTL_COMPILE = os.environ.get("REPRO_PTL_COMPILE", "0") != "0"
+
+
+def ptl_compile_enabled() -> bool:
+    """Whether evaluation steps run on compiled recurrence chains."""
+    return _PTL_COMPILE
+
+
+def set_ptl_compile(flag: bool) -> bool:
+    """Enable/disable the compiled backend; returns the previous setting
+    (the ``set_plans_enabled`` idiom, for ``try/finally`` toggling)."""
+    global _PTL_COMPILE
+    previous = _PTL_COMPILE
+    _PTL_COMPILE = bool(flag)
+    return previous
+
+
+class ChainLoweringError(PTLError):
+    """The node graph contains a shape the lowering does not handle."""
+
+
+#: Sentinel: a term is not a compile-time constant.
+_DYN = object()
+
+
+# ---------------------------------------------------------------------------
+# The compiled chain
+# ---------------------------------------------------------------------------
+
+
+class CompiledChain:
+    """One rule set's recurrences as a single generated step function.
+
+    ``run(state)`` executes the chain (updating the temporal nodes'
+    ``stored``/``started`` in place); ``top_of(root)`` reads a rule root's
+    value for the last state run.  The temporal slots of the state vector
+    are the interpreted nodes themselves, listed in chain order in
+    :attr:`temporal` with their ``(kind, label)`` rows in
+    :attr:`slot_layout`.
+    """
+
+    __slots__ = (
+        "step_fn",
+        "source",
+        "roots",
+        "temporal",
+        "slot_layout",
+        "layout",
+        "fingerprint",
+        "n_nodes",
+        "n_temporal",
+        "n_query_slots",
+        "_results",
+        "_root_slot",
+    )
+
+    def run(self, state) -> None:
+        self.step_fn(state)
+
+    def top_of(self, root) -> cs.C:
+        """The value computed for ``root`` by the last :meth:`run`."""
+        return self._results[self._root_slot[id(root)]]
+
+    def slot_values(self) -> list:
+        """Current contents of the temporal slots, in chain order:
+        ``(kind, label, stored state)`` rows for the differential tests."""
+        return [
+            (kind, label, node.get_state())
+            for (kind, label), node in zip(self.slot_layout, self.temporal)
+        ]
+
+    def layout_fingerprint(self) -> str:
+        return self.fingerprint
+
+    # -- serialization (recovery checkpoints) --------------------------------
+
+    def to_state(self) -> dict:
+        """The slot vector as a checkpoint section: the layout fingerprint
+        plus every temporal slot's stored state in chain order."""
+        from repro.ptl.incremental import _encode_node_state
+
+        return {
+            "format": 1,
+            "fingerprint": self.fingerprint,
+            "slots": [
+                _encode_node_state(n.get_state()) for n in self.temporal
+            ],
+        }
+
+    def from_state(self, payload: dict) -> None:
+        """Restore the slot vector; refuses on slot-layout drift."""
+        from repro.ptl.incremental import _decode_node_state
+
+        if payload.get("format") != 1:
+            raise RecoveryError(
+                f"unsupported compiled-chain state format: "
+                f"{payload.get('format')!r}"
+            )
+        if payload.get("fingerprint") != self.fingerprint:
+            raise RecoveryError(
+                "compiled slot-layout drift: checkpoint fingerprint "
+                f"{payload.get('fingerprint')!r} does not match this "
+                f"chain's layout {self.fingerprint!r}"
+            )
+        slots = payload["slots"]
+        if len(slots) != len(self.temporal):
+            raise RecoveryError(
+                f"checkpoint has {len(slots)} temporal slots; chain has "
+                f"{len(self.temporal)}"
+            )
+        for node, snap in zip(self.temporal, slots):
+            node.set_state(_decode_node_state(snap))
+
+
+def _fast_subst(c, var, value):
+    """``substitute(c, {var: value})`` specialized for the Assign step of a
+    lowered chain: one variable, one value, and stored window formulas
+    whose atoms are already normalized to ``var <op> const`` — those fold
+    straight to a boolean via ``apply_comparison`` without rebuilding any
+    terms, and conjunctions/disjunctions whose changes are all constant
+    collapses keep their untouched canonical operand subsequence (flat,
+    deduplicated, complement-free) without the general rebuild.  Produces
+    the same formula as the generic path; any shape outside the fast cases
+    falls back to it."""
+    if isinstance(c, cs.CBool):
+        return c
+    if var not in c.variables():
+        # Substitution is the identity on every subterm, and canonical
+        # nodes are normalization-stable, so the generic walk would
+        # reproduce ``c`` itself.
+        return c
+    if isinstance(c, cs.CAtom):
+        if (
+            isinstance(c.left, cs.SVar)
+            and c.left.name == var
+            and isinstance(c.right, cs.SConst)
+        ):
+            try:
+                return (
+                    cs.CTRUE
+                    if apply_comparison(c.op, value, c.right.value)
+                    else cs.CFALSE
+                )
+            except QueryEvaluationError:
+                return cs.CFALSE
+        env = {var: value}
+        return cs.catom(
+            c.op, cs.subst_term(c.left, env), cs.subst_term(c.right, env)
+        )
+    if isinstance(c, cs.CAnd):
+        ops = [_fast_subst(x, var, value) for x in c.operands]
+        bools_only = True
+        for a, b in zip(ops, c.operands):
+            if a is b:
+                continue
+            if isinstance(a, cs.CBool):
+                if not a.value:
+                    return cs.CFALSE
+            else:
+                bools_only = False
+        if bools_only:
+            kept = tuple(b for a, b in zip(ops, c.operands) if a is b)
+            if not kept:
+                return cs.CTRUE
+            if len(kept) == 1:
+                return kept[0]
+            return cs._intern(cs._intern_formulas, ("&", kept), cs.CAnd(kept))
+        return cs.cand(ops)
+    if isinstance(c, cs.COr):
+        ops = [_fast_subst(x, var, value) for x in c.operands]
+        bools_only = True
+        for a, b in zip(ops, c.operands):
+            if a is b:
+                continue
+            if isinstance(a, cs.CBool):
+                if a.value:
+                    return cs.CTRUE
+            else:
+                bools_only = False
+        if bools_only:
+            kept = tuple(b for a, b in zip(ops, c.operands) if a is b)
+            if not kept:
+                return cs.CFALSE
+            if len(kept) == 1:
+                return kept[0]
+            return cs._intern(cs._intern_formulas, ("|", kept), cs.COr(kept))
+        return cs.cor(ops)
+    return cs.substitute(c, {var: value})
+
+
+def _partial_normalize(op, fixed, dyn_on_left):
+    """Run :func:`repro.ptl.constraints._normalize_linear` symbolically
+    with the dynamic side as a numeric placeholder.  Returns
+    ``(final_op, var_side, steps)`` where ``steps`` replays, in order and
+    with identical arithmetic, the rearrangements the normalizer applies to
+    the constant side — or None when the shape can't be specialized."""
+    if isinstance(fixed, cs.SConst):
+        # Both sides constant at runtime: catom folds to a CBool up front,
+        # which the residual-atom fast path cannot reproduce.
+        return None
+    if dyn_on_left:
+        # Dynamic constant on the left: the normalizer flips it right.
+        op = cs._FLIPPED_OP[op]
+    left = fixed
+    steps: list = []
+    changed = True
+    while changed:
+        changed = False
+        if isinstance(left, cs.SApp) and len(left.args) == 2:
+            a, b = left.args
+            a_num = isinstance(a, cs.SConst) and cs._is_number(a.value)
+            b_num = isinstance(b, cs.SConst) and cs._is_number(b.value)
+            if left.func in ("+", "-") and b_num:
+                steps.append(("sub" if left.func == "+" else "add", b.value))
+                left = a
+                changed = True
+            elif left.func == "+" and a_num:
+                steps.append(("sub", a.value))
+                left = b
+                changed = True
+            elif left.func == "*" and a_num and a.value != 0:
+                if a.value < 0 and op not in ("=", "!="):
+                    op = cs._FLIPPED_OP[op]
+                steps.append(("div", a.value))
+                left = b
+                changed = True
+            elif left.func == "*" and b_num and b.value != 0:
+                if b.value < 0 and op not in ("=", "!="):
+                    op = cs._FLIPPED_OP[op]
+                steps.append(("div", b.value))
+                left = a
+                changed = True
+            elif left.func == "/" and b_num and b.value != 0:
+                if b.value < 0 and op not in ("=", "!="):
+                    op = cs._FLIPPED_OP[op]
+                steps.append(("mul", b.value))
+                left = a
+                changed = True
+    return op, left, steps
+
+
+def _atom_builder(op, var_side):
+    """Closure interning ``var_side <op> SConst(d)`` directly — the
+    residual of ``catom`` once normalization has been evaluated away.
+    The intern table is cleared in place, never rebound, so capturing it
+    here is safe."""
+    table = cs._intern_formulas
+    get = table.get
+    intern = cs._intern
+    SConst = cs.SConst
+    CAtom = cs.CAtom
+
+    def build(d):
+        r = SConst(d)
+        key = ("atom", op, var_side, r)
+        got = get(key)
+        if got is not None:
+            return got
+        return intern(table, key, CAtom(op, var_side, r))
+
+    return build
+
+
+def _apply_steps(steps, d):
+    for kind, c in steps:
+        if kind == "add":
+            d = d + c
+        elif kind == "sub":
+            d = d - c
+        elif kind == "div":
+            d = cs._intify(d / c)
+        else:
+            d = cs._intify(d * c)
+    return d
+
+
+def _specialization_agrees(builder, steps, op, fixed, dyn_on_left) -> bool:
+    """Cross-check the residual atom program against the real ``catom`` on
+    probe values; the fast path is only trusted when they agree *by
+    identity* (same interned object) on every probe."""
+    for d in (0, 1, -3, 2, 7.5, -0.5, 1000):
+        if dyn_on_left:
+            want = cs.catom(op, cs.SConst(d), fixed)
+        else:
+            want = cs.catom(op, fixed, cs.SConst(d))
+        try:
+            got = builder(_apply_steps(steps, d))
+        except Exception:
+            return False
+        if got is not want:
+            return False
+    return True
+
+
+def try_lower(roots) -> Optional[CompiledChain]:
+    """Lower ``roots`` into a chain, or None when some node shape is
+    unsupported — callers then fall back to the interpreted path wholesale
+    (never a half-compiled mix)."""
+    try:
+        return lower(roots)
+    except ChainLoweringError:
+        return None
+
+
+def lower(roots) -> CompiledChain:
+    """Lower the node DAG reachable from ``roots`` (memo/timing wrappers
+    included) into a :class:`CompiledChain`."""
+    return _Lowering(list(roots)).build()
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+
+class _Lowering:
+    def __init__(self, roots):
+        self.roots = roots
+        #: Query-slot loads, emitted once at the top of the chain.
+        self.head: list[str] = []
+        self.body: list[str] = []
+        #: Captured objects referenced by the generated code.
+        self.env: dict[str, Any] = {}
+        #: id(node as referenced) -> expression for its value.
+        self.expr: dict[int, str] = {}
+        self._n = 0
+        #: query -> local name of its per-state value slot.
+        self._qslots: dict[Any, str] = {}
+        self.temporal: list = []
+        self.slot_layout: list = []
+        self.agg_layout: list = []
+        self._agg_seen: set[int] = set()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _capture(self, prefix: str, obj) -> str:
+        name = f"{prefix}{self._n}"
+        self._n += 1
+        self.env[name] = obj
+        return name
+
+    def _local(self) -> str:
+        name = f"v{self._n}"
+        self._n += 1
+        return name
+
+    def _emit(self, line: str, indent: int = 1) -> None:
+        self.body.append("    " * indent + line)
+
+    # -- graph walk ----------------------------------------------------------
+
+    def _peel(self, node):
+        inc = self._inc
+        while True:
+            if isinstance(node, self._MemoNode):
+                node = node.inner
+            elif isinstance(node, inc._TimedNode):
+                node = node.inner
+            else:
+                return node
+
+    def _children(self, node) -> tuple:
+        inc = self._inc
+        inner = self._peel(node)
+        if isinstance(inner, inc._NotNode):
+            return (inner.child,)
+        if isinstance(inner, (inc._AndNode, inc._OrNode)):
+            return tuple(inner.children)
+        if isinstance(inner, inc._LasttimeNode):
+            return (inner.child,)
+        if isinstance(inner, inc._SinceNode):
+            return (inner.lhs, inner.rhs)
+        if isinstance(inner, inc._AssignNode):
+            return (inner.child,)
+        return ()
+
+    def _toposort(self) -> list:
+        order: list = []
+        seen: set[int] = set()
+        stack = [(n, False) for n in reversed(self.roots)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for child in reversed(self._children(node)):
+                if id(child) not in seen:
+                    stack.append((child, False))
+        return order
+
+    # -- per-node lowering ---------------------------------------------------
+
+    def _lower_node(self, node) -> None:
+        inc = self._inc
+        inner = self._peel(node)
+        key = id(node)
+        if isinstance(inner, inc._BoolNode):
+            self.expr[key] = "_T" if inner.value is cs.CTRUE else "_F"
+            return
+        if isinstance(inner, inc._NotNode):
+            v = self._local()
+            self._emit(f"{v} = _not({self.expr[id(inner.child)]})")
+            self.expr[key] = v
+            return
+        if isinstance(inner, (inc._AndNode, inc._OrNode)):
+            is_and = isinstance(inner, inc._AndNode)
+            xs = [self.expr[id(c)] for c in inner.children]
+            v = self._local()
+            if len(xs) == 2:
+                fn = "_and2" if is_and else "_or2"
+                self._emit(f"{v} = {fn}({xs[0]}, {xs[1]})")
+            else:
+                fn = "_and" if is_and else "_or"
+                self._emit(f"{v} = {fn}(({', '.join(xs)},))")
+            self.expr[key] = v
+            return
+        if isinstance(inner, inc._LasttimeNode):
+            # F_{lasttime g, i} = F_{g, i-1}: return the slot, then refill.
+            n = self._capture("N", inner)
+            v = self._local()
+            self._emit(f"{v} = {n}.stored")
+            self._emit(f"{n}.stored = {self.expr[id(inner.child)]}")
+            self.temporal.append(inner)
+            self.slot_layout.append(("last", inner.label))
+            self.expr[key] = v
+            return
+        if isinstance(inner, inc._SinceNode):
+            # F_{g since h, i} = F_{h,i} | (F_{g,i} & F_{g since h, i-1}).
+            n = self._capture("N", inner)
+            a = self.expr[id(inner.lhs)]
+            b = self.expr[id(inner.rhs)]
+            v = self._local()
+            self._emit(f"if {n}.started:")
+            self._emit(f"{v} = _or2({b}, _and2({a}, {n}.stored))", 2)
+            self._emit("else:")
+            self._emit(f"{n}.started = True", 2)
+            self._emit(f"{v} = {b}", 2)
+            self._emit(f"{n}.stored = {v}")
+            self.temporal.append(inner)
+            self.slot_layout.append(("since", inner.label))
+            self.expr[key] = v
+            return
+        if isinstance(inner, inc._AssignNode):
+            c = self.expr[id(inner.child)]
+            # The assignment query reads through the shared per-state query
+            # slots, so e.g. every ``previously[w]``'s ``[u := time]``
+            # costs one ``time`` evaluation per state, not one per rule.
+            x = self._query_slot(inner.query)
+            v = self._local()
+            self._emit(f"if {x} is _U:")
+            self._emit(f"{v} = _F", 2)
+            self._emit(f"elif {c} is _T or {c} is _F:")
+            self._emit(f"{v} = {c}", 2)
+            self._emit("else:")
+            self._emit(f"{v} = _fs({c}, {inner.var!r}, {x})", 2)
+            self.expr[key] = v
+            return
+        if isinstance(inner, inc._ComparisonNode):
+            self.expr[key] = self._lower_comparison(inner)
+            return
+        if isinstance(
+            inner, (inc._EventNode, inc._ExecutedNode, inc._InQueryNode)
+        ):
+            # Relation-shaped leaves keep their interpreted compute (their
+            # cost is data-dependent, not dispatch-dominated).
+            self.expr[key] = self._bound_leaf(inner)
+            return
+        raise ChainLoweringError(
+            f"cannot lower node type {type(inner).__name__}"
+        )
+
+    def _bound_leaf(self, inner) -> str:
+        fn = self._capture("L", inner.compute)
+        v = self._local()
+        self._emit(f"{v} = {fn}(state)")
+        return v
+
+    # -- comparisons ---------------------------------------------------------
+
+    def _lower_comparison(self, inner) -> str:
+        f = inner.formula
+        lc = self._const_sterm(f.left)
+        rc = self._const_sterm(f.right)
+        if lc is not _DYN and rc is not _DYN:
+            # Both terms are compile-time constants: the atom is too.
+            if lc is None or rc is None:
+                return "_F"
+            try:
+                k = cs.catom(f.op, lc, rc)
+            except Exception:
+                return self._bound_leaf(inner)
+            if k is cs.CTRUE:
+                return "_T"
+            if k is cs.CFALSE:
+                return "_F"
+            return self._capture("K", k)
+        if self._is_value_term(f.left) and self._is_value_term(f.right):
+            return self._value_comparison(inner)
+        return self._symbolic_comparison(inner)
+
+    def _const_sterm(self, term):
+        """Compile-time symbolic value of a term: an ``STerm``, ``None``
+        for constant-undefined, or :data:`_DYN` if it depends on the
+        state (queries / aggregates)."""
+        if isinstance(term, ast.ConstT):
+            return cs.SConst(term.value)
+        if isinstance(term, ast.Var):
+            return cs.SVar(term.name)
+        if isinstance(term, ast.FuncT):
+            args = []
+            dyn = False
+            for a in term.args:
+                s = self._const_sterm(a)
+                if s is None:
+                    return None
+                if s is _DYN:
+                    dyn = True
+                else:
+                    args.append(s)
+            if dyn:
+                return _DYN
+            try:
+                return cs.sapp(term.func, tuple(args))
+            except Exception:
+                return None
+        if isinstance(term, (ast.QueryT, ast.AggT)):
+            return _DYN
+        raise ChainLoweringError(f"unknown term {term!r}")
+
+    def _is_value_term(self, term) -> bool:
+        """No symbolic variables anywhere: the term reduces to a raw
+        runtime value (or undefined), so the atom folds to a CBool."""
+        if isinstance(term, (ast.ConstT, ast.QueryT, ast.AggT)):
+            return True
+        if isinstance(term, ast.FuncT):
+            return all(self._is_value_term(a) for a in term.args)
+        return False
+
+    def _value_comparison(self, inner) -> str:
+        f = inner.formula
+        lv, lu = self._value_term(f.left, inner)
+        rv, ru = self._value_term(f.right, inner)
+        v = self._local()
+        checks = [f"{e} is _U" for e, u in ((lv, lu), (rv, ru)) if u]
+        indent = 1
+        if checks:
+            self._emit(f"if {' or '.join(checks)}:")
+            self._emit(f"{v} = _F", 2)
+            self._emit("else:")
+            indent = 2
+        self._emit("try:", indent)
+        self._emit(
+            f"{v} = _T if _cmp({f.op!r}, {lv}, {rv}) else _F", indent + 1
+        )
+        self._emit("except _QEE:", indent)
+        self._emit(f"{v} = _F", indent + 1)
+        return v
+
+    def _value_term(self, term, inner):
+        """Emit a raw-value computation; returns (expression, may be
+        UNDEFINED)."""
+        if isinstance(term, ast.ConstT):
+            return self._capture("K", term.value), False
+        if isinstance(term, ast.QueryT):
+            return self._query_slot(term.query), True
+        if isinstance(term, ast.AggT):
+            agg = self._capture_agg(inner, term)
+            t = self._local()
+            self._emit(f"{t} = {agg}.value()")
+            return t, True
+        if isinstance(term, ast.FuncT):
+            try:
+                from repro.query.functions import scalar_function
+
+                fn = scalar_function(term.func)
+            except Exception:
+                raise ChainLoweringError(
+                    f"unresolvable scalar function {term.func!r}"
+                )
+            parts = [self._value_term(a, inner) for a in term.args]
+            t = self._local()
+            checks = [f"{e} is _U" for e, u in parts if u]
+            fname = self._capture("F", fn)
+            arglist = ", ".join(e for e, _ in parts)
+            indent = 1
+            if checks:
+                self._emit(f"if {' or '.join(checks)}:")
+                self._emit(f"{t} = _U", 2)
+                self._emit("else:")
+                indent = 2
+            self._emit("try:", indent)
+            self._emit(f"{t} = {fname}({arglist})", indent + 1)
+            self._emit("except Exception:", indent)
+            self._emit(f"{t} = _U", indent + 1)
+            return t, True
+        raise ChainLoweringError(f"unsupported value term {term!r}")
+
+    def _symbolic_comparison(self, inner) -> str:
+        f = inner.formula
+        spec = self._specialized_atom(inner)
+        if spec is not None:
+            return spec
+        ls, lu = self._sym_term(f.left, inner)
+        rs, ru = self._sym_term(f.right, inner)
+        v = self._local()
+        checks = [f"{e} is None" for e, u in ((ls, lu), (rs, ru)) if u]
+        if checks:
+            self._emit(f"if {' or '.join(checks)}:")
+            self._emit(f"{v} = _F", 2)
+            self._emit("else:")
+            self._emit(f"{v} = _catom({f.op!r}, {ls}, {rs})", 2)
+        else:
+            self._emit(f"{v} = _catom({f.op!r}, {ls}, {rs})")
+        return v
+
+    def _sym_term(self, term, inner):
+        """Emit an ``STerm``-or-None computation (the `_term_value`
+        contract); returns (expression, may be None)."""
+        const = self._const_sterm(term)
+        if const is None:
+            return self._capture("K", None), True
+        if const is not _DYN:
+            return self._capture("K", const), False
+        if isinstance(term, ast.QueryT):
+            q = self._query_slot(term.query)
+            t = self._local()
+            self._emit(f"{t} = None if {q} is _U else _SC({q})")
+            return t, True
+        if isinstance(term, ast.AggT):
+            agg = self._capture_agg(inner, term)
+            t = self._local()
+            self._emit(f"{t} = {agg}.value()")
+            self._emit(f"{t} = None if {t} is _U else _SC({t})")
+            return t, True
+        if isinstance(term, ast.FuncT):
+            parts = [self._sym_term(a, inner) for a in term.args]
+            t = self._local()
+            checks = [f"{e} is None" for e, u in parts if u]
+            args = ", ".join(e for e, _ in parts)
+            fn = self._capture("FN", term.func)
+            indent = 1
+            if checks:
+                self._emit(f"if {' or '.join(checks)}:")
+                self._emit(f"{t} = None", 2)
+                self._emit("else:")
+                indent = 2
+            self._emit("try:", indent)
+            self._emit(f"{t} = _sapp({fn}, ({args},))", indent + 1)
+            self._emit("except Exception:", indent)
+            self._emit(f"{t} = None", indent + 1)
+            return t, True
+        raise ChainLoweringError(f"unsupported symbolic term {term!r}")
+
+    def _specialized_atom(self, inner) -> Optional[str]:
+        """Partially evaluate ``catom``'s linear normalization at lowering
+        time for the dominant symbolic-atom shape: one side a bare
+        query/aggregate (a number at runtime), the other a fixed symbolic
+        term.  The normalization's control flow depends only on the fixed
+        side's structure, so the whole rearrangement collapses here into a
+        short arithmetic expression over the runtime value plus one intern
+        probe — e.g. the deadline atom ``time >= u - w`` becomes
+        ``u <= <ts + w>`` with the addition inlined in the chain.  The
+        residual program is cross-checked against :func:`catom` on probe
+        values before being trusted; any disagreement falls back to the
+        generic path."""
+        f = inner.formula
+        lc = self._const_sterm(f.left)
+        rc = self._const_sterm(f.right)
+        if (
+            lc is _DYN
+            and rc is not None
+            and rc is not _DYN
+            and isinstance(f.left, (ast.QueryT, ast.AggT))
+        ):
+            dyn_term, fixed, dyn_on_left = f.left, rc, True
+        elif (
+            rc is _DYN
+            and lc is not None
+            and lc is not _DYN
+            and isinstance(f.right, (ast.QueryT, ast.AggT))
+        ):
+            dyn_term, fixed, dyn_on_left = f.right, lc, False
+        else:
+            return None
+        plan = _partial_normalize(f.op, fixed, dyn_on_left)
+        if plan is None:
+            return None
+        final_op, var_side, steps = plan
+        builder = _atom_builder(final_op, var_side)
+        if not _specialization_agrees(builder, steps, f.op, fixed, dyn_on_left):
+            return None
+
+        if isinstance(dyn_term, ast.QueryT):
+            q = self._query_slot(dyn_term.query)
+        else:
+            agg = self._capture_agg(inner, dyn_term)
+            q = self._local()
+            self._emit(f"{q} = {agg}.value()")
+        mk = self._capture("A", builder)
+        kf = self._capture("K", fixed)
+        e = q
+        for kind, c in steps:
+            if kind == "add":
+                e = f"({e} + {c!r})"
+            elif kind == "sub":
+                e = f"({e} - {c!r})"
+            elif kind == "div":
+                e = f"_ii({e} / {c!r})"
+            else:
+                e = f"_ii({e} * {c!r})"
+        v = self._local()
+        self._emit(f"if {q} is _U:")
+        self._emit(f"{v} = _F", 2)
+        self._emit(f"elif {q}.__class__ is int or {q}.__class__ is float:")
+        self._emit(f"{v} = {mk}({e})", 2)
+        self._emit("else:")
+        if dyn_on_left:
+            self._emit(f"{v} = _catom({f.op!r}, _SC({q}), {kf})", 2)
+        else:
+            self._emit(f"{v} = _catom({f.op!r}, {kf}, _SC({q}))", 2)
+        return v
+
+    def _query_slot(self, query) -> str:
+        """One load per distinct ground query per state, via a shared
+        delta gate."""
+        name = self._qslots.get(query)
+        if name is None:
+            inc = self._inc
+            g = self._capture("QG", inc._atom_gate((query,)))
+            q = self._capture("QQ", query)
+            name = f"q{len(self._qslots)}"
+            self._qslots[query] = name
+            self.head.append(f"    {name} = _gqv({g}, {q}, state)")
+        return name
+
+    def _capture_agg(self, inner, term) -> str:
+        agg = inner.evaluator._aggregates[term]
+        if id(agg) not in self._agg_seen:
+            self._agg_seen.add(id(agg))
+            self.agg_layout.append(("agg", str(term)))
+        return self._capture("A", agg)
+
+    # -- assembly ------------------------------------------------------------
+
+    def build(self) -> CompiledChain:
+        from repro.ptl import incremental as inc
+        from repro.ptl.plan import _MemoNode
+
+        self._inc = inc
+        self._MemoNode = _MemoNode
+
+        order = self._toposort()
+        for node in order:
+            self._lower_node(node)
+
+        results: list = []
+        root_slot: dict[int, int] = {}
+        footer: list[str] = []
+        for root in self.roots:
+            if id(root) in root_slot:
+                continue
+            j = len(results)
+            results.append(cs.CFALSE)
+            root_slot[id(root)] = j
+            footer.append(f"    _R[{j}] = {self.expr[id(root)]}")
+
+        lines = ["def _chain_step(state):"]
+        lines.extend(self.head)
+        lines.extend(self.body)
+        lines.extend(footer)
+        if len(lines) == 1:
+            lines.append("    pass")
+        source = "\n".join(lines) + "\n"
+
+        env: dict[str, Any] = {
+            "_T": cs.CTRUE,
+            "_F": cs.CFALSE,
+            "_U": UNDEFINED,
+            "_not": cs.cnot,
+            "_and": cs.cand,
+            "_or": cs.cor,
+            "_and2": cs.cand2,
+            "_or2": cs.cor2,
+            "_catom": cs.catom,
+            "_subst": cs.substitute,
+            "_fs": _fast_subst,
+            "_SC": cs.SConst,
+            "_sapp": cs.sapp,
+            "_ii": cs._intify,
+            "_cmp": apply_comparison,
+            "_QEE": QueryEvaluationError,
+            "_gqv": inc.gated_query_value,
+            "_R": results,
+        }
+        env.update(self.env)
+        code = compile(source, "<ptl-compiled-chain>", "exec")
+        exec(code, env)
+
+        chain = CompiledChain()
+        chain.step_fn = env["_chain_step"]
+        chain.source = source
+        chain.roots = list(self.roots)
+        chain.temporal = self.temporal
+        chain.slot_layout = list(self.slot_layout)
+        layout = [list(row) for row in self.slot_layout]
+        layout.extend(list(row) for row in self.agg_layout)
+        layout.append(["roots", len(results)])
+        chain.layout = layout
+        blob = json.dumps(layout, separators=(",", ":"))
+        chain.fingerprint = hashlib.sha256(
+            blob.encode("utf-8")
+        ).hexdigest()[:16]
+        chain.n_nodes = len(order)
+        chain.n_temporal = len(self.temporal)
+        chain.n_query_slots = len(self._qslots)
+        chain._results = results
+        chain._root_slot = root_slot
+        return chain

@@ -88,6 +88,8 @@ def clear_intern_cache() -> None:
     global _intern_hits, _intern_misses
     _intern_terms.clear()
     _intern_formulas.clear()
+    _cnot_memo.clear()
+    _catom_memo.clear()
     _intern_hits = 0
     _intern_misses = 0
 
@@ -129,11 +131,24 @@ class SApp(STerm):
     func: str
     args: tuple[STerm, ...]
 
+    def __hash__(self) -> int:
+        # Structural hash, computed once: the hash-consed graph makes
+        # deep nodes common dict keys, and the generated dataclass hash
+        # would re-walk the whole subtree on every lookup.
+        h = self.__dict__.get("_h")
+        if h is None:
+            h = hash(("sapp", self.func, self.args))
+            object.__setattr__(self, "_h", h)
+        return h
+
     def variables(self) -> frozenset[str]:
-        out: frozenset[str] = frozenset()
-        for a in self.args:
-            out |= a.variables()
-        return out
+        v = self.__dict__.get("_vars")
+        if v is None:
+            v = frozenset()
+            for a in self.args:
+                v |= a.variables()
+            object.__setattr__(self, "_vars", v)
+        return v
 
     def __str__(self) -> str:
         if self.func in ("+", "-", "*", "/", "mod") and len(self.args) == 2:
@@ -200,8 +215,19 @@ class CAtom(C):
     left: STerm
     right: STerm
 
+    def __hash__(self) -> int:
+        h = self.__dict__.get("_h")
+        if h is None:
+            h = hash(("atom", self.op, self.left, self.right))
+            object.__setattr__(self, "_h", h)
+        return h
+
     def variables(self) -> frozenset[str]:
-        return self.left.variables() | self.right.variables()
+        v = self.__dict__.get("_vars")
+        if v is None:
+            v = self.left.variables() | self.right.variables()
+            object.__setattr__(self, "_vars", v)
+        return v
 
     def __str__(self) -> str:
         return f"{self.left} {self.op} {self.right}"
@@ -211,11 +237,21 @@ class CAtom(C):
 class CAnd(C):
     operands: tuple[C, ...]
 
+    def __hash__(self) -> int:
+        h = self.__dict__.get("_h")
+        if h is None:
+            h = hash(("&", self.operands))
+            object.__setattr__(self, "_h", h)
+        return h
+
     def variables(self) -> frozenset[str]:
-        out: frozenset[str] = frozenset()
-        for c in self.operands:
-            out |= c.variables()
-        return out
+        v = self.__dict__.get("_vars")
+        if v is None:
+            v = frozenset()
+            for c in self.operands:
+                v |= c.variables()
+            object.__setattr__(self, "_vars", v)
+        return v
 
     def __str__(self) -> str:
         return "(" + " & ".join(map(str, self.operands)) + ")"
@@ -225,11 +261,21 @@ class CAnd(C):
 class COr(C):
     operands: tuple[C, ...]
 
+    def __hash__(self) -> int:
+        h = self.__dict__.get("_h")
+        if h is None:
+            h = hash(("|", self.operands))
+            object.__setattr__(self, "_h", h)
+        return h
+
     def variables(self) -> frozenset[str]:
-        out: frozenset[str] = frozenset()
-        for c in self.operands:
-            out |= c.variables()
-        return out
+        v = self.__dict__.get("_vars")
+        if v is None:
+            v = frozenset()
+            for c in self.operands:
+                v |= c.variables()
+            object.__setattr__(self, "_vars", v)
+        return v
 
     def __str__(self) -> str:
         return "(" + " | ".join(map(str, self.operands)) + ")"
@@ -238,6 +284,13 @@ class COr(C):
 @dataclass(frozen=True)
 class CNot(C):
     operand: C
+
+    def __hash__(self) -> int:
+        h = self.__dict__.get("_h")
+        if h is None:
+            h = hash(("not", self.operand))
+            object.__setattr__(self, "_h", h)
+        return h
 
     def variables(self) -> frozenset[str]:
         return self.operand.variables()
@@ -251,9 +304,14 @@ class CNot(C):
 # ---------------------------------------------------------------------------
 
 
+_catom_memo: dict = {}
+
+
 def catom(op: str, left: STerm, right: STerm) -> C:
     """Build an atom: fold if ground, else normalize to ``var <op> const``
-    when the atom is linear in a single variable occurrence."""
+    when the atom is linear in a single variable occurrence.  Memoized on
+    the *pre*-normalization triple — the recurrences rebuild the same
+    handful of atoms every step, and linear normalization is pure."""
     if isinstance(left, SConst) and isinstance(right, SConst):
         try:
             return CTRUE if apply_comparison(op, left.value, right.value) else CFALSE
@@ -261,10 +319,18 @@ def catom(op: str, left: STerm, right: STerm) -> C:
             # Incomparable values (e.g. string vs int ordering): the atom
             # cannot hold.
             return CFALSE
+    key = (op, left, right)
+    cached = _catom_memo.get(key)
+    if cached is not None:
+        return cached
     op, left, right = _normalize_linear(op, left, right)
-    return _intern(
+    result = _intern(
         _intern_formulas, ("atom", op, left, right), CAtom(op, left, right)
     )
+    if len(_catom_memo) >= _INTERN_CAP:
+        _catom_memo.clear()
+    _catom_memo[key] = result
+    return result
 
 
 def _is_number(value: Any) -> bool:
@@ -411,6 +477,58 @@ def cor(operands: Iterable[C]) -> C:
         return flat[0]
     ops = tuple(flat)
     return _intern(_intern_formulas, ("|", ops), COr(ops))
+
+
+def cand2(a: C, b: C) -> C:
+    """``cand((a, b))`` with the common two-operand cases short-circuited
+    before the general flatten/dedup machinery — the combiner the compiled
+    recurrence chains emit.  Produces the identical (interned) formula.
+
+    The asymmetric fast path (plain literal ∧ existing ``CAnd``) is the
+    ``Since``/``Lasttime`` recurrence appending one new clause to a stored
+    window: because every ``CAnd`` in the system comes out of
+    :func:`cand` (including :func:`from_payload` decoding), its operands
+    are already flat, deduplicated, and complement-free, so the append
+    only has to check the new literal against them — an identity-compare
+    scan instead of rebuilding the whole operand set."""
+    if a is CFALSE or b is CFALSE:
+        return CFALSE
+    if a is CTRUE:
+        return b
+    if b is CTRUE:
+        return a
+    if a is b:
+        return a
+    if isinstance(b, CAnd) and not isinstance(a, (CAnd, CBool)):
+        ops = b.operands
+        if a in ops:  # absorption: already a conjunct
+            return b
+        if cnot(a) in ops:
+            return CFALSE
+        new_ops = (a,) + ops
+        return _intern(_intern_formulas, ("&", new_ops), CAnd(new_ops))
+    return cand((a, b))
+
+
+def cor2(a: C, b: C) -> C:
+    """``cor((a, b))`` with the two-operand fast paths (see :func:`cand2`)."""
+    if a is CTRUE or b is CTRUE:
+        return CTRUE
+    if a is CFALSE:
+        return b
+    if b is CFALSE:
+        return a
+    if a is b:
+        return a
+    if isinstance(b, COr) and not isinstance(a, (COr, CBool)):
+        ops = b.operands
+        if a in ops:
+            return b
+        if cnot(a) in ops:
+            return CTRUE
+        new_ops = (a,) + ops
+        return _intern(_intern_formulas, ("|", new_ops), COr(new_ops))
+    return cor((a, b))
 
 
 def cbool(value: bool) -> C:

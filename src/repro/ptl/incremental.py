@@ -55,6 +55,7 @@ from repro.obs.metrics import as_registry
 from repro.ptl import ast
 from repro.ptl import constraints as cs
 from repro.ptl.context import EvalContext
+from repro.ptl import compiled as _compiled
 from repro.ptl.optimize import prune_time_bounds
 from repro.ptl.rewrite import TIME_QUERY, normalize
 from repro.ptl.semantics import UNDEFINED, eval_query_value
@@ -77,6 +78,12 @@ class FireResult:
         return self.fired
 
 
+#: Shared results for the constant-truth tops (the overwhelmingly common
+#: case on dense workloads) — callers copy binding dicts before mutating.
+_TRUE_RESULT = FireResult(True, ({},))
+_FALSE_RESULT = FireResult(False)
+
+
 def fire_result(top: cs.C, state: SystemState, ctx: EvalContext) -> FireResult:
     """Firing decision for a computed top-level state formula: solve for
     the satisfying assignments, drawing candidate values from equality
@@ -84,9 +91,9 @@ def fire_result(top: cs.C, state: SystemState, ctx: EvalContext) -> FireResult:
     evaluator and the multi-rule :class:`repro.ptl.plan.SharedPlan` (which
     resolves the same formula against different per-rule domains)."""
     if top is cs.CTRUE:
-        return FireResult(True, ({},))
+        return _TRUE_RESULT
     if top is cs.CFALSE:
-        return FireResult(False)
+        return _FALSE_RESULT
     domains = {}
     for name in top.variables():
         values = ctx.domain_for(name, state)
@@ -220,6 +227,11 @@ def gated_query_value(gate, query, state):
     if gate is not None:
         gate.store(state, value)
     return value
+
+
+#: "Tried to lower, unsupported" marker — distinct from None ("not yet
+#: tried") so the lowering attempt happens at most once per evaluator.
+_NO_CHAIN = object()
 
 
 # ---------------------------------------------------------------------------
@@ -901,6 +913,9 @@ class _CoreEvaluator:
             if query == TIME_QUERY
         )
         self._root = self._compile(formula, frozenset())
+        #: Lazily built compiled recurrence chain (None = not yet tried;
+        #: _NO_CHAIN = lowering unsupported, stay interpreted).
+        self._chain = None
 
     # -- compilation --------------------------------------------------------
 
@@ -1019,7 +1034,10 @@ class _CoreEvaluator:
         """Process one new system state; returns the firing result."""
         for agg in self._aggregates.values():
             agg.step(state)
-        top = self._root.compute(state)
+        if _compiled._PTL_COMPILE:
+            top = self._compiled_top(state)
+        else:
+            top = self._root.compute(state)
         self.last_top = top
         self.steps += 1
         if self.optimize and self.time_vars:
@@ -1029,6 +1047,37 @@ class _CoreEvaluator:
 
     def _fire_result(self, top: cs.C, state: SystemState) -> FireResult:
         return fire_result(top, state, self.ctx)
+
+    # -- compiled backend -----------------------------------------------------
+
+    def _ensure_chain(self):
+        """The compiled chain for this formula, built on first use
+        (``_NO_CHAIN`` when the lowering declined — stay interpreted)."""
+        chain = self._chain
+        if chain is None:
+            chain = _compiled.try_lower([self._root])
+            self._chain = chain if chain is not None else _NO_CHAIN
+        return self._chain
+
+    def _compiled_top(self, state: SystemState) -> cs.C:
+        chain = self._ensure_chain()
+        if chain is _NO_CHAIN:
+            return self._root.compute(state)
+        chain.run(state)
+        return chain.top_of(self._root)
+
+    def compiled_ops(self) -> int:
+        """Slots in this evaluator's compiled chain (0 when interpreted).
+
+        Gated on the live toggle: a chain may survive a
+        ``set_ptl_compile(False)`` switch, but while the toggle is off the
+        interpreter is what runs, and the gauges must say so."""
+        if not _compiled._PTL_COMPILE:
+            return 0
+        chain = self._chain
+        if isinstance(chain, _compiled.CompiledChain):
+            return chain.n_nodes
+        return 0
 
     # -- inspection / snapshot -----------------------------------------------------
 
@@ -1078,8 +1127,10 @@ class _CoreEvaluator:
         """JSON-serializable counterpart of :meth:`snapshot`.  Temporal
         nodes and aggregates are stored positionally (compilation order is
         deterministic for a given formula), with the aggregate term's text
-        as a fingerprint."""
-        return {
+        as a fingerprint.  Under the compiled backend the chain's slot
+        vector rides along with its layout fingerprint, so restore can
+        detect slot-layout drift."""
+        out = {
             "steps": self.steps,
             "last_top": cs.to_payload(self.last_top),
             "nodes": [
@@ -1091,6 +1142,11 @@ class _CoreEvaluator:
                 for term, agg in self._aggregates.items()
             ],
         }
+        if _compiled._PTL_COMPILE:
+            chain = self._ensure_chain()
+            if chain is not _NO_CHAIN:
+                out["compiled"] = chain.to_state()
+        return out
 
     def from_state(self, state: dict) -> None:
         nodes = state["nodes"]
@@ -1118,6 +1174,14 @@ class _CoreEvaluator:
                     f"evaluator compiled {str(term)!r}"
                 )
             agg.from_state(payload)
+        compiled_section = state.get("compiled")
+        if compiled_section is not None and _compiled._PTL_COMPILE:
+            chain = self._ensure_chain()
+            if chain is not _NO_CHAIN:
+                # The slots alias the temporal nodes restored above, but
+                # loading through the chain verifies the layout fingerprint
+                # (RecoveryError on drift).
+                chain.from_state(compiled_section)
 
 
 # ---------------------------------------------------------------------------
@@ -1190,6 +1254,9 @@ class IncrementalEvaluator:
             self._m_instances = registry.gauge(
                 "evaluator_instances", rule=self.name
             )
+            self._m_compiled_ops = registry.gauge(
+                "evaluator_compiled_ops", rule=self.name
+            )
 
         self._qvars = tuple(sorted(query_param_vars(self.formula)))
         for name_ in self._qvars:
@@ -1249,6 +1316,7 @@ class IncrementalEvaluator:
         self._m_instances.set(
             1 if self._core is not None else len(self._instances)
         )
+        self._m_compiled_ops.set(self.compiled_ops())
         qplan.STATS.publish(self._obs[0])
 
     def _refresh_instances(self, state: SystemState) -> None:
@@ -1297,6 +1365,13 @@ class IncrementalEvaluator:
         if self._core is not None:
             return self._core.aux_rows()
         return sum(core.aux_rows() for core in self._instances.values())
+
+    def compiled_ops(self) -> int:
+        """Total compiled-chain slots across instances (0 when running
+        interpreted)."""
+        if self._core is not None:
+            return self._core.compiled_ops()
+        return sum(core.compiled_ops() for core in self._instances.values())
 
     def stored_formulas(self) -> list[tuple[str, cs.C]]:
         if self._core is not None:

@@ -57,6 +57,37 @@ from typing import AbstractSet
 
 from repro.ptl import constraints as cs
 
+_INF = float("inf")
+
+
+def _min_deadline(c: cs.C) -> float:
+    """Smallest constant among deadline-shaped atoms (``var <op> number``)
+    anywhere in ``c`` — the earliest clock value at which pruning could
+    possibly change the formula.  Cached on the hash-consed node, so the
+    per-step prune pass degenerates to one comparison for formulas whose
+    deadlines are all in the future (or absent)."""
+    if isinstance(c, cs.CBool):
+        return _INF
+    md = c.__dict__.get("_mdl")
+    if md is None:
+        if isinstance(c, cs.CAtom):
+            if (
+                isinstance(c.left, cs.SVar)
+                and isinstance(c.right, cs.SConst)
+                and cs._is_number(c.right.value)
+            ):
+                md = c.right.value
+            else:
+                md = _INF
+        elif isinstance(c, (cs.CAnd, cs.COr)):
+            md = min(_min_deadline(x) for x in c.operands)
+        elif isinstance(c, cs.CNot):
+            md = _min_deadline(c.operand)
+        else:
+            md = _INF
+        object.__setattr__(c, "_mdl", md)
+    return md
+
 #: Comparison operators whose ``time_var <op> const`` atom is doomed once
 #: the clock passes the constant.
 _DOOMED_OPS = frozenset({"<=", "<", "="})
@@ -79,6 +110,10 @@ def prune_time_bounds(
         return c
     if isinstance(c, cs.CBool):
         return c
+    if _min_deadline(c) > now:
+        # No deadline anywhere in the formula has been reached yet:
+        # nothing can prune, skip the rebuild entirely.
+        return c
     if isinstance(c, cs.CAtom):
         if (
             isinstance(c.left, cs.SVar)
@@ -95,9 +130,63 @@ def prune_time_bounds(
                 return cs.CTRUE
         return c
     if isinstance(c, cs.CAnd):
-        return cs.cand(prune_time_bounds(x, now, time_vars) for x in c.operands)
+        ops = [prune_time_bounds(x, now, time_vars) for x in c.operands]
+        same = bools_only = True
+        for a, b in zip(ops, c.operands):
+            if a is b:
+                continue
+            same = False
+            if isinstance(a, cs.CBool):
+                if not a.value:
+                    return cs.CFALSE
+            else:
+                bools_only = False
+        if same:
+            return c
+        if bools_only:
+            # The typical prune: some operands collapsed to constants, the
+            # rest are untouched.  Survivors are a subsequence of an
+            # operand tuple :func:`~repro.ptl.constraints.cand` already
+            # flattened, deduplicated, and complement-checked, so those
+            # properties still hold and the general rebuild is skipped.
+            kept = tuple(b for a, b in zip(ops, c.operands) if a is b)
+            if not kept:
+                return cs.CTRUE
+            if len(kept) == 1:
+                return kept[0]
+            return cs._intern(
+                cs._intern_formulas, ("&", kept), cs.CAnd(kept)
+            )
+        return cs.cand(ops)
     if isinstance(c, cs.COr):
-        return cs.cor(prune_time_bounds(x, now, time_vars) for x in c.operands)
+        ops = [prune_time_bounds(x, now, time_vars) for x in c.operands]
+        same = bools_only = True
+        for a, b in zip(ops, c.operands):
+            if a is b:
+                continue
+            same = False
+            if isinstance(a, cs.CBool):
+                if a.value:
+                    return cs.CTRUE
+            else:
+                bools_only = False
+        if same:
+            return c
+        if bools_only:
+            # Dual of the CAnd fast path above: drop collapsed-to-false
+            # disjuncts, keep the untouched canonical subsequence.
+            kept = tuple(b for a, b in zip(ops, c.operands) if a is b)
+            if not kept:
+                return cs.CFALSE
+            if len(kept) == 1:
+                return kept[0]
+            return cs._intern(
+                cs._intern_formulas, ("|", kept), cs.COr(kept)
+            )
+        return cs.cor(ops)
     if isinstance(c, cs.CNot):
-        return cs.cnot(prune_time_bounds(c.operand, now, time_vars))
+        inner = prune_time_bounds(c.operand, now, time_vars)
+        if inner is c.operand:
+            return c
+        return cs.cnot(inner)
     return c

@@ -53,8 +53,10 @@ from repro.obs.metrics import as_registry
 from repro.ptl import ast
 from repro.ptl import constraints as cs
 from repro.ptl.context import EvalContext
+from repro.ptl import compiled as _compiled
 from repro.ptl.incremental import (
     FireResult,
+    _NO_CHAIN,
     _AggregateState,
     _AndNode,
     _AssignNode,
@@ -213,12 +215,20 @@ class SharedPlan:
         #: Compile-time sharing counters (dedup ratio).
         self.compile_requests = 0
         self.compile_shared = 0
+        #: Compiled recurrence chain over all rule roots (None = not yet
+        #: built; _NO_CHAIN = lowering unsupported).  ``_layout_gen`` bumps
+        #: whenever the root set changes, invalidating the chain.
+        self._chain = None
+        self._chain_gen = -1
+        self._layout_gen = 0
         if self._obs_on:
             self._m_rules = self.metrics.gauge("plan_rules")
             self._m_nodes = self.metrics.gauge("plan_distinct_nodes")
             self._m_dedup = self.metrics.gauge("plan_dedup_ratio")
             self._m_state_size = self.metrics.gauge("plan_state_size")
             self._m_intern = self.metrics.gauge("plan_intern_hit_rate")
+            self._m_compiled = self.metrics.gauge("plan_compiled")
+            self._m_compiled_ops = self.metrics.gauge("plan_compiled_ops")
 
     # ------------------------------------------------------------------
     # Registration / compilation
@@ -257,6 +267,7 @@ class SharedPlan:
         if not qvars:
             entry.root = self._compile(formula, frozenset(), time_vars)
         self._rules[name] = entry
+        self._layout_gen += 1
         if self._obs_on:
             self._record_metrics()
         return PlanBoundEvaluator(self, entry, original)
@@ -267,6 +278,7 @@ class SharedPlan:
         if name not in self._rules:
             raise UnknownRuleError(f"no rule named {name!r} in the plan")
         del self._rules[name]
+        self._layout_gen += 1
 
     def _compile(
         self,
@@ -376,8 +388,11 @@ class SharedPlan:
                 self._refresh_instances(entry, state)
         for agg in self._aggregates.values():
             agg.step(state)
+        chain = self._ensure_chain() if _compiled._PTL_COMPILE else None
+        if chain is not None:
+            chain.run(state)
         for entry in self._rules.values():
-            entry.result = self._eval_rule(entry, state)
+            entry.result = self._eval_rule(entry, state, chain)
         if self.optimize:
             for node, prune_set in self._temporal:
                 if prune_set:
@@ -388,16 +403,22 @@ class SharedPlan:
     def result_of(self, name: str) -> FireResult:
         return self._rules[name].result
 
-    def _eval_rule(self, entry: _PlanRule, state) -> FireResult:
+    def _eval_rule(self, entry: _PlanRule, state, chain=None) -> FireResult:
         if entry.root is not None:
-            top = entry.root.compute(state)
+            if chain is not None:
+                top = chain.top_of(entry.root)
+            else:
+                top = entry.root.compute(state)
             entry.last_top = top
             return fire_result(top, state, entry.ctx)
         fired = False
         bindings: list[dict] = []
         tops = []
         for combo, root in entry.instances.items():
-            top = root.compute(state)
+            if chain is not None:
+                top = chain.top_of(root)
+            else:
+                top = root.compute(state)
             tops.append(top)
             result = fire_result(top, state, entry.ctx)
             if result.fired:
@@ -429,6 +450,41 @@ class SharedPlan:
             entry.instance_births[combo] = (self.epoch, self._next_seq)
             self._next_seq += 1
             entry.instances[combo] = self._compile(inst, frozenset(), time_vars)
+            self._layout_gen += 1
+
+    # ------------------------------------------------------------------
+    # Compiled backend
+    # ------------------------------------------------------------------
+
+    def _ensure_chain(self):
+        """The compiled chain over every rule root (and instance root),
+        rebuilt whenever the root set changed; None when the lowering
+        declined (evaluation stays interpreted).  Only *reachable* roots
+        are lowered — temporal nodes orphaned by ``remove_rule`` are not
+        stepped, exactly as in the interpreted path."""
+        if self._chain is None or self._chain_gen != self._layout_gen:
+            roots = [
+                root
+                for entry in self._rules.values()
+                for root in entry.roots()
+            ]
+            chain = _compiled.try_lower(roots)
+            self._chain = chain if chain is not None else _NO_CHAIN
+            self._chain_gen = self._layout_gen
+        chain = self._chain
+        return chain if chain is not _NO_CHAIN else None
+
+    def compiled_ops(self) -> int:
+        """Slots in the plan's compiled chain (0 when interpreted).
+
+        Gated on the live toggle, like ``plan_compiled``: a built chain
+        that the toggle has switched off is not what evaluates rules."""
+        if not _compiled._PTL_COMPILE:
+            return 0
+        chain = self._chain
+        if isinstance(chain, _compiled.CompiledChain):
+            return chain.n_nodes
+        return 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -467,6 +523,12 @@ class SharedPlan:
         self._m_dedup.set(self.dedup_ratio())
         self._m_state_size.set(self.state_size())
         self._m_intern.set(cs.intern_stats()["hit_rate"])
+        chain = self._chain
+        is_chain = isinstance(chain, _compiled.CompiledChain)
+        self._m_compiled.set(
+            1 if (is_chain and _compiled._PTL_COMPILE) else 0
+        )
+        self._m_compiled_ops.set(self.compiled_ops())
         qplan.STATS.publish(self.metrics)
 
     # ------------------------------------------------------------------
@@ -519,7 +581,7 @@ class SharedPlan:
         checkpoint after removing rules is not supported."""
         from repro.ptl.incremental import _encode_node_state
 
-        return {
+        out = {
             "format": 1,
             "epoch": self.epoch,
             "next_seq": self._next_seq,
@@ -547,6 +609,11 @@ class SharedPlan:
                 for (term, avail, birth), agg in self._aggregates.items()
             ],
         }
+        if _compiled._PTL_COMPILE:
+            chain = self._ensure_chain()
+            if chain is not None:
+                out["compiled"] = chain.to_state()
+        return out
 
     def from_state(self, payload: dict) -> None:
         """Load a checkpoint into a plan with the *same rules registered*
@@ -653,6 +720,15 @@ class SharedPlan:
             rec = by_name[name]
             entry.last_top = cs.from_payload(rec["last_top"])
             entry.result = _decode_fire_result(rec["result"])
+        self._layout_gen += 1
+        compiled_section = payload.get("compiled")
+        if compiled_section is not None and _compiled._PTL_COMPILE:
+            chain = self._ensure_chain()
+            if chain is not None:
+                # The slots alias the temporal nodes restored above;
+                # loading through the chain verifies the layout
+                # fingerprint (RecoveryError on slot-layout drift).
+                chain.from_state(compiled_section)
         if self._obs_on:
             self._record_metrics()
 

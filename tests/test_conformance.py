@@ -14,9 +14,14 @@ Four backends evaluate the same PTL conditions:
   ``REPRO_SHARDS`` when CI reruns the matrix on a specific layout).
 
 Each hypothesis-generated rule set × operation sequence runs on every
-backend under every (query-plans × delta-skip) toggle combination, and
-all backends must produce identical firings (rule, bindings, state
-index, timestamp) and identical executed-relation contents.
+backend under every (compiled-recurrences × query-plans × delta-skip)
+toggle combination, and all backends must produce identical firings
+(rule, bindings, state index, timestamp) and identical
+executed-relation contents.  The compiled-recurrence toggle
+(``REPRO_PTL_COMPILE`` / :func:`repro.ptl.set_ptl_compile`) swaps the
+incremental backends' node-graph interpretation for the lowered closure
+chains of :mod:`repro.ptl.compiled`; the naive backend ignores it,
+which is exactly what makes it the oracle for both.
 
 The generated conditions are ``executed``-free: the naive backend
 re-evaluates old states against the *current* executed store, which is
@@ -36,6 +41,7 @@ from repro.baselines import NaiveDetector
 from repro.engine import ActiveDatabase
 from repro.events import user_event
 from repro.parallel import ShardedRuleManager
+from repro.ptl.compiled import set_ptl_compile
 from repro.ptl.context import EvalContext
 from repro.query.plan import set_delta_skip, set_plans_enabled
 from repro.rules.actions import RecordingAction
@@ -79,14 +85,16 @@ BACKENDS = [
 
 
 @contextmanager
-def toggles(plans: bool, delta_skip: bool):
+def toggles(plans: bool, delta_skip: bool, compiled: bool = False):
     prev_plans = set_plans_enabled(plans)
     prev_skip = set_delta_skip(delta_skip)
+    prev_compiled = set_ptl_compile(compiled)
     try:
         yield
     finally:
         set_plans_enabled(prev_plans)
         set_delta_skip(prev_skip)
+        set_ptl_compile(prev_compiled)
 
 
 # -- generated rule sets -----------------------------------------------------
@@ -150,6 +158,7 @@ def run_backend(factory, rules, ops):
     return sig
 
 
+@pytest.mark.parametrize("compiled", [False, True], ids=["interp", "compiled"])
 @pytest.mark.parametrize(
     "plans,delta_skip",
     [(True, True), (True, False), (False, True), (False, False)],
@@ -157,8 +166,8 @@ def run_backend(factory, rules, ops):
 )
 @given(rules=rule_sets, ops=op_streams)
 @settings(max_examples=10)
-def test_backends_agree(plans, delta_skip, rules, ops):
-    with toggles(plans, delta_skip):
+def test_backends_agree(plans, delta_skip, compiled, rules, ops):
+    with toggles(plans, delta_skip, compiled):
         results = {
             name: run_backend(factory, rules, ops)
             for name, factory in BACKENDS
@@ -167,7 +176,7 @@ def test_backends_agree(plans, delta_skip, rules, ops):
     for name, sig in results.items():
         assert sig == oracle, (
             f"backend {name} diverged from the naive reference "
-            f"(plans={plans}, delta_skip={delta_skip})"
+            f"(plans={plans}, delta_skip={delta_skip}, compiled={compiled})"
         )
 
 
@@ -191,28 +200,30 @@ EXEC_OPS = [
 ]
 
 
-def test_executed_coupling_agrees_across_incremental_backends():
+@pytest.mark.parametrize("compiled", [False, True], ids=["interp", "compiled"])
+def test_executed_coupling_agrees_across_incremental_backends(compiled):
     results = {}
-    for name, factory in BACKENDS:
-        if name == "naive":
-            continue
-        adb = ActiveDatabase()
-        adb.declare_item("price", 0)
-        manager = register_executed_coupled(factory(adb))
-        for op in EXEC_OPS:
-            if op[0] == "set":
-                adb.execute(lambda t, v=op[1]: t.set_item("price", v))
-            else:
-                adb.post_event(user_event(op[1]))
-        manager.flush()
-        results[name] = (
-            [
-                (f.rule, f.bindings, f.state_index, f.timestamp)
-                for f in manager.firings
-            ],
-            manager.executed.to_state(),
-        )
-        manager.detach()
+    with toggles(True, True, compiled):
+        for name, factory in BACKENDS:
+            if name == "naive":
+                continue
+            adb = ActiveDatabase()
+            adb.declare_item("price", 0)
+            manager = register_executed_coupled(factory(adb))
+            for op in EXEC_OPS:
+                if op[0] == "set":
+                    adb.execute(lambda t, v=op[1]: t.set_item("price", v))
+                else:
+                    adb.post_event(user_event(op[1]))
+            manager.flush()
+            results[name] = (
+                [
+                    (f.rule, f.bindings, f.state_index, f.timestamp)
+                    for f in manager.firings
+                ],
+                manager.executed.to_state(),
+            )
+            manager.detach()
     oracle = results["shared-plan"]
     assert any(r[0] == "follow" for r in oracle[0])  # coupling exercised
     for name, sig in results.items():

@@ -12,7 +12,15 @@ checkpoint (``replayed_steps``), never re-evaluating older history.
 Action failure isolation: a rule whose action raises must neither lose
 nor duplicate the firings of other rules, is retried by the bounded
 policy, and is quarantined after repeated failures.
+
+The crash matrix runs under both recurrence backends
+(``REPRO_PTL_COMPILE`` off and on): recovery must rebuild the compiled
+chains' slot vectors bit-identically from the WAL tail, and refuse a
+checkpoint whose slot layout no longer matches the compiled chain.
 """
+
+import json
+from contextlib import contextmanager
 
 import pytest
 
@@ -30,8 +38,18 @@ from repro.recovery import (
     SimulatedCrash,
     load_wal,
 )
+from repro.ptl.compiled import set_ptl_compile
 from repro.rules.actions import Action, RecordingAction
 from repro.rules.rule import CouplingMode, FireMode
+
+
+@contextmanager
+def ptl_mode(compiled: bool):
+    prev = set_ptl_compile(compiled)
+    try:
+        yield
+    finally:
+        set_ptl_compile(prev)
 
 
 def make_engine():
@@ -90,58 +108,126 @@ class TestCrashMatrix:
     """Crash at a deterministic point, recover, finish; compare against
     the uninterrupted oracle."""
 
+    @pytest.mark.parametrize(
+        "compiled", [False, True], ids=["interp", "compiled"]
+    )
     @pytest.mark.parametrize("shared", [True, False])
     @pytest.mark.parametrize("checkpoint_at", [None, 4])
     @pytest.mark.parametrize(
         "point", [PRE_COMMIT, POST_COMMIT, MID_WAL]
     )
     def test_crash_recover_differential(
-        self, tmp_path, shared, checkpoint_at, point
+        self, tmp_path, shared, checkpoint_at, point, compiled
     ):
-        oracle_adb, oracle_m = oracle_run()
+        with ptl_mode(compiled):
+            oracle_adb, oracle_m = oracle_run()
 
-        injector = FaultInjector()
-        rm = RecoveryManager(tmp_path, injector=injector)
-        adb = make_engine()
-        manager = setup_rules(adb, shared)
-        rm.start(adb)
-        injector.arm(point, after=5)  # crash during the 6th state
-        done = 0
-        with pytest.raises(SimulatedCrash):
-            for op in OPS:
-                drive(adb, [op])
-                done += 1
-                if checkpoint_at is not None and done == checkpoint_at:
-                    manager.flush()
-                    rm.checkpoint(adb, manager)
-        rm.stop()
+            injector = FaultInjector()
+            rm = RecoveryManager(tmp_path, injector=injector)
+            adb = make_engine()
+            manager = setup_rules(adb, shared)
+            rm.start(adb)
+            injector.arm(point, after=5)  # crash during the 6th state
+            done = 0
+            with pytest.raises(SimulatedCrash):
+                for op in OPS:
+                    drive(adb, [op])
+                    done += 1
+                    if checkpoint_at is not None and done == checkpoint_at:
+                        manager.flush()
+                        rm.checkpoint(adb, manager)
+            rm.stop()
 
-        report = RecoveryManager(tmp_path).recover(
-            setup=lambda e: setup_rules(e, shared)
-        )
-        survived = report.engine.state_count
-        # pre-commit / torn-write crashes lose the in-flight state;
-        # post-commit keeps it (durable before the action ran)
-        assert survived == (6 if point == POST_COMMIT else 5)
-        assert report.truncated == (point == MID_WAL)
-        if checkpoint_at is not None:
-            assert report.checkpoint_used
-            # never re-evaluates history older than the WAL tail
-            assert report.replayed_steps == survived - checkpoint_at
-        else:
-            assert report.replayed_steps == survived
+            report = RecoveryManager(tmp_path).recover(
+                setup=lambda e: setup_rules(e, shared)
+            )
+            survived = report.engine.state_count
+            # pre-commit / torn-write crashes lose the in-flight state;
+            # post-commit keeps it (durable before the action ran)
+            assert survived == (6 if point == POST_COMMIT else 5)
+            assert report.truncated == (point == MID_WAL)
+            if checkpoint_at is not None:
+                assert report.checkpoint_used
+                # never re-evaluates history older than the WAL tail
+                assert report.replayed_steps == survived - checkpoint_at
+            else:
+                assert report.replayed_steps == survived
 
-        drive(report.engine, OPS[survived:])
-        assert firing_sig(report.manager) == firing_sig(oracle_m)
-        assert (
-            report.engine.state.item("price")
-            == oracle_adb.state.item("price")
-        )
-        assert (
-            report.manager.executed.to_state()
-            == oracle_m.executed.to_state()
-        )
-        assert report.engine.state_count == oracle_adb.state_count
+            drive(report.engine, OPS[survived:])
+            assert firing_sig(report.manager) == firing_sig(oracle_m)
+            assert (
+                report.engine.state.item("price")
+                == oracle_adb.state.item("price")
+            )
+            assert (
+                report.manager.executed.to_state()
+                == oracle_m.executed.to_state()
+            )
+            assert report.engine.state_count == oracle_adb.state_count
+
+    @pytest.mark.parametrize("checkpoint_at", [None, 4])
+    @pytest.mark.parametrize(
+        "point", [PRE_COMMIT, POST_COMMIT, MID_WAL]
+    )
+    def test_wal_replay_rebuilds_slot_vectors(
+        self, tmp_path, checkpoint_at, point
+    ):
+        """Under the compiled backend, recovery must leave the shared
+        plan — including the chain's slot vector and layout fingerprint —
+        bit-identical to the uninterrupted oracle's."""
+        with ptl_mode(True):
+            oracle_adb, oracle_m = oracle_run()
+
+            injector = FaultInjector()
+            rm = RecoveryManager(tmp_path, injector=injector)
+            adb = make_engine()
+            manager = setup_rules(adb)
+            rm.start(adb)
+            injector.arm(point, after=5)
+            done = 0
+            with pytest.raises(SimulatedCrash):
+                for op in OPS:
+                    drive(adb, [op])
+                    done += 1
+                    if checkpoint_at is not None and done == checkpoint_at:
+                        manager.flush()
+                        rm.checkpoint(adb, manager)
+            rm.stop()
+
+            report = RecoveryManager(tmp_path).recover(
+                setup=lambda e: setup_rules(e)
+            )
+            drive(report.engine, OPS[report.engine.state_count:])
+            report.manager.flush()
+            oracle_m.flush()
+            recovered = report.manager.plan.to_state()
+            assert "compiled" in recovered, "slot vector missing"
+            assert recovered == oracle_m.plan.to_state()
+
+    def test_checkpoint_slot_layout_drift_rejected(self, tmp_path):
+        """A checkpoint whose compiled-section fingerprint no longer
+        matches the chain the recovering process built must be refused —
+        loading slots positionally into a drifted layout would silently
+        scramble recurrence state."""
+        with ptl_mode(True):
+            rm = RecoveryManager(tmp_path)
+            adb = make_engine()
+            manager = setup_rules(adb)
+            rm.start(adb)
+            drive(adb, OPS[:4])
+            manager.flush()
+            rm.checkpoint(adb, manager)
+            drive(adb, OPS[4:])
+            rm.stop()
+
+            payload = json.loads(rm.checkpoint_path.read_text())
+            payload["manager"]["plan"]["compiled"]["fingerprint"] = "0" * 16
+            rm.checkpoint_path.write_text(json.dumps(payload))
+
+            with pytest.raises(RecoveryError, match="slot-layout drift"):
+                RecoveryManager(tmp_path).recover(
+                    setup=lambda e: setup_rules(e)
+                )
 
     @pytest.mark.parametrize("shared", [True, False])
     def test_mid_checkpoint_crash_keeps_previous_checkpoint(
@@ -307,11 +393,20 @@ class TestGroupCommitCrash:
             return _sharded_rules
         return lambda e: setup_rules(e, shared=(kind == "shared"))
 
+    @pytest.mark.parametrize(
+        "compiled", [False, True], ids=["interp", "compiled"]
+    )
     @pytest.mark.parametrize("kind", KINDS)
     @pytest.mark.parametrize(
         "point", [MID_GROUP_COMMIT, MID_WAL], ids=["fsync", "torn-record"]
     )
-    def test_crash_mid_batch_drops_whole_batch(self, tmp_path, kind, point):
+    def test_crash_mid_batch_drops_whole_batch(
+        self, tmp_path, kind, point, compiled
+    ):
+        with ptl_mode(compiled):
+            self._run_mid_batch_crash(tmp_path, kind, point)
+
+    def _run_mid_batch_crash(self, tmp_path, kind, point):
         oracle_adb = make_engine()
         oracle_m = self._setup_for(kind)(oracle_adb)
         drive(oracle_adb, OPS)
@@ -355,10 +450,17 @@ class TestGroupCommitCrash:
             == oracle_m.executed.to_state()
         )
 
+    @pytest.mark.parametrize(
+        "compiled", [False, True], ids=["interp", "compiled"]
+    )
     @pytest.mark.parametrize("kind", KINDS)
-    def test_durable_batch_replays_whole_batch(self, tmp_path, kind):
+    def test_durable_batch_replays_whole_batch(self, tmp_path, kind, compiled):
         """Once the group fsync lands, recovery replays the entire
         batch."""
+        with ptl_mode(compiled):
+            self._run_durable_batch(tmp_path, kind)
+
+    def _run_durable_batch(self, tmp_path, kind):
         oracle_adb = make_engine()
         oracle_m = self._setup_for(kind)(oracle_adb)
         drive(oracle_adb, OPS)
