@@ -1,0 +1,231 @@
+"""E16 — dynamic rule lifecycle: hot deployment vs cold rebuild.
+
+Not a paper experiment; this measures the lifecycle layer this repo adds
+on top of the paper's rule system.  The alternative to hot
+``add_trigger``/``remove_rule`` on a live engine is the classic cold
+deploy: tear the manager down and rebuild it with the new rule set,
+recompiling every condition and losing all temporal state.  E16 puts a
+number on the difference for a live base of N rules:
+
+* **hot add+remove** — one live ``add_trigger`` followed by one live
+  ``remove_rule`` (serial shared-plan manager, and the sharded manager
+  where the pair additionally round-trips the worker admin protocol and
+  re-snapshots the shard);
+* **cold rebuild** — detach, construct a fresh manager, re-register all
+  N rules (what every lifecycle change costs without this subsystem);
+* **churn leak check** — after every measured hot cycle the shared plan
+  must be back to its pre-cycle node count (the refcounted-release
+  regression, measured rather than unit-tested);
+* **shadow overhead** — streaming throughput with the base rules plus
+  M shadow-deployed probes, versus the base alone: shadow rules pay
+  condition evaluation but never action dispatch.
+
+Acceptance (checked here and by CI against ``BENCH_E16.json``): a hot
+add+remove cycle on the serial manager beats the cold rebuild by >= 3x,
+and the plan node count is identical before and after the churn phase.
+"""
+
+import time as _time
+
+from conftest import report
+
+from repro.bench import Table, emit_bench_json, smoke_mode
+from repro.engine import ActiveDatabase
+from repro.parallel import ShardedRuleManager
+from repro.rules.actions import RecordingAction
+from repro.rules.manager import RuleManager
+
+SMOKE = smoke_mode()
+N_RULES = 40 if SMOKE else 150
+CYCLES = 5 if SMOKE else 25
+SHADOW_PROBES = 8 if SMOKE else 20
+TICKS = 60 if SMOKE else 300
+
+#: Mix of stateless and temporal conditions, like a real rule base.
+CONDITIONS = [
+    "price > {i}",
+    "@go & price > {i}",
+    "price > {i} & lasttime price <= {i}",
+    "previously[4] (price > {i})",
+]
+
+#: The hot-deployed rule shares a subformula shape with the base.
+HOT_CONDITION = "price > 77 & lasttime price <= 77"
+
+
+def make_engine():
+    adb = ActiveDatabase()
+    adb.declare_item("price", 0)
+    return adb
+
+
+def register_base(manager):
+    for i in range(N_RULES):
+        manager.add_trigger(
+            f"r{i}",
+            CONDITIONS[i % len(CONDITIONS)].format(i=i % 90),
+            RecordingAction(),
+        )
+
+
+def warm(adb, manager, n=10):
+    for v in range(n):
+        adb.execute(lambda t, v=v: t.set_item("price", (v * 37) % 100))
+    manager.flush()
+
+
+def bench_hot_cycle(factory):
+    """Median seconds for one live add+remove on a warmed manager, plus
+    the plan-node leak check across all cycles."""
+    adb = make_engine()
+    manager = factory(adb)
+    register_base(manager)
+    warm(adb, manager)
+    nodes_before = (
+        manager.plan.distinct_nodes() if manager.plan is not None else None
+    )
+    samples = []
+    for _ in range(CYCLES):
+        t0 = _time.perf_counter()
+        manager.add_trigger("hot", HOT_CONDITION, RecordingAction())
+        manager.remove_rule("hot")
+        samples.append(_time.perf_counter() - t0)
+    nodes_after = (
+        manager.plan.distinct_nodes() if manager.plan is not None else None
+    )
+    manager.detach()
+    samples.sort()
+    return samples[len(samples) // 2], nodes_before, nodes_after
+
+
+def bench_cold_rebuild():
+    """Median seconds to stand up a replacement serial manager with the
+    full rule base — the no-lifecycle deployment path."""
+    adb = make_engine()
+    samples = []
+    for _ in range(max(3, CYCLES // 5)):
+        t0 = _time.perf_counter()
+        manager = RuleManager(adb, shared_plan=True)
+        register_base(manager)
+        manager.add_trigger("hot", HOT_CONDITION, RecordingAction())
+        samples.append(_time.perf_counter() - t0)
+        manager.detach()
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def bench_shadow_overhead():
+    """Streaming seconds with and without shadow probes riding along."""
+
+    def stream(shadow_probes: int):
+        adb = make_engine()
+        manager = RuleManager(adb, shared_plan=True)
+        register_base(manager)
+        for j in range(shadow_probes):
+            manager.add_trigger(
+                f"probe{j}", f"price > {j * 4}", RecordingAction(),
+                shadow=True,
+            )
+        t0 = _time.perf_counter()
+        for v in range(TICKS):
+            adb.execute(lambda t, v=v: t.set_item("price", (v * 41) % 100))
+        manager.flush()
+        seconds = _time.perf_counter() - t0
+        shadow_firings = sum(1 for f in manager.firings if f.shadow)
+        live_actions = sum(
+            len(a.calls)
+            for a in (manager._rules[f"probe{j}"].rule.action
+                      for j in range(shadow_probes))
+        ) if shadow_probes else 0
+        manager.detach()
+        return seconds, shadow_firings, live_actions
+
+    base_seconds, _, _ = stream(0)
+    shadow_seconds, shadow_firings, probe_actions = stream(SHADOW_PROBES)
+    return base_seconds, shadow_seconds, shadow_firings, probe_actions
+
+
+def test_e16_lifecycle(benchmark):
+    def compute():
+        serial_hot, nodes_before, nodes_after = bench_hot_cycle(
+            lambda e: RuleManager(e, shared_plan=True)
+        )
+        sharded_hot, _, _ = bench_hot_cycle(
+            lambda e: ShardedRuleManager(e, shards=4, runtime="thread")
+        )
+        cold = bench_cold_rebuild()
+        base_s, shadow_s, shadow_firings, probe_actions = (
+            bench_shadow_overhead()
+        )
+        return {
+            "serial_hot": serial_hot,
+            "sharded_hot": sharded_hot,
+            "cold": cold,
+            "nodes_before": nodes_before,
+            "nodes_after": nodes_after,
+            "stream_base_seconds": base_s,
+            "stream_shadow_seconds": shadow_s,
+            "shadow_firings": shadow_firings,
+            "probe_actions": probe_actions,
+        }
+
+    r = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    hot_speedup = r["cold"] / r["serial_hot"]
+    shadow_overhead = r["stream_shadow_seconds"] / r["stream_base_seconds"]
+
+    table = Table(
+        f"E16: rule lifecycle ({N_RULES} live rules, {CYCLES} hot cycles)",
+        ["path", "seconds", "vs cold rebuild"],
+    )
+    table.add_row("hot add+remove (serial)", round(r["serial_hot"], 6),
+                  f"x{hot_speedup:.1f} faster")
+    table.add_row("hot add+remove (sharded-4)", round(r["sharded_hot"], 6),
+                  f"x{r['cold'] / r['sharded_hot']:.1f} faster")
+    table.add_row("cold rebuild", round(r["cold"], 6), "x1.0")
+    table.add_row(
+        f"stream +{SHADOW_PROBES} shadow probes",
+        round(r["stream_shadow_seconds"], 6),
+        f"x{shadow_overhead:.2f} vs bare stream",
+    )
+    report(table)
+
+    emit_bench_json(
+        "E16",
+        {
+            "rules": N_RULES,
+            "cycles": CYCLES,
+            "hot": {
+                "serial_seconds": r["serial_hot"],
+                "sharded_seconds": r["sharded_hot"],
+                "cold_rebuild_seconds": r["cold"],
+                "speedup_vs_rebuild": hot_speedup,
+            },
+            "plan_nodes": {
+                "before_churn": r["nodes_before"],
+                "after_churn": r["nodes_after"],
+                "leak_free": r["nodes_before"] == r["nodes_after"],
+            },
+            "shadow": {
+                "probes": SHADOW_PROBES,
+                "base_seconds": r["stream_base_seconds"],
+                "shadow_seconds": r["stream_shadow_seconds"],
+                "overhead_ratio": shadow_overhead,
+                "shadow_firings": r["shadow_firings"],
+                "actions_executed": r["probe_actions"],
+            },
+        },
+    )
+
+    # Acceptance: churn must not leak plan nodes, shadow rules must fire
+    # observably without ever executing an action, and the hot path must
+    # decisively beat redeploying the rule base.
+    assert r["nodes_before"] == r["nodes_after"], (
+        f"plan leaked nodes under churn: {r['nodes_before']} -> "
+        f"{r['nodes_after']}"
+    )
+    assert r["shadow_firings"] > 0, "shadow probes never fired"
+    assert r["probe_actions"] == 0, "a shadow probe executed its action"
+    assert hot_speedup >= 3.0, (
+        f"hot add+remove only x{hot_speedup:.1f} vs cold rebuild"
+    )

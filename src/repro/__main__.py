@@ -64,7 +64,8 @@ def run_demo() -> int:
 
 
 def run_monitor(
-    metrics_json=None, ticks: int = 200, wal=None, shards=None, batch: int = 1
+    metrics_json=None, ticks: int = 200, wal=None, shards=None,
+    batch: int = 1, churn=None,
 ) -> int:
     """Stock-monitor workload with metrics + traces enabled."""
     from repro.facade import TemporalDatabase
@@ -98,11 +99,42 @@ def run_monitor(
 
     from repro.workloads.stock import apply_trace
 
-    apply_trace(tdb.engine, spike_trace(ticks, spike_every=40))
+    trace_points = spike_trace(ticks, spike_every=40)
+    lifecycle_ops = 0
+    if not churn:
+        apply_trace(tdb.engine, trace_points)
+    else:
+        # Exercise the rule lifecycle on the live system: every N ticks
+        # cycle a probe rule through shadow add -> promote -> replace ->
+        # remove, exactly as a deployment pipeline would.
+        for start in range(0, len(trace_points), churn):
+            apply_trace(tdb.engine, trace_points[start:start + churn])
+            tdb.rules.flush()
+            cycle = lifecycle_ops % 4
+            if cycle == 0:
+                tdb.on(
+                    f"probe_{lifecycle_ops}", "price(IBM) > 55",
+                    lambda ctx: None, shadow=True,
+                )
+            elif cycle == 1:
+                tdb.promote(f"probe_{lifecycle_ops - 1}")
+            elif cycle == 2:
+                tdb.replace(
+                    f"probe_{lifecycle_ops - 2}", "price(IBM) > 60",
+                    lambda ctx: None,
+                )
+            else:
+                tdb.off(f"probe_{lifecycle_ops - 3}")
+            lifecycle_ops += 1
 
     tdb.rules.flush()
     print(f"stock monitor: {ticks} ticks, "
           f"{len(firings)} sharp_increase firings")
+    if churn:
+        shadow = sum(1 for f in tdb.firings if f.shadow)
+        print(f"  lifecycle churn: {lifecycle_ops} op(s) every {churn} "
+              f"tick(s), {shadow} shadow firing(s), "
+              f"{len(tdb.rules.shadow_rules())} rule(s) still in shadow")
     if shards is not None:
         print(f"  sharded evaluation: {shards} shard(s), "
               f"{tdb.rules.worker_rebuilds} worker rebuild(s)")
@@ -123,7 +155,7 @@ def run_monitor(
     return 0 if firings else 1
 
 
-def run_recover(wal, shards=None) -> int:
+def run_recover(wal, shards=None, tolerate_drift: bool = False) -> int:
     """Rebuild the monitor system from a durable directory."""
     from repro.recovery import RecoveryManager
 
@@ -142,7 +174,9 @@ def run_recover(wal, shards=None) -> int:
         )
         return manager
 
-    report = RecoveryManager(wal).recover(setup=setup)
+    report = RecoveryManager(wal).recover(
+        setup=setup, strict_rules=not tolerate_drift
+    )
     print(f"recovered from {wal}")
     print(f"  checkpoint used:  {report.checkpoint_used}")
     print(f"  WAL records:      {report.wal_records}")
@@ -152,6 +186,10 @@ def run_recover(wal, shards=None) -> int:
           f"(clock at {report.engine.now})")
     if report.manager is not None:
         print(f"  firings on record: {len(report.manager.firings)}")
+    if report.rule_drift is not None and any(report.rule_drift.values()):
+        drift = report.rule_drift
+        print(f"  rule drift tolerated: added={drift['added']} "
+              f"dropped={drift['dropped']} changed={drift['changed']}")
     return 0
 
 
@@ -196,6 +234,16 @@ def main(argv=None) -> int:
         help="rule-manager batch size for the monitor workload "
         "(Section 8 batched invocation)",
     )
+    parser.add_argument(
+        "--churn", type=int, default=None, metavar="N",
+        help="monitor: every N ticks cycle a probe rule through the "
+        "live lifecycle (shadow add, promote, replace, remove)",
+    )
+    parser.add_argument(
+        "--tolerate-drift", action="store_true",
+        help="recover: restore even if the registered rule set drifted "
+        "from the checkpoint (the delta is reported)",
+    )
     args = parser.parse_args(argv)
     if args.command == "version":
         print(__version__)
@@ -203,11 +251,14 @@ def main(argv=None) -> int:
     if args.command == "recover":
         if args.wal is None:
             parser.error("recover requires --wal DIR")
-        return run_recover(args.wal, shards=args.shards)
+        return run_recover(
+            args.wal, shards=args.shards,
+            tolerate_drift=args.tolerate_drift,
+        )
     if args.command == "monitor" or args.metrics_json is not None:
         return run_monitor(
             metrics_json=args.metrics_json, ticks=args.ticks, wal=args.wal,
-            shards=args.shards, batch=args.batch,
+            shards=args.shards, batch=args.batch, churn=args.churn,
         )
     return run_demo()
 

@@ -131,6 +131,22 @@ class TemporalDatabase:
         """Register a temporal integrity constraint."""
         return self.rules.add_integrity_constraint(name, constraint, domains)
 
+    def off(self, name: str):
+        """Unregister a rule (trigger, constraint, or monitor) from the
+        live system; its evaluator state is released and queued detached
+        actions are dropped."""
+        return self.rules.remove_rule(name)
+
+    def replace(self, name: str, condition, action, **kwargs):
+        """Swap a trigger's definition between two states; temporal
+        operators of the new condition start from "now"."""
+        return self.rules.replace_rule(name, condition, action, **kwargs)
+
+    def promote(self, name: str):
+        """Flip a shadow-deployed trigger live (see ``shadow=True`` on
+        :meth:`on`)."""
+        return self.rules.promote_rule(name)
+
     def obligation(
         self,
         name: str,

@@ -27,6 +27,10 @@ ACTION = "action"
 ACTION_FAILURE = "action_failure"
 IC_VIOLATION = "ic_violation"
 MONITOR = "monitor"
+#: A shadow rule's condition fired (action suppressed).
+SHADOW_FIRING = "shadow_firing"
+#: A rule-base change on a live manager (add/remove/replace/promote).
+LIFECYCLE = "lifecycle"
 
 
 @dataclass(frozen=True)

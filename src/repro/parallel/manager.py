@@ -36,9 +36,10 @@ from repro.errors import (
     DuplicateRuleError,
     RecoveryError,
     RuleError,
+    UnknownRuleError,
 )
 from repro.history.state import SystemState
-from repro.obs.trace import FIRING, MONITOR
+from repro.obs.trace import FIRING, LIFECYCLE, MONITOR, SHADOW_FIRING
 from repro.parallel.partition import (
     RulePartition,
     partition_rules,
@@ -65,7 +66,13 @@ from repro.storage.snapshot import DatabaseState
 
 #: Distinct from the serial manager's format so restoring a sharded
 #: checkpoint into a serial manager (or vice versa) fails loudly.
-_SHARDED_FORMAT = "sharded-1"
+#: ``sharded-2`` additionally records the shard assignment and rule
+#: index map verbatim plus per-rule condition fingerprints, birth, and
+#: shadow flags — recomputing the partition cannot verify a rule base
+#: that changed after sealing, and the fingerprints make drift-tolerant
+#: restores (``strict=False``) possible.
+_SHARDED_FORMAT_V1 = "sharded-1"
+_SHARDED_FORMAT = "sharded-2"
 
 
 class ShardedRuleManager(RuleManager):
@@ -130,16 +137,18 @@ class ShardedRuleManager(RuleManager):
         record_executions: bool = True,
         priority: int = 0,
         writes: Sequence[str] = (),
+        shadow: bool = False,
     ) -> Rule:
         """Register a trigger (no evaluator is built here — conditions
         compile inside the shard workers at seal time).  ``writes``
         declares the database items the action writes; rules with
-        overlapping write-sets are co-sharded."""
-        if self._sealed:
-            raise RuleError(
-                "cannot register rules after the shard runtime started "
-                "(the first flush seals the rule base)"
-            )
+        overlapping write-sets are co-sharded.
+
+        Registration works on a live (sealed) manager too: the rule is
+        placed on the shard of any rule it couples with — partners
+        spread over several shards cannot be joined after sealing and
+        raise — or the least-loaded shard, and shipped to the resident
+        worker; its temporal operators start from "now"."""
         if rewrite_aggregates:
             raise RuleError(
                 "rewrite_aggregates is not supported under sharded "
@@ -148,9 +157,18 @@ class ShardedRuleManager(RuleManager):
             )
         if name in self._rules or name in self._ics or name in self._monitors:
             raise DuplicateRuleError(f"rule {name!r} already registered")
+        # May flush — and therefore seal — so the placement decision
+        # below sees the final pre-registration layout.
+        self._lifecycle_sync("register", name)
         formula = self._parse_condition(condition)
         domain_map = self._parse_domains(domains)
         check_safety(formula, domain_map.keys())
+        shard = None
+        if self._sealed:
+            # Fail before touching any bookkeeping: a live deployment
+            # needs the text round-trip and an unambiguous placement.
+            self._check_round_trip(name, formula)
+            shard = self._place_rule(name, formula, writes)
         rule = Rule(
             name=name,
             condition=formula,
@@ -165,25 +183,168 @@ class ShardedRuleManager(RuleManager):
             ),
             record_executions=record_executions,
             priority=priority,
+            shadow=shadow,
         )
         stateless = infer_relevant_events(formula) is not None
         if rule.relevant_events is None and self.relevance_filtering:
             inferred = infer_relevant_events(formula)
             if inferred is not None:
                 rule.relevant_events = inferred
-        self._rules[name] = _RegisteredRule(
-            rule, None, stateless, registry=self.metrics
+        registered = _RegisteredRule(
+            rule, None, stateless, registry=self.metrics,
+            birth=self.states_seen,
         )
+        self._rules[name] = registered
         self._rule_writes[name] = tuple(writes)
         self._rule_domains[name] = domain_map
+        if shard is not None:
+            self._deploy_live(name, shard)
+        if self._obs_on:
+            if self.states_seen > 0:
+                self.metrics.counter("rules_added_live_total").inc()
+            self._m_shadow.set(len(self.shadow_rules()))
+            self.trace.emit(
+                LIFECYCLE, op="add", rule=name, shadow=shadow,
+                birth=registered.birth,
+            )
         return rule
 
-    def remove_rule(self, name: str) -> None:
-        if self._sealed and name in self._rules:
+    def _check_round_trip(self, name: str, formula) -> None:
+        reparsed = self._parse_condition(str(formula))
+        if reparsed != formula:
             raise RuleError(
-                "cannot remove rules after the shard runtime started"
+                f"rule {name!r}: condition does not round-trip "
+                f"through its text form — was a named query it uses "
+                f"redefined after registration?\n"
+                f"  registered: {formula}\n"
+                f"  re-parsed:  {reparsed}"
             )
+
+    def _place_rule(self, name: str, formula, writes: Sequence[str]) -> int:
+        """Choose a live shard for a post-seal registration: a rule
+        coupled to existing rules (``executed()`` references in either
+        direction, write-set overlap, or an explicit ``coupled`` pair)
+        joins its partners' shard; an uncoupled rule goes to the
+        least-loaded shard (ties to the lowest id)."""
+        profile = rule_profile(name, formula, tuple(writes))
+        pairs = {frozenset(p) for p in self._coupled}
+        partners = set()
+        for other, reg in self._rules.items():
+            if other == name:
+                continue
+            other_profile = rule_profile(
+                other, reg.rule.condition, self._rule_writes[other]
+            )
+            if (
+                other in profile.executed_refs
+                or name in other_profile.executed_refs
+                or (profile.writes & other_profile.writes)
+                or frozenset((name, other)) in pairs
+            ):
+                partners.add(other)
+        # Partners not yet placed themselves (several rules being added
+        # at once, e.g. a drift restore) are placed by their own turn.
+        shards = {
+            self._partition.shard_of(p)
+            for p in partners
+            if p in self._partition.assignment
+        }
+        if len(shards) > 1:
+            raise RuleError(
+                f"cannot register rule {name!r} on the live runtime: it "
+                f"couples rules already placed on different shards "
+                f"({sorted(partners)})"
+            )
+        if shards:
+            return shards.pop()
+        loads = [0] * self.shards
+        for shard in self._partition.assignment.values():
+            loads[shard] += 1
+        return min(range(self.shards), key=lambda s: (loads[s], s))
+
+    def _deploy_live(self, name: str, shard: int) -> None:
+        """Extend the sealed layout with a just-registered rule and ship
+        it to the owning shard's resident worker."""
+        self._partition = RulePartition(
+            shards=self._partition.shards,
+            assignment={**self._partition.assignment, name: shard},
+            # Seal-time coupling groups are not re-derived for hot adds.
+            groups=self._partition.groups + ((name,),),
+        )
+        self._rule_index[name] = (
+            max(self._rule_index.values(), default=-1) + 1
+        )
+        rules_payloads = self._build_rules_payloads()
+        self._gates = self._compute_gates(rules_payloads)
+        self.runtime.admin(
+            shard,
+            [{"op": "add", "spec": self._rule_spec(name)}],
+            rules_payloads[shard],
+        )
+        if self._obs_on:
+            self.metrics.gauge("shard_rules", shard=str(shard)).set(
+                len(rules_payloads[shard])
+            )
+
+    def remove_rule(self, name: str) -> None:
+        if (
+            name not in self._rules
+            and name not in self._ics
+            and name not in self._monitors
+        ):
+            raise UnknownRuleError(f"no rule named {name!r}")
+        # May flush — and therefore seal — so the shard to notify below
+        # reflects the final layout.
+        self._lifecycle_sync("remove", name)
+        shard = None
+        if self._sealed and name in self._rules:
+            shard = self._partition.shard_of(name)
         super().remove_rule(name)
+        self._rule_writes.pop(name, None)
+        self._rule_domains.pop(name, None)
+        if shard is not None:
+            assignment = dict(self._partition.assignment)
+            del assignment[name]
+            self._partition = RulePartition(
+                shards=self._partition.shards,
+                assignment=assignment,
+                groups=tuple(
+                    g
+                    for g in (
+                        tuple(n for n in group if n != name)
+                        for group in self._partition.groups
+                    )
+                    if g
+                ),
+            )
+            # Other rules keep their worker-protocol indices.
+            del self._rule_index[name]
+            rules_payloads = self._build_rules_payloads()
+            self._gates = self._compute_gates(rules_payloads)
+            self.runtime.admin(
+                shard, [{"op": "remove", "name": name}], rules_payloads[shard]
+            )
+            if self._obs_on:
+                self.metrics.gauge("shard_rules", shard=str(shard)).set(
+                    len(rules_payloads[shard])
+                )
+
+    def promote_rule(self, name: str) -> None:
+        if name not in self._rules:
+            raise UnknownRuleError(f"no trigger named {name!r}")
+        self._lifecycle_sync("promote", name)
+        was_shadow = self._rules[name].rule.shadow
+        super().promote_rule(name)
+        if was_shadow and self._sealed:
+            # The worker's copy gates its executed-store recording; keep
+            # it in step with the parent's flag.
+            shard = self._partition.shard_of(name)
+            rules_payloads = self._build_rules_payloads()
+            self.runtime.admin(
+                shard,
+                [{"op": "set_shadow", "name": name, "shadow": False}],
+                rules_payloads[shard],
+            )
 
     # ------------------------------------------------------------------
     # Sealing: partition + worker bring-up
@@ -206,6 +367,7 @@ class ShardedRuleManager(RuleManager):
             ),
             "record_executions": rule.record_executions,
             "priority": rule.priority,
+            "shadow": rule.shadow,
             "domains": encode_domains(self._rule_domains[name]),
             "prev": [],
         }
@@ -256,15 +418,7 @@ class ShardedRuleManager(RuleManager):
         condition must re-parse to itself under the *current* catalog
         (a named query redefined since registration breaks this)."""
         for name, reg in self._rules.items():
-            reparsed = self._parse_condition(str(reg.rule.condition))
-            if reparsed != reg.rule.condition:
-                raise RuleError(
-                    f"rule {name!r}: condition does not round-trip "
-                    f"through its text form — was a named query it uses "
-                    f"redefined after registration?\n"
-                    f"  registered: {reg.rule.condition}\n"
-                    f"  re-parsed:  {reparsed}"
-                )
+            self._check_round_trip(name, reg.rule.condition)
 
     def _make_runtime(self) -> ShardRuntime:
         if isinstance(self._runtime_spec, ShardRuntime):
@@ -429,18 +583,26 @@ class ShardedRuleManager(RuleManager):
                     tuple(sorted(binding.items(), key=lambda kv: kv[0])),
                     state.index,
                     state.timestamp,
+                    shadow=rule.shadow,
                 )
                 self._firings.append(record)
                 if obs:
                     reg.m_firings.inc()
                     self.trace.emit(
-                        FIRING,
+                        SHADOW_FIRING if rule.shadow else FIRING,
                         timestamp=state.timestamp,
                         rule=rule.name,
                         state_index=state.index,
                         bindings=dict(record.bindings),
                         shard=self._partition.shard_of(rule.name),
                     )
+                if rule.shadow:
+                    # Same contract as the serial manager: observable
+                    # firing, suppressed action, no executed record (the
+                    # worker suppressed its store-side half already).
+                    if reg.m_shadow_firings is not None:
+                        reg.m_shadow_firings.inc()
+                    continue
                 if rule.coupling is CouplingMode.T_CA:
                     to_execute.append((rule, binding))
                 elif rule.coupling is CouplingMode.T_C_A:
@@ -513,7 +675,13 @@ class ShardedRuleManager(RuleManager):
             "states_seen": self.states_seen,
             "executed": self.executed.to_state(),
             "firings": [
-                [f.rule, self._encode_pairs(f.bindings), f.state_index, f.timestamp]
+                [
+                    f.rule,
+                    self._encode_pairs(f.bindings),
+                    f.state_index,
+                    f.timestamp,
+                    f.shadow,
+                ]
                 for f in self._firings
             ],
             "rules": {
@@ -523,6 +691,12 @@ class ShardedRuleManager(RuleManager):
                         reg.stats.skips,
                         reg.stats.firings,
                     ],
+                    # Raw-text fingerprint (the same text form the worker
+                    # protocol ships) + lifecycle facts for the
+                    # drift-tolerant restore path.
+                    "formula": str(reg.rule.condition),
+                    "birth": reg.birth,
+                    "shadow": reg.rule.shadow,
                 }
                 for name, reg in self._rules.items()
             },
@@ -534,6 +708,7 @@ class ShardedRuleManager(RuleManager):
                         reg.stats.skips,
                         reg.stats.firings,
                     ],
+                    "formula": str(reg.rule.condition),
                 }
                 for name, reg in self._ics.items()
             },
@@ -551,6 +726,11 @@ class ShardedRuleManager(RuleManager):
             "assignment": (
                 dict(self._partition.assignment) if self._sealed else None
             ),
+            #: Recorded verbatim: with hot adds and removals the layout
+            #: is history-dependent and cannot be recomputed on restore.
+            "rule_index": (
+                dict(self._rule_index) if self._sealed else None
+            ),
             #: Fresh worker init payloads — each one carries the shard's
             #: resident database items, plan state, executed store,
             #: rising-edge memory, and last applied seq.
@@ -559,8 +739,18 @@ class ShardedRuleManager(RuleManager):
             ),
         }
 
-    def from_state(self, payload: dict) -> None:
-        if payload.get("format") != _SHARDED_FORMAT:
+    def from_state(self, payload: dict, strict: bool = True) -> dict:
+        """Restore a checkpoint taken by :meth:`to_state`.
+
+        Same contract as the serial manager's
+        :meth:`~repro.rules.manager.RuleManager.from_state`: with
+        ``strict=False`` a drifted rule set is tolerated — surviving
+        rules get their worker-resident state back, dropped (or
+        redefined) rules are admin-removed from the restored workers,
+        and freshly registered rules are placed and shipped live.
+        Returns ``{"added", "dropped", "changed"}`` name lists."""
+        fmt = payload.get("format")
+        if fmt not in (_SHARDED_FORMAT_V1, _SHARDED_FORMAT):
             raise RecoveryError(
                 f"unsupported sharded-manager state format "
                 f"{payload.get('format')!r} — was this checkpoint taken "
@@ -579,67 +769,149 @@ class ShardedRuleManager(RuleManager):
             raise RecoveryError(
                 "cannot restore into a manager whose runtime already started"
             )
-        if set(payload["rules"]) != set(self._rules):
+        ck_rules = payload["rules"]
+        ck_ics = payload["ics"]
+        added = sorted(
+            (set(self._rules) - set(ck_rules))
+            | (set(self._ics) - set(ck_ics))
+        )
+        dropped = sorted(
+            (set(ck_rules) - set(self._rules))
+            | (set(ck_ics) - set(self._ics))
+        )
+        changed = []
+        if fmt == _SHARDED_FORMAT:
+            for name in set(ck_rules) & set(self._rules):
+                fp = str(self._rules[name].rule.condition)
+                if ck_rules[name]["formula"] != fp:
+                    changed.append(name)
+            for name in set(ck_ics) & set(self._ics):
+                fp = str(self._ics[name].rule.condition)
+                if ck_ics[name]["formula"] != fp:
+                    changed.append(name)
+        changed = sorted(changed)
+        if strict:
+            if set(ck_rules) != set(self._rules):
+                raise RecoveryError(
+                    "checkpointed trigger set "
+                    f"{sorted(ck_rules)} != registered "
+                    f"{sorted(self._rules)}"
+                )
+            if set(ck_ics) != set(self._ics):
+                raise RecoveryError(
+                    "checkpointed integrity-constraint set "
+                    f"{sorted(ck_ics)} != registered "
+                    f"{sorted(self._ics)}"
+                )
+            if changed:
+                raise RecoveryError(
+                    f"rule {changed[0]!r} condition differs from the "
+                    "checkpoint"
+                )
+        elif fmt == _SHARDED_FORMAT_V1 and (added or dropped or changed):
             raise RecoveryError(
-                "checkpointed trigger set "
-                f"{sorted(payload['rules'])} != registered "
-                f"{sorted(self._rules)}"
+                "sharded-1 checkpoints record no condition fingerprints "
+                "and cannot be restored across rule-set drift "
+                f"(added={added}, dropped={dropped})"
             )
-        if set(payload["ics"]) != set(self._ics):
-            raise RecoveryError(
-                "checkpointed integrity-constraint set "
-                f"{sorted(payload['ics'])} != registered "
-                f"{sorted(self._ics)}"
-            )
+        changed_set = set(changed)
         self.states_seen = payload["states_seen"]
         self.executed.from_state(payload["executed"])
         self._firings = [
-            FiringRecord(rule, self._decode_pairs(bindings), index, ts)
-            for rule, bindings, index, ts in payload["firings"]
+            FiringRecord(
+                rule,
+                self._decode_pairs(bindings),
+                index,
+                ts,
+                bool(rest[0]) if rest else False,
+            )
+            for rule, bindings, index, ts, *rest in payload["firings"]
         ]
-        for name, entry in payload["rules"].items():
-            reg = self._rules[name]
+        for name, entry in ck_rules.items():
+            reg = self._rules.get(name)
+            if reg is None or name in changed_set:
+                continue
             ev, sk, fi = entry["stats"]
             reg.stats.evaluations, reg.stats.skips, reg.stats.firings = ev, sk, fi
-        for name, entry in payload["ics"].items():
-            reg = self._ics[name]
+            if fmt == _SHARDED_FORMAT:
+                reg.birth = entry.get("birth", 0)
+                # The checkpointed shadow flag wins over the
+                # re-registration's (mirrors the serial manager).
+                reg.rule.shadow = bool(entry.get("shadow", False))
+                if reg.rule.shadow and reg.m_shadow_firings is None:
+                    reg.m_shadow_firings = self.metrics.counter(
+                        "shadow_firings_total", rule=name
+                    )
+        for name, entry in ck_ics.items():
+            reg = self._ics.get(name)
+            if reg is None or name in changed_set:
+                continue
             reg.evaluator.from_state(entry["evaluator"])
             ev, sk, fi = entry["stats"]
             reg.stats.evaluations, reg.stats.skips, reg.stats.firings = ev, sk, fi
         self._pending_actions = []
         for name, binding, index, ts in payload["pending"]:
             if name not in self._rules:
-                raise RecoveryError(f"pending action for unknown rule {name!r}")
+                if strict:
+                    raise RecoveryError(
+                        f"pending action for unknown rule {name!r}"
+                    )
+                continue  # the rule was dropped; its queued actions go too
             stub = SystemState(self.engine.db.state, (), ts, index=index)
             self._pending_actions.append(
                 (self._rules[name].rule, dict(self._decode_pairs(binding)), stub)
             )
-        self._action_failures = dict(payload["action_failures"])
-        self._quarantined = set(payload["quarantined"])
+        failures = dict(payload["action_failures"])
+        quarantined = set(payload["quarantined"])
+        if not strict:
+            known = set(self._rules) | set(self._ics)
+            failures = {k: v for k, v in failures.items() if k in known}
+            quarantined &= known
+        self._action_failures = failures
+        self._quarantined = quarantined
         if payload["workers"] is not None:
-            self._seal_from_checkpoint(payload)
+            self._seal_from_checkpoint(payload, changed_set)
         if self._obs_on:
             self._m_pending.set(len(self._pending_actions))
             self._m_quarantined.set(len(self._quarantined))
+            self._m_shadow.set(len(self.shadow_rules()))
+        return {"added": added, "dropped": dropped, "changed": changed}
 
-    def _seal_from_checkpoint(self, payload: dict) -> None:
-        """Bring the runtime up from checkpointed worker payloads,
-        fingerprint-checking the partition and every rule condition
-        against what is registered now."""
-        self._rule_index = {n: i for i, n in enumerate(self._rules)}
-        partition = self._compute_partition()
-        if dict(partition.assignment) != payload["assignment"]:
-            raise RecoveryError(
-                "shard assignment fingerprint mismatch: the rule base "
-                "(names, conditions, write-sets, or couplings) changed "
-                "since the checkpoint\n"
-                f"  checkpoint: {payload['assignment']}\n"
-                f"  recomputed: {dict(partition.assignment)}"
-            )
+    def _seal_from_checkpoint(self, payload: dict, changed_set: set) -> None:
+        """Bring the runtime up from checkpointed worker payloads.
+
+        ``sharded-2`` payloads carry the assignment and rule-index maps
+        verbatim (a layout shaped by hot adds/removals is not
+        recomputable); ``sharded-1`` payloads are fingerprint-checked
+        against a recomputed partition, as before.  Surviving rules'
+        conditions are verified against the worker specs; under drift
+        the restored workers are then reconciled in place — dropped or
+        redefined rules admin-removed, new registrations placed and
+        admin-added."""
         workers = payload["workers"]
+        if payload["format"] == _SHARDED_FORMAT:
+            assignment = dict(payload["assignment"])
+            rule_index = {
+                name: int(i) for name, i in payload["rule_index"].items()
+            }
+        else:
+            partition = self._compute_partition()
+            if dict(partition.assignment) != payload["assignment"]:
+                raise RecoveryError(
+                    "shard assignment fingerprint mismatch: the rule base "
+                    "(names, conditions, write-sets, or couplings) changed "
+                    "since the checkpoint\n"
+                    f"  checkpoint: {payload['assignment']}\n"
+                    f"  recomputed: {dict(partition.assignment)}"
+                )
+            assignment = dict(partition.assignment)
+            rule_index = {n: i for i, n in enumerate(self._rules)}
         for worker_payload in workers:
             for spec in worker_payload["rules"]:
-                current = str(self._rules[spec["name"]].rule.condition)
+                reg = self._rules.get(spec["name"])
+                if reg is None or spec["name"] in changed_set:
+                    continue  # reconciled away below
+                current = str(reg.rule.condition)
                 if spec["formula"] != current:
                     raise RecoveryError(
                         f"rule {spec['name']!r} condition differs from "
@@ -647,11 +919,18 @@ class ShardedRuleManager(RuleManager):
                         f"  checkpoint: {spec['formula']}\n"
                         f"  registered: {current}"
                     )
-        self._partition = partition
-        rules_payloads = self._build_rules_payloads()
-        self._gates = self._compute_gates(rules_payloads)
+        self._rule_index = rule_index
+        # ``assignment`` stays aliased into the partition on purpose:
+        # the reconciliation loop below mutates it through placement.
+        self._partition = RulePartition(
+            shards=self.shards,
+            assignment=assignment,
+            groups=tuple((n,) for n in assignment),
+        )
         runtime = self._make_runtime()
-        runtime.start(workers, rules_payloads)
+        # Start with the *checkpointed* spec lists — the workers hold the
+        # checkpointed rule base until the admin ops below land.
+        runtime.start(workers, [list(wp["rules"]) for wp in workers])
         self.runtime = runtime
         self._shard_prev = [
             DatabaseState(
@@ -664,8 +943,36 @@ class ShardedRuleManager(RuleManager):
         ]
         self._shard_seq = [wp["seq"] for wp in workers]
         self._sealed = True
+        ops: dict[int, list[dict]] = {}
+        for name in list(payload["rules"]):
+            if name in self._rules and name not in changed_set:
+                continue
+            shard = assignment.pop(name)
+            rule_index.pop(name)
+            ops.setdefault(shard, []).append({"op": "remove", "name": name})
+        for name in self._rules:
+            if name in assignment:
+                continue
+            reg = self._rules[name]
+            self._check_round_trip(name, reg.rule.condition)
+            shard = self._place_rule(
+                name, reg.rule.condition, self._rule_writes[name]
+            )
+            assignment[name] = shard
+            rule_index[name] = max(rule_index.values(), default=-1) + 1
+            ops.setdefault(shard, []).append(
+                {"op": "add", "spec": self._rule_spec(name)}
+            )
+        rules_payloads = self._build_rules_payloads()
+        self._gates = self._compute_gates(rules_payloads)
+        for shard in sorted(ops):
+            runtime.admin(shard, ops[shard], rules_payloads[shard])
         if self._obs_on:
             self._m_shards.set(self.shards)
+            for shard in range(self.shards):
+                self.metrics.gauge(
+                    "shard_rules", shard=str(shard)
+                ).set(len(rules_payloads[shard]))
 
     # ------------------------------------------------------------------
     # Introspection / teardown

@@ -28,6 +28,7 @@ from typing import Optional
 from repro.errors import RecoveryError
 from repro.parallel.worker import (
     ShardWorker,
+    _admin_worker,
     _crash_worker,
     _init_worker,
     _snapshot_worker,
@@ -125,6 +126,31 @@ class ShardRuntime:
         self._tails[shard].extend(records)
         return out
 
+    def admin(
+        self, shard: int, ops: list[dict], rules_payload: list[dict]
+    ) -> None:
+        """Apply rule-base admin operations (hot add/remove/shadow flip)
+        to one shard, then immediately re-baseline it: the crash-replay
+        tail holds only step records, so a baseline predating the change
+        would resurrect the old rule base on rebuild.  ``rules_payload``
+        is the shard's canonical spec list *after* the change."""
+        self._rules_payloads[shard] = list(rules_payload)
+        try:
+            self._result(self._submit_admin(shard, ops))
+            snap = self._snapshot_shard(shard, rules_payload)
+        except self._crash_exceptions:
+            # The worker died before the change was captured: rebuild
+            # from the old baseline, replay the tail, re-apply.  A
+            # second crash here is not survivable and propagates.
+            self.rebuilds += 1
+            self._start_shard(shard, self._payloads[shard])
+            if self._tails[shard]:
+                self._result(self._submit(shard, self._tails[shard]))
+            self._result(self._submit_admin(shard, ops))
+            snap = self._snapshot_shard(shard, rules_payload)
+        self._payloads[shard] = snap
+        self._tails[shard] = []
+
     def _refresh_baseline(self, shard: int) -> None:
         try:
             snap = self._snapshot_shard(shard, self._rules_payloads[shard])
@@ -163,6 +189,9 @@ class ShardRuntime:
         raise NotImplementedError
 
     def _submit(self, shard: int, records: list[dict]):
+        raise NotImplementedError
+
+    def _submit_admin(self, shard: int, ops: list[dict]):
         raise NotImplementedError
 
     def _result(self, future):
@@ -217,6 +246,9 @@ class ProcessShardRuntime(ShardRuntime):
 
     def _submit(self, shard: int, records: list[dict]):
         return self._pools[shard].submit(_step_worker, records)
+
+    def _submit_admin(self, shard: int, ops: list[dict]):
+        return self._pools[shard].submit(_admin_worker, ops)
 
     def _result(self, future):
         return future.result()
@@ -278,6 +310,10 @@ class ThreadShardRuntime(ShardRuntime):
     def _submit(self, shard: int, records: list[dict]):
         worker = self._worker(shard)
         return self._ensure_pool().submit(worker.step, records)
+
+    def _submit_admin(self, shard: int, ops: list[dict]):
+        worker = self._worker(shard)
+        return self._ensure_pool().submit(worker.admin, ops)
 
     def _result(self, future):
         try:

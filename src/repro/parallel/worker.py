@@ -27,8 +27,8 @@ exactly (the conformance suite holds both to the same firing sequences):
   time, whereas the parent's authoritative store records them when the
   application drains the queue — see ``docs/PARALLEL.md``.)
 
-The module-level ``_init_worker``/``_step_worker``/``_snapshot_worker``
-functions wrap a process-global worker instance for use with a
+The module-level ``_init_worker``/``_step_worker``/``_snapshot_worker``/
+``_admin_worker`` functions wrap a process-global worker instance for use with a
 ``ProcessPoolExecutor(max_workers=1)`` per shard; ``_crash_worker`` is
 the fault-injection hook the crash-recovery tests use.
 """
@@ -126,6 +126,7 @@ class _WorkerRule:
         "relevant_events",
         "record_executions",
         "priority",
+        "shadow",
         "evaluator",
         "prev_bindings",
     )
@@ -143,6 +144,7 @@ class _WorkerRule:
         )
         self.record_executions = spec["record_executions"]
         self.priority = spec["priority"]
+        self.shadow = bool(spec.get("shadow", False))
         self.evaluator = None
         self.prev_bindings: frozenset = _decode_prev(spec.get("prev", []))
 
@@ -186,22 +188,58 @@ class ShardWorker:
         self.plan = SharedPlan(EvalContext(executed=self.executed))
         self.rules: list[_WorkerRule] = []
         for spec in payload["rules"]:
-            rule = _WorkerRule(spec)
-            formula = parse_formula(
-                spec["formula"], self.queries, self._scalar_items
-            )
-            ctx = EvalContext(
-                executed=self.executed,
-                domains=decode_domains(spec.get("domains")),
-            )
-            rule.evaluator = self.plan.add_rule(rule.name, formula, ctx)
-            self.rules.append(rule)
-        #: Priority order (higher first, ties by registration index) —
-        #: the serial manager's ``_ordered_rules``.
-        self._ordered = sorted(self.rules, key=lambda r: -r.priority)
+            self._install_rule(spec)
+        self._reorder()
         plan_state = payload.get("plan")
         if plan_state is not None:
             self.plan.from_state(plan_state)
+
+    def _install_rule(self, spec: dict) -> _WorkerRule:
+        rule = _WorkerRule(spec)
+        formula = parse_formula(
+            spec["formula"], self.queries, self._scalar_items
+        )
+        ctx = EvalContext(
+            executed=self.executed,
+            domains=decode_domains(spec.get("domains")),
+        )
+        rule.evaluator = self.plan.add_rule(rule.name, formula, ctx)
+        self.rules.append(rule)
+        return rule
+
+    def _reorder(self) -> None:
+        #: Priority order (higher first, ties by registration index) —
+        #: the serial manager's ``_ordered_rules``.
+        self._ordered = sorted(self.rules, key=lambda r: -r.priority)
+
+    # -- rule-base administration (hot add/remove/shadow flip) --------------
+
+    def admin(self, ops: list[dict]) -> None:
+        """Apply rule-base changes to the live shard.  The runtime
+        refreshes this shard's rebuild baseline immediately afterwards —
+        the crash-replay tail holds only step records, so a baseline
+        predating the change would resurrect the old rule base."""
+        for op in ops:
+            kind = op["op"]
+            if kind == "add":
+                self._install_rule(op["spec"])
+            elif kind == "remove":
+                name = op["name"]
+                self.plan.remove_rule(name)
+                self.rules = [r for r in self.rules if r.name != name]
+            elif kind == "set_shadow":
+                for rule in self.rules:
+                    if rule.name == op["name"]:
+                        rule.shadow = bool(op["shadow"])
+                        break
+                else:
+                    raise RecoveryError(
+                        f"shard {self.shard}: set_shadow for unknown "
+                        f"rule {op['name']!r}"
+                    )
+            else:
+                raise RecoveryError(f"unknown shard admin op {kind!r}")
+        self._reorder()
 
     # -- stepping -----------------------------------------------------------
 
@@ -253,7 +291,10 @@ class ShardWorker:
             )
             if bindings:
                 fired.append([rule.index, encode_bindings(bindings)])
-            if rule.record_executions:
+            # Shadow rules report firings to the parent but never touch
+            # the executed store — mirroring the serial manager, where a
+            # shadow firing suppresses both the action and the record.
+            if rule.record_executions and not rule.shadow:
                 for binding in bindings:
                     to_record.append((rule, binding))
         # Record *after* the full rule pass, before the next state: the
@@ -331,6 +372,12 @@ def _snapshot_worker(rules_payload: list[dict]) -> dict:
     if _WORKER is None:
         raise RecoveryError("shard worker used before initialisation")
     return _WORKER.snapshot(rules_payload)
+
+
+def _admin_worker(ops: list[dict]) -> None:
+    if _WORKER is None:
+        raise RecoveryError("shard worker used before initialisation")
+    _WORKER.admin(ops)
 
 
 def _state_size_worker() -> int:

@@ -98,15 +98,23 @@ class _MemoNode(_Node):
     (within one rule or across rules) reference it, ``compute`` runs once
     per plan step.  Besides the shared work, this is what keeps temporal
     nodes *correct* under sharing — a ``Since`` stepped twice per state
-    would corrupt its recurrence."""
+    would corrupt its recurrence.
 
-    __slots__ = ("inner", "plan", "_epoch", "_cached")
+    ``refs`` counts referencing parents (rule roots and parent memo
+    nodes): :meth:`SharedPlan.remove_rule` releases a removed rule's
+    references and physically drops subtrees nobody shares any more."""
+
+    __slots__ = ("inner", "plan", "_epoch", "_cached", "key", "refs")
 
     def __init__(self, inner: _Node, plan: "SharedPlan"):
         self.inner = inner
         self.plan = plan
         self._epoch = -1
         self._cached: Optional[cs.C] = None
+        #: The plan's sharing key (subformula, avail, prune set, birth).
+        self.key = None
+        #: Number of live references from roots and parent memo nodes.
+        self.refs = 0
 
     def compute(self, state):
         if self._epoch == self.plan.epoch:
@@ -205,10 +213,14 @@ class SharedPlan:
         self._rules: dict[str, _PlanRule] = {}
         #: (subformula, avail, prune set, birth epoch) -> memo node.
         self._nodes: dict = {}
-        #: (node, prune set) per distinct temporal node.
-        self._temporal: list[tuple[_Node, frozenset[str]]] = []
+        #: (node, prune set, birth epoch) per distinct temporal node.
+        self._temporal: list[tuple[_Node, frozenset[str], int]] = []
         #: (aggregate term, avail, birth epoch) -> shared running state.
         self._aggregates: dict = {}
+        #: Aggregate refcounts: sharing key -> number of referencing
+        #: comparison nodes; id(agg) -> key (release bookkeeping).
+        self._agg_refs: dict = {}
+        self._agg_key_of: dict[int, tuple] = {}
         self._subevals: dict = {}
         #: Next root-compilation sequence number (checkpoint replay order).
         self._next_seq = 0
@@ -273,12 +285,69 @@ class SharedPlan:
         return PlanBoundEvaluator(self, entry, original)
 
     def remove_rule(self, name: str) -> None:
-        """Drop a rule.  Its shared nodes stay in the cache (other rules —
-        or a re-added rule — may still reference them)."""
+        """Drop a rule and release its references into the shared DAG.
+        Nodes still referenced by other rules survive with their state;
+        subtrees nobody else shares are physically dropped — removed from
+        the compile cache, the per-step temporal prune loop, and the
+        shared aggregate stepping — so a removed rule stops consuming
+        memory and per-state work."""
         if name not in self._rules:
             raise UnknownRuleError(f"no rule named {name!r} in the plan")
-        del self._rules[name]
+        entry = self._rules.pop(name)
+        for root in entry.roots():
+            self._release(root)
         self._layout_gen += 1
+        if self._obs_on:
+            self._record_metrics()
+
+    def _release(self, node: _Node) -> None:
+        """Drop one reference to a memo node; on the last reference the
+        node leaves the plan and its child references are released."""
+        if not isinstance(node, _MemoNode):
+            return
+        node.refs -= 1
+        if node.refs > 0:
+            return
+        self._nodes.pop(node.key, None)
+        inner = node.inner
+        if isinstance(inner, (_LasttimeNode, _SinceNode)):
+            for i, (tnode, _, _) in enumerate(self._temporal):
+                if tnode is inner:
+                    del self._temporal[i]
+                    break
+        if isinstance(inner, _ComparisonNode):
+            self._release_aggregates(inner)
+        if isinstance(inner, _NotNode):
+            self._release(inner.child)
+        elif isinstance(inner, (_AndNode, _OrNode)):
+            for child in inner.children:
+                self._release(child)
+        elif isinstance(inner, _LasttimeNode):
+            self._release(inner.child)
+        elif isinstance(inner, _SinceNode):
+            self._release(inner.lhs)
+            self._release(inner.rhs)
+        elif isinstance(inner, _AssignNode):
+            self._release(inner.child)
+
+    def _release_aggregates(self, inner: _ComparisonNode) -> None:
+        terms: dict = {}
+        _collect_aggregate_terms(inner.formula.left, terms)
+        _collect_aggregate_terms(inner.formula.right, terms)
+        sub = inner.evaluator
+        for term in terms:
+            agg = sub._aggregates.get(term)
+            if agg is None:
+                continue
+            key = self._agg_key_of.get(id(agg))
+            if key is None:
+                continue
+            self._agg_refs[key] -= 1
+            if self._agg_refs[key] == 0:
+                del self._agg_refs[key]
+                del self._agg_key_of[id(agg)]
+                del self._aggregates[key]
+                del sub._aggregates[term]
 
     def _compile(
         self,
@@ -294,8 +363,11 @@ class SharedPlan:
         node = self._nodes.get(key)
         if node is not None:
             self.compile_shared += 1
+            node.refs += 1
             return node
         node = _MemoNode(self._build(f, avail, time_vars, prune_set), self)
+        node.key = key
+        node.refs = 1
         self._nodes[key] = node
         return node
 
@@ -304,8 +376,11 @@ class SharedPlan:
         if isinstance(f, ast.BoolConst):
             return _BoolNode(f.value)
         if isinstance(f, ast.Comparison):
-            self._register_aggregate_terms(f.left, avail, sub)
-            self._register_aggregate_terms(f.right, avail, sub)
+            terms: dict = {}
+            _collect_aggregate_terms(f.left, terms)
+            _collect_aggregate_terms(f.right, terms)
+            for term in terms:
+                self._ref_aggregate(term, avail, sub)
             return _ComparisonNode(f, sub)
         if isinstance(f, ast.EventAtom):
             return _EventNode(f, sub)
@@ -327,7 +402,7 @@ class SharedPlan:
             node = _LasttimeNode(
                 self._compile(f.operand, frozenset(), time_vars), str(f)
             )
-            self._temporal.append((node, prune_set))
+            self._temporal.append((node, prune_set, self.epoch))
             return node
         if isinstance(f, ast.Since):
             node = _SinceNode(
@@ -335,7 +410,7 @@ class SharedPlan:
                 self._compile(f.rhs, frozenset(), time_vars),
                 str(f),
             )
-            self._temporal.append((node, prune_set))
+            self._temporal.append((node, prune_set, self.epoch))
             return node
         if isinstance(f, ast.Assign):
             if f.query.params():
@@ -358,18 +433,18 @@ class SharedPlan:
             self._subevals[key] = sub
         return sub
 
-    def _register_aggregate_terms(self, term, avail, sub: _SubEval) -> None:
-        if isinstance(term, ast.AggT):
-            if term not in sub._aggregates:
-                key = (term, avail, self.epoch)
-                agg = self._aggregates.get(key)
-                if agg is None:
-                    agg = _AggregateState(term, self.ctx, self.optimize, avail)
-                    self._aggregates[key] = agg
-                sub._aggregates[term] = agg
-        elif isinstance(term, ast.FuncT):
-            for a in term.args:
-                self._register_aggregate_terms(a, avail, sub)
+    def _ref_aggregate(self, term, avail, sub: _SubEval) -> None:
+        """One comparison node references ``term``: create or share the
+        running aggregate for this (avail, birth) context and count the
+        reference for :meth:`_release_aggregates`."""
+        key = (term, avail, self.epoch)
+        agg = self._aggregates.get(key)
+        if agg is None:
+            agg = _AggregateState(term, self.ctx, self.optimize, avail)
+            self._aggregates[key] = agg
+            self._agg_key_of[id(agg)] = key
+        sub._aggregates[term] = agg
+        self._agg_refs[key] = self._agg_refs.get(key, 0) + 1
 
     # ------------------------------------------------------------------
     # Stepping
@@ -394,7 +469,7 @@ class SharedPlan:
         for entry in self._rules.values():
             entry.result = self._eval_rule(entry, state, chain)
         if self.optimize:
-            for node, prune_set in self._temporal:
+            for node, prune_set, _ in self._temporal:
                 if prune_set:
                     node.prune(state.timestamp, prune_set)
         if self._obs_on:
@@ -504,7 +579,7 @@ class SharedPlan:
 
     def stored_formulas(self) -> list[tuple[str, cs.C]]:
         out = []
-        for node, _ in self._temporal:
+        for node, _, _ in self._temporal:
             out.extend(node.stored_formulas())
         return out
 
@@ -541,7 +616,7 @@ class SharedPlan:
         return (
             self.epoch,
             self._last_state,
-            [node.get_state() for node, _ in self._temporal],
+            [node.get_state() for node, _, _ in self._temporal],
             {key: agg.get_state() for key, agg in self._aggregates.items()},
             {
                 name: (entry.last_top, entry.result)
@@ -553,7 +628,7 @@ class SharedPlan:
         epoch, last_state, node_states, agg_states, rule_states = snap
         self.epoch = epoch
         self._last_state = last_state
-        for (node, _), stored in zip(self._temporal, node_states):
+        for (node, _, _), stored in zip(self._temporal, node_states):
             node.set_state(stored)
         for key, stored in agg_states.items():
             if key in self._aggregates:
@@ -568,21 +643,22 @@ class SharedPlan:
     # ------------------------------------------------------------------
 
     def to_state(self) -> dict:
-        """JSON-serializable whole-plan state.
+        """JSON-serializable whole-plan state (format 2).
 
         Alongside every temporal node's stored formula and every shared
         aggregate's running state, the payload records each rule root's
         (and each query-parameter instance's) *birth epoch* and global
         compilation sequence number: :meth:`from_state` replays the
-        compilations in that exact order, at those exact epochs, so the
-        sharing keys — and therefore the temporal-node order — reproduce
-        the checkpointed DAG.  Limitation: temporal nodes orphaned by
-        :meth:`remove_rule` are still serialized but cannot be rebuilt;
-        checkpoint after removing rules is not supported."""
+        compilations at those exact epochs, so the sharing keys reproduce
+        the checkpointed DAG.  Each temporal entry also carries its birth
+        epoch, letting :meth:`from_state` match stored states by
+        (label, prune set, birth) pools rather than by position — which
+        makes checkpoints taken after :meth:`remove_rule` (where replay
+        order can differ from original compile order) restorable."""
         from repro.ptl.incremental import _encode_node_state
 
         out = {
-            "format": 1,
+            "format": 2,
             "epoch": self.epoch,
             "next_seq": self._next_seq,
             "rules": [
@@ -601,8 +677,13 @@ class SharedPlan:
                 for entry in self._rules.values()
             ],
             "temporal": [
-                [node.label, sorted(prune_set), _encode_node_state(node.get_state())]
-                for node, prune_set in self._temporal
+                [
+                    node.label,
+                    sorted(prune_set),
+                    birth,
+                    _encode_node_state(node.get_state()),
+                ]
+                for node, prune_set, birth in self._temporal
             ],
             "aggregates": [
                 [str(term), sorted(avail), birth, agg.to_state()]
@@ -615,42 +696,72 @@ class SharedPlan:
                 out["compiled"] = chain.to_state()
         return out
 
-    def from_state(self, payload: dict) -> None:
-        """Load a checkpoint into a plan with the *same rules registered*
-        (same names, conditions, and domains; registration order need not
-        match — the payload's recorded compilation order wins).  The
-        compiled DAG is rebuilt from scratch by replaying the checkpointed
-        compilation sequence, then every temporal node and aggregate gets
-        its stored state back."""
+    def from_state(self, payload: dict, strict: bool = True) -> dict:
+        """Load a checkpoint by replaying the checkpointed compilation
+        sequence (registration order need not match — the payload's
+        recorded order and birth epochs win), then restoring every
+        temporal node's and aggregate's stored state.
+
+        With ``strict=True`` the registered rules must exactly match the
+        checkpoint (names and conditions) — any drift raises
+        :class:`RecoveryError`, as before.  With ``strict=False`` the
+        *intersection* is restored: rules present in both (with the same
+        condition) get their checkpointed state back; rules only in the
+        plan (or whose condition changed) compile fresh at the checkpoint
+        epoch — their temporal operators start from "now", exactly like a
+        hot registration; rules only in the checkpoint are dropped.
+        Returns ``{"added": [...], "dropped": [...], "changed": [...]}``
+        (all empty under ``strict=True``)."""
         from repro.ptl.incremental import _decode_node_state
 
-        if payload.get("format") != 1:
+        fmt = payload.get("format")
+        if fmt not in (1, 2):
             raise RecoveryError(
                 f"unsupported plan state format: {payload.get('format')!r}"
             )
         by_name = {r["name"]: r for r in payload["rules"]}
-        if set(by_name) != set(self._rules):
+        added = sorted(set(self._rules) - set(by_name))
+        dropped = sorted(set(by_name) - set(self._rules))
+        changed = sorted(
+            name
+            for name in set(by_name) & set(self._rules)
+            if by_name[name]["formula"] != str(self._rules[name].formula)
+        )
+        drift = bool(added or dropped or changed)
+        if strict and (added or dropped):
             raise RecoveryError(
                 f"plan rule set mismatch: checkpoint has "
                 f"{sorted(by_name)}, plan has {sorted(self._rules)}"
             )
-        for name, entry in self._rules.items():
-            if by_name[name]["formula"] != str(entry.formula):
-                raise RecoveryError(
-                    f"rule {name!r} condition differs from checkpoint:\n"
-                    f"  checkpoint: {by_name[name]['formula']}\n"
-                    f"  plan:       {entry.formula}"
-                )
+        if strict and changed:
+            name = changed[0]
+            raise RecoveryError(
+                f"rule {name!r} condition differs from checkpoint:\n"
+                f"  checkpoint: {by_name[name]['formula']}\n"
+                f"  plan:       {self._rules[name].formula}"
+            )
+        if fmt == 1 and drift:
+            raise RecoveryError(
+                "format-1 plan checkpoints record no per-temporal-node "
+                "birth epochs and cannot be restored across rule-set "
+                f"drift (added={added}, dropped={dropped}, "
+                f"changed={changed})"
+            )
+        kept = [n for n in self._rules if n in by_name and n not in changed]
+        fresh = [n for n in self._rules if n not in by_name or n in changed]
 
         # Rebuild the compiled DAG by replaying the recorded compilations.
         self._nodes = {}
         self._temporal = []
         self._aggregates = {}
+        self._agg_refs = {}
+        self._agg_key_of = {}
         self._subevals = {}
         self.compile_requests = 0
         self.compile_shared = 0
         jobs = []  # (seq, birth, entry, combo-or-None)
-        for name, entry in self._rules.items():
+        for name in kept:
+            entry = self._rules[name]
             rec = by_name[name]
             entry.birth = rec["birth"]
             entry.seq = rec["seq"]
@@ -680,57 +791,123 @@ class SharedPlan:
             entry.instances[combo] = self._compile(
                 inst, frozenset(), time_vars
             )
-        self._next_seq = payload["next_seq"]
+        next_seq = payload["next_seq"]
         self.epoch = payload["epoch"]
+        for name in fresh:
+            entry = self._rules[name]
+            entry.birth = self.epoch
+            entry.seq = next_seq
+            next_seq += 1
+            entry.root = None
+            entry.instances = {}
+            entry.instance_births = {}
+            entry.last_top = cs.CFALSE
+            entry.result = FireResult(False)
+            if not entry.qvars:
+                entry.root = self._compile(
+                    entry.formula, frozenset(), entry.time_vars
+                )
+        self._next_seq = next_seq
         self._last_state = None
 
         temporal = payload["temporal"]
-        if len(temporal) != len(self._temporal):
-            raise RecoveryError(
-                f"checkpoint has {len(temporal)} temporal nodes; rebuilt "
-                f"plan has {len(self._temporal)} (was a rule removed "
-                "before the checkpoint?)"
-            )
-        for (node, prune_set), (label, ps, state) in zip(
-            self._temporal, temporal
-        ):
-            if node.label != label or sorted(prune_set) != ps:
+        if fmt == 1:
+            # Legacy positional matching (format-1 checkpoints were only
+            # written by plans that never removed a rule, and drift was
+            # rejected above).
+            if len(temporal) != len(self._temporal):
                 raise RecoveryError(
-                    f"temporal node mismatch: checkpoint {label!r}/{ps}, "
-                    f"plan {node.label!r}/{sorted(prune_set)}"
+                    f"checkpoint has {len(temporal)} temporal nodes; "
+                    f"rebuilt plan has {len(self._temporal)} (was a rule "
+                    "removed before the checkpoint?)"
                 )
-            node.set_state(_decode_node_state(state))
-        aggs = payload["aggregates"]
-        if len(aggs) != len(self._aggregates):
-            raise RecoveryError(
-                f"checkpoint has {len(aggs)} shared aggregates; rebuilt "
-                f"plan has {len(self._aggregates)}"
-            )
-        for ((term, avail, birth), agg), (fp, fp_avail, fp_birth, state) in zip(
-            self._aggregates.items(), aggs
-        ):
-            if str(term) != fp or sorted(avail) != fp_avail or birth != fp_birth:
+            for (node, prune_set, _), (label, ps, state) in zip(
+                self._temporal, temporal
+            ):
+                if node.label != label or sorted(prune_set) != ps:
+                    raise RecoveryError(
+                        f"temporal node mismatch: checkpoint "
+                        f"{label!r}/{ps}, plan "
+                        f"{node.label!r}/{sorted(prune_set)}"
+                    )
+                node.set_state(_decode_node_state(state))
+        else:
+            # Pool matching by (label, prune set, birth): nodes with the
+            # same pool key carry identical state (temporal children
+            # always compile with avail=∅, so two same-key memo wrappers
+            # step in lockstep), making assignment within a pool safe
+            # whatever order replay produced them in.
+            pools: dict = {}
+            for label, ps, birth, state in temporal:
+                pools.setdefault((label, tuple(ps), birth), []).append(state)
+            for node, prune_set, birth in self._temporal:
+                pool = pools.get((node.label, tuple(sorted(prune_set)), birth))
+                if pool:
+                    node.set_state(_decode_node_state(pool.pop(0)))
+                elif strict:
+                    raise RecoveryError(
+                        f"temporal node {node.label!r} (prune "
+                        f"{sorted(prune_set)}, birth {birth}) has no "
+                        "stored state in the checkpoint"
+                    )
+                # drift: a node of an added/changed rule starts fresh.
+            if strict and any(pools.values()):
+                leftover = sorted(k for k, v in pools.items() if v)
                 raise RecoveryError(
-                    f"shared aggregate mismatch: checkpoint "
-                    f"({fp!r}, {fp_avail}, {fp_birth}), plan "
-                    f"({str(term)!r}, {sorted(avail)}, {birth})"
+                    f"checkpoint temporal states left unmatched: {leftover}"
                 )
-            agg.from_state(state)
-        for name, entry in self._rules.items():
+        agg_pools: dict = {}
+        for fp, fp_avail, fp_birth, state in payload["aggregates"]:
+            agg_pools.setdefault(
+                (fp, tuple(fp_avail), fp_birth), []
+            ).append(state)
+        for (term, avail, birth), agg in self._aggregates.items():
+            pool = agg_pools.get((str(term), tuple(sorted(avail)), birth))
+            if pool:
+                agg.from_state(pool.pop(0))
+            elif strict:
+                raise RecoveryError(
+                    f"shared aggregate ({str(term)!r}, {sorted(avail)}, "
+                    f"{birth}) has no stored state in the checkpoint"
+                )
+        if strict and any(agg_pools.values()):
+            leftover = sorted(k for k, v in agg_pools.items() if v)
+            raise RecoveryError(
+                f"checkpoint aggregate states left unmatched: {leftover}"
+            )
+        for name in kept:
             rec = by_name[name]
+            entry = self._rules[name]
             entry.last_top = cs.from_payload(rec["last_top"])
             entry.result = _decode_fire_result(rec["result"])
         self._layout_gen += 1
         compiled_section = payload.get("compiled")
-        if compiled_section is not None and _compiled._PTL_COMPILE:
+        if (
+            compiled_section is not None
+            and _compiled._PTL_COMPILE
+            and not drift
+        ):
             chain = self._ensure_chain()
             if chain is not None:
                 # The slots alias the temporal nodes restored above;
                 # loading through the chain verifies the layout
                 # fingerprint (RecoveryError on slot-layout drift).
+                # Under rule drift the section is skipped: the nodes
+                # already hold their state and the chain rebuilds lazily.
                 chain.from_state(compiled_section)
         if self._obs_on:
             self._record_metrics()
+        return {"added": added, "dropped": dropped, "changed": changed}
+
+
+def _collect_aggregate_terms(term, terms: dict) -> None:
+    """Collect the distinct aggregate terms under ``term`` (dict used as
+    an ordered set — AST terms hash structurally)."""
+    if isinstance(term, ast.AggT):
+        terms[term] = None
+    elif isinstance(term, ast.FuncT):
+        for a in term.args:
+            _collect_aggregate_terms(a, terms)
 
 
 def _encode_fire_result(result: FireResult) -> dict:

@@ -53,6 +53,12 @@ class RecoveryReport:
     truncated: bool
     #: Whether a checkpoint bounded the replay.
     checkpoint_used: bool
+    #: Rule-set drift the restore tolerated (``strict_rules=False``):
+    #: ``{"added": [...], "dropped": [...], "changed": [...]}`` — names
+    #: registered by setup() but absent from the checkpoint, checkpointed
+    #: but no longer registered, and re-registered with a different
+    #: condition.  ``None`` when no manager state was restored.
+    rule_drift: Optional[dict] = None
 
 
 class RecoveryManager:
@@ -110,6 +116,7 @@ class RecoveryManager:
         self,
         setup: Optional[Callable] = None,
         metrics=None,
+        strict_rules: bool = True,
     ) -> RecoveryReport:
         """Rebuild the system from the durable directory.
 
@@ -118,7 +125,14 @@ class RecoveryManager:
         — and returns the :class:`~repro.rules.manager.RuleManager` (or
         ``None``).  Rule *code* is not serialized; re-registering it is
         the caller's half of the recovery contract, and the checkpointed
-        evaluator state is verified against it (fingerprints) on load."""
+        evaluator state is verified against it (fingerprints) on load.
+
+        With ``strict_rules=False`` a rule set that *drifted* from the
+        checkpoint (rules added, dropped, or redefined since it was
+        taken) is tolerated instead of raising
+        :class:`~repro.errors.RecoveryError`: the intersection's state is
+        restored, the rest starts fresh, and the delta is reported on
+        :attr:`RecoveryReport.rule_drift`."""
         from repro.engine import ActiveDatabase
 
         checkpoint = read_checkpoint(self.checkpoint_path)
@@ -156,6 +170,7 @@ class RecoveryManager:
         manager_state = (
             checkpoint.get("manager") if checkpoint is not None else None
         )
+        rule_drift = None
         if manager_state is not None:
             if manager is None:
                 raise RecoveryError(
@@ -169,7 +184,7 @@ class RecoveryManager:
                     f"a {type(manager).__name__} — recover with the same "
                     "manager kind (and shard layout) it was taken with"
                 )
-            manager.from_state(manager_state)
+            rule_drift = manager.from_state(manager_state, strict=strict_rules)
 
         start_seq = engine.state_count
         tail = [r for r in states if r["seq"] >= start_seq]
@@ -223,6 +238,7 @@ class RecoveryManager:
             wal_records=len(states),
             truncated=truncated,
             checkpoint_used=checkpoint is not None,
+            rule_drift=rule_drift,
         )
 
     # -- helpers -----------------------------------------------------------
@@ -257,6 +273,9 @@ def recover(
     directory: PathLike,
     setup: Optional[Callable] = None,
     metrics=None,
+    strict_rules: bool = True,
 ) -> RecoveryReport:
     """Convenience wrapper: ``RecoveryManager(directory).recover(...)``."""
-    return RecoveryManager(directory).recover(setup=setup, metrics=metrics)
+    return RecoveryManager(directory).recover(
+        setup=setup, metrics=metrics, strict_rules=strict_rules
+    )

@@ -29,6 +29,7 @@ from repro.errors import (
     DuplicateRuleError,
     HistoryError,
     RecoveryError,
+    RuleError,
     UnknownRuleError,
 )
 from repro.obs.metrics import NULL_REGISTRY, as_registry
@@ -37,7 +38,9 @@ from repro.obs.trace import (
     ACTION_FAILURE,
     FIRING,
     IC_VIOLATION,
+    LIFECYCLE,
     MONITOR,
+    SHADOW_FIRING,
     as_trace,
 )
 from repro.ptl import ast
@@ -46,6 +49,7 @@ from repro.ptl.context import EvalContext, ExecutedStore
 from repro.ptl.incremental import IncrementalEvaluator
 from repro.ptl.parser import parse_formula
 from repro.ptl.plan import PlanBoundEvaluator, SharedPlan
+from repro.ptl.rewrite import normalize
 from repro.ptl.safety import check_safety
 from repro.query.parser import parse_query
 from repro.rules.actions import Action, ActionContext, as_action
@@ -170,18 +174,30 @@ class _RegisteredRule:
         "stats",
         "_prev_bindings",
         "stateless",
+        "birth",
         "m_firings",
         "m_eval_seconds",
         "m_action_seconds",
         "m_skips",
+        "m_shadow_firings",
     )
 
-    def __init__(self, rule: Rule, evaluator, stateless: bool, registry=None):
+    def __init__(
+        self,
+        rule: Rule,
+        evaluator,
+        stateless: bool,
+        registry=None,
+        birth: int = 0,
+    ):
         self.rule = rule
         self.evaluator = evaluator
         self.stats = RuleStats()
         self.stateless = stateless
         self._prev_bindings: frozenset = frozenset()
+        #: ``states_seen`` at registration — a hot-added rule's firings
+        #: can only start here (recorded in manager-2 checkpoints).
+        self.birth = birth
         registry = registry or NULL_REGISTRY
         name = rule.name
         self.m_firings = registry.counter("rule_firings_total", rule=name)
@@ -190,6 +206,11 @@ class _RegisteredRule:
             "rule_action_seconds", rule=name
         )
         self.m_skips = registry.counter("rule_skips_total", rule=name)
+        self.m_shadow_firings = (
+            registry.counter("shadow_firings_total", rule=name)
+            if rule.shadow
+            else None
+        )
 
     def step(self, state):
         result = self.evaluator.step(state)
@@ -270,6 +291,7 @@ class RuleManager:
         self._m_batch = self.metrics.gauge("manager_batch_depth")
         self._m_state_size = self.metrics.gauge("manager_state_size")
         self._m_quarantined = self.metrics.gauge("rules_quarantined")
+        self._m_shadow = self.metrics.gauge("rules_shadow")
 
         self._rules: dict[str, _RegisteredRule] = {}
         self._ics: dict[str, _RegisteredRule] = {}
@@ -320,6 +342,21 @@ class RuleManager:
             out[name] = spec
         return out
 
+    def _lifecycle_sync(self, op: str, name: str) -> None:
+        """Bring the manager to a consistent stream position before a
+        rule-base change: batched states are evaluated first, so the
+        change takes effect strictly *after* every state already
+        ingested.  Inside an open engine ingest batch the held-back
+        states are not yet durable (WAL-before-actions), so a change
+        there is rejected rather than flushed early."""
+        if self._batch and getattr(self.engine, "in_batch", False):
+            raise RuleError(
+                f"cannot {op} rule {name!r} inside an open ingest batch "
+                "(states pending group commit); close the batch first"
+            )
+        if self._batch:
+            self.flush()
+
     def add_trigger(
         self,
         name: str,
@@ -333,14 +370,24 @@ class RuleManager:
         rewrite_aggregates: bool = False,
         record_executions: bool = True,
         priority: int = 0,
+        shadow: bool = False,
     ) -> Rule:
         """Register a trigger; the condition may be PTL text or a formula.
 
         ``priority`` orders evaluation and action execution within one
         state (higher first; ties by registration order).
+
+        Registration works on a live manager (hot add): the condition's
+        temporal operators start from "now" — the rule behaves exactly
+        like the same rule on a fresh engine fed only the states ingested
+        after registration.  With ``shadow=True`` the rule is deployed in
+        shadow mode: its condition evaluates and firings are recorded and
+        traced (``shadow_firings_total``), but the action never runs and
+        nothing enters the executed store until :meth:`promote_rule`.
         """
         if name in self._rules or name in self._ics or name in self._monitors:
             raise DuplicateRuleError(f"rule {name!r} already registered")
+        self._lifecycle_sync("register", name)
         formula = self._parse_condition(condition)
         domain_map = self._parse_domains(domains)
         check_safety(formula, domain_map.keys())
@@ -357,6 +404,7 @@ class RuleManager:
             rewrite_aggregates=rewrite_aggregates,
             record_executions=record_executions,
             priority=priority,
+            shadow=shadow,
         )
         ctx = EvalContext(executed=self.executed, domains=domain_map)
         if rewrite_aggregates:
@@ -371,7 +419,11 @@ class RuleManager:
             )
         stateless = infer_relevant_events(formula) is not None
         registered = _RegisteredRule(
-            rule, evaluator, stateless, registry=self.metrics
+            rule,
+            evaluator,
+            stateless,
+            registry=self.metrics,
+            birth=self.states_seen,
         )
         if (
             rule.relevant_events is None
@@ -381,6 +433,17 @@ class RuleManager:
             if inferred is not None:
                 rule.relevant_events = inferred
         self._rules[name] = registered
+        if self._obs_on:
+            if self.states_seen > 0:
+                self.metrics.counter("rules_added_live_total").inc()
+            self._m_shadow.set(len(self.shadow_rules()))
+            self.trace.emit(
+                LIFECYCLE,
+                op="add",
+                rule=name,
+                shadow=shadow,
+                birth=registered.birth,
+            )
         return rule
 
     def add_integrity_constraint(
@@ -456,18 +519,84 @@ class RuleManager:
         return list(self._monitors[name].resolutions)
 
     def remove_rule(self, name: str) -> None:
+        """Unregister a trigger, integrity constraint, or monitor.  Works
+        on a live manager: batched states are evaluated first, then the
+        rule's evaluator state (including its share of the plan DAG) is
+        released, its queued detached actions are dropped, and its
+        quarantine bookkeeping is cleared.  Past firings and execution
+        records stay."""
+        if (
+            name not in self._rules
+            and name not in self._ics
+            and name not in self._monitors
+        ):
+            raise UnknownRuleError(f"no rule named {name!r}")
+        self._lifecycle_sync("remove", name)
         if name in self._rules:
             reg = self._rules.pop(name)
             if self.plan is not None and isinstance(
                 reg.evaluator, PlanBoundEvaluator
             ):
                 self.plan.remove_rule(name)
+            self._pending_actions = [
+                p for p in self._pending_actions if p[0].name != name
+            ]
         elif name in self._ics:
             del self._ics[name]
         elif name in self._monitors:
             del self._monitors[name]
-        else:
-            raise UnknownRuleError(f"no rule named {name!r}")
+        self._action_failures.pop(name, None)
+        self._quarantined.discard(name)
+        if self._obs_on:
+            if self.states_seen > 0:
+                self.metrics.counter("rules_removed_live_total").inc()
+            self._m_shadow.set(len(self.shadow_rules()))
+            self._m_quarantined.set(len(self._quarantined))
+            self._m_pending.set(len(self._pending_actions))
+            self.trace.emit(LIFECYCLE, op="remove", rule=name)
+
+    def replace_rule(
+        self, name: str, condition: ConditionLike, action, **kwargs
+    ) -> Rule:
+        """Atomically swap a trigger's definition: remove + re-register
+        under the same name, between two states.  The new condition's
+        temporal operators start from "now" (no state carries over, even
+        if the condition text is unchanged).  ``kwargs`` are
+        :meth:`add_trigger`'s."""
+        if name not in self._rules:
+            raise UnknownRuleError(f"no trigger named {name!r}")
+        self.remove_rule(name)
+        rule = self.add_trigger(name, condition, action, **kwargs)
+        if self._obs_on:
+            self.metrics.counter("rules_replaced_total").inc()
+            self.trace.emit(
+                LIFECYCLE, op="replace", rule=name,
+                shadow=rule.shadow,
+            )
+        return rule
+
+    def promote_rule(self, name: str) -> None:
+        """Flip a shadow rule live: from the next state on, its firings
+        execute the action and enter the executed store.  Idempotent on
+        an already-live rule; unknown names raise
+        :class:`UnknownRuleError`."""
+        if name not in self._rules:
+            raise UnknownRuleError(f"no trigger named {name!r}")
+        self._lifecycle_sync("promote", name)
+        reg = self._rules[name]
+        if not reg.rule.shadow:
+            return
+        reg.rule.shadow = False
+        if self._obs_on:
+            self.metrics.counter("rules_promoted_total").inc()
+            self._m_shadow.set(len(self.shadow_rules()))
+            self.trace.emit(LIFECYCLE, op="promote", rule=name)
+
+    def shadow_rules(self) -> list[str]:
+        """Names of triggers currently deployed in shadow mode."""
+        return sorted(
+            name for name, reg in self._rules.items() if reg.rule.shadow
+        )
 
     def rule_names(self) -> list[str]:
         return sorted(
@@ -589,17 +718,26 @@ class RuleManager:
                     tuple(sorted(binding.items(), key=lambda kv: kv[0])),
                     state.index,
                     state.timestamp,
+                    shadow=rule.shadow,
                 )
                 self._firings.append(record)
                 if obs:
                     reg.m_firings.inc()
                     self.trace.emit(
-                        FIRING,
+                        SHADOW_FIRING if rule.shadow else FIRING,
                         timestamp=state.timestamp,
                         rule=rule.name,
                         state_index=state.index,
                         bindings=dict(record.bindings),
                     )
+                if rule.shadow:
+                    # Shadow deployment: the firing is observable above,
+                    # but the action and the executed-store record are
+                    # both suppressed — a shadow rule cannot perturb
+                    # live behaviour (other rules' executed() atoms).
+                    if reg.m_shadow_firings is not None:
+                        reg.m_shadow_firings.inc()
+                    continue
                 if rule.coupling is CouplingMode.T_CA:
                     to_execute.append((rule, binding))
                 elif rule.coupling is CouplingMode.T_C_A:
@@ -705,7 +843,12 @@ class RuleManager:
         return sorted(self._quarantined)
 
     def reinstate_rule(self, name: str) -> None:
-        """Lift a rule's quarantine and reset its failure count."""
+        """Lift a rule's quarantine and reset its failure count.
+        Unknown or never-quarantined names raise
+        :class:`UnknownRuleError` (a silent no-op here would mask a
+        misspelled operator command)."""
+        if name not in self._quarantined:
+            raise UnknownRuleError(f"rule {name!r} is not quarantined")
         self._quarantined.discard(name)
         self._action_failures.pop(name, None)
         if self._obs_on:
@@ -724,7 +867,10 @@ class RuleManager:
     # Checkpoint serialization (crash recovery)
     # ------------------------------------------------------------------
 
-    _STATE_FORMAT = 1
+    #: Checkpoint format: 2 ("manager-2") adds per-rule birth epochs,
+    #: shadow flags, and condition fingerprints, enabling drift-tolerant
+    #: restore (format-1 payloads still load, strictly).
+    _STATE_FORMAT = 2
 
     @staticmethod
     def _encode_pairs(pairs) -> list:
@@ -774,6 +920,11 @@ class RuleManager:
                     reg.stats.skips,
                     reg.stats.firings,
                 ],
+                # Normalized-condition fingerprint + lifecycle facts: the
+                # drift-tolerant restore path matches rules on these.
+                "formula": str(normalize(reg.rule.condition)),
+                "birth": reg.birth,
+                "shadow": reg.rule.shadow,
             }
             if not isinstance(reg.evaluator, PlanBoundEvaluator):
                 entry["evaluator"] = reg.evaluator.to_state()
@@ -783,7 +934,13 @@ class RuleManager:
             "states_seen": self.states_seen,
             "executed": self.executed.to_state(),
             "firings": [
-                [f.rule, self._encode_pairs(f.bindings), f.state_index, f.timestamp]
+                [
+                    f.rule,
+                    self._encode_pairs(f.bindings),
+                    f.state_index,
+                    f.timestamp,
+                    f.shadow,
+                ]
                 for f in self._firings
             ],
             "rules": rules,
@@ -800,6 +957,7 @@ class RuleManager:
                         reg.stats.skips,
                         reg.stats.firings,
                     ],
+                    "formula": str(normalize(reg.rule.condition)),
                 }
                 for name, reg in self._ics.items()
             },
@@ -816,17 +974,26 @@ class RuleManager:
             "quarantined": sorted(self._quarantined),
         }
 
-    def from_state(self, payload: dict) -> None:
+    def from_state(self, payload: dict, strict: bool = True) -> dict:
         """Restore a checkpoint taken by :meth:`to_state`.
 
-        The same rules (names, conditions, domains, couplings) must
-        already be re-registered on this manager, and the engine must be
-        at the checkpointed state — recovery rebuilds both before calling
-        this.  Mismatches raise
-        :class:`~repro.errors.RecoveryError`."""
+        The rules must already be re-registered on this manager and the
+        engine must be at the checkpointed state — recovery rebuilds both
+        before calling this.  With ``strict=True`` any rule-set drift
+        (names or, for format-2 payloads, conditions) raises
+        :class:`~repro.errors.RecoveryError`, as before.  With
+        ``strict=False`` the *intersection* is restored: rules in both
+        the checkpoint and the registration (same condition) get their
+        state back — including their checkpointed shadow flag, which wins
+        over the re-registration's; rules only registered now start
+        fresh at the checkpoint position (a hot add across the crash);
+        checkpointed rules no longer registered are dropped along with
+        their queued actions.  Returns ``{"added", "dropped",
+        "changed"}`` name lists (all empty on a strict restore)."""
         from repro.history.state import SystemState
 
-        if payload.get("format") != self._STATE_FORMAT:
+        fmt = payload.get("format")
+        if fmt not in (1, 2):
             raise RecoveryError(
                 f"unsupported manager state format {payload.get('format')!r}"
             )
@@ -834,18 +1001,52 @@ class RuleManager:
             raise RecoveryError(
                 "future-obligation monitors are not checkpointable"
             )
-        if set(payload["rules"]) != set(self._rules):
+        ck_rules = payload["rules"]
+        ck_ics = payload["ics"]
+        added = sorted(
+            (set(self._rules) - set(ck_rules))
+            | (set(self._ics) - set(ck_ics))
+        )
+        dropped = sorted(
+            (set(ck_rules) - set(self._rules))
+            | (set(ck_ics) - set(self._ics))
+        )
+        changed = []
+        if fmt >= 2:
+            for name in set(ck_rules) & set(self._rules):
+                fp = str(normalize(self._rules[name].rule.condition))
+                if ck_rules[name]["formula"] != fp:
+                    changed.append(name)
+            for name in set(ck_ics) & set(self._ics):
+                fp = str(normalize(self._ics[name].rule.condition))
+                if ck_ics[name]["formula"] != fp:
+                    changed.append(name)
+        changed = sorted(changed)
+        if strict:
+            if set(ck_rules) != set(self._rules):
+                raise RecoveryError(
+                    "checkpointed trigger set "
+                    f"{sorted(ck_rules)} != registered "
+                    f"{sorted(self._rules)}"
+                )
+            if set(ck_ics) != set(self._ics):
+                raise RecoveryError(
+                    "checkpointed integrity-constraint set "
+                    f"{sorted(ck_ics)} != registered "
+                    f"{sorted(self._ics)}"
+                )
+            if changed:
+                name = changed[0]
+                raise RecoveryError(
+                    f"rule {name!r} condition differs from the checkpoint"
+                )
+        elif fmt == 1 and (added or dropped or changed):
             raise RecoveryError(
-                "checkpointed trigger set "
-                f"{sorted(payload['rules'])} != registered "
-                f"{sorted(self._rules)}"
+                "format-1 manager checkpoints record no condition "
+                "fingerprints and cannot be restored across rule-set "
+                f"drift (added={added}, dropped={dropped})"
             )
-        if set(payload["ics"]) != set(self._ics):
-            raise RecoveryError(
-                "checkpointed integrity-constraint set "
-                f"{sorted(payload['ics'])} != registered "
-                f"{sorted(self._ics)}"
-            )
+        changed_set = set(changed)
         plan_state = payload.get("plan")
         if plan_state is not None and self.plan is None:
             raise RecoveryError(
@@ -854,18 +1055,35 @@ class RuleManager:
         self.states_seen = payload["states_seen"]
         self.executed.from_state(payload["executed"])
         self._firings = [
-            FiringRecord(rule, self._decode_pairs(bindings), index, ts)
-            for rule, bindings, index, ts in payload["firings"]
+            FiringRecord(
+                rule,
+                self._decode_pairs(bindings),
+                index,
+                ts,
+                bool(rest[0]) if rest else False,
+            )
+            for rule, bindings, index, ts, *rest in payload["firings"]
         ]
         if plan_state is not None:
-            self.plan.from_state(plan_state)
-        for name, entry in payload["rules"].items():
-            reg = self._rules[name]
+            self.plan.from_state(plan_state, strict=strict)
+        for name, reg in self._rules.items():
+            entry = ck_rules.get(name)
+            if entry is None or name in changed_set:
+                # Hot-added (or redefined) across the crash: the
+                # evaluator starts fresh at the checkpoint position.
+                continue
             reg._prev_bindings = frozenset(
                 self._decode_pairs(t) for t in entry["prev"]
             )
             ev, sk, fi = entry["stats"]
             reg.stats.evaluations, reg.stats.skips, reg.stats.firings = ev, sk, fi
+            if fmt >= 2:
+                reg.birth = entry.get("birth", 0)
+                reg.rule.shadow = bool(entry.get("shadow", False))
+                if reg.rule.shadow and reg.m_shadow_firings is None:
+                    reg.m_shadow_firings = self.metrics.counter(
+                        "shadow_firings_total", rule=name
+                    )
             if "evaluator" in entry:
                 if isinstance(reg.evaluator, PlanBoundEvaluator):
                     raise RecoveryError(
@@ -878,15 +1096,21 @@ class RuleManager:
                     f"rule {name!r} was checkpointed plan-backed but is "
                     "now independent"
                 )
-        for name, entry in payload["ics"].items():
-            reg = self._ics[name]
+        for name, reg in self._ics.items():
+            entry = ck_ics.get(name)
+            if entry is None or name in changed_set:
+                continue
             reg.evaluator.from_state(entry["evaluator"])
             ev, sk, fi = entry["stats"]
             reg.stats.evaluations, reg.stats.skips, reg.stats.firings = ev, sk, fi
         self._pending_actions = []
         for name, binding, index, ts in payload["pending"]:
             if name not in self._rules:
-                raise RecoveryError(f"pending action for unknown rule {name!r}")
+                if strict:
+                    raise RecoveryError(
+                        f"pending action for unknown rule {name!r}"
+                    )
+                continue  # the rule was dropped; its queued actions go too
             # The original SystemState is gone; a queued detached action
             # gets the current committed database under the firing's
             # timestamp/index identity.
@@ -896,12 +1120,20 @@ class RuleManager:
             self._pending_actions.append(
                 (self._rules[name].rule, dict(self._decode_pairs(binding)), stub)
             )
-        self._action_failures = dict(payload["action_failures"])
-        self._quarantined = set(payload["quarantined"])
+        failures = dict(payload["action_failures"])
+        quarantined = set(payload["quarantined"])
+        if not strict:
+            known = set(self._rules) | set(self._ics)
+            failures = {k: v for k, v in failures.items() if k in known}
+            quarantined &= known
+        self._action_failures = failures
+        self._quarantined = quarantined
         if self._obs_on:
             self._m_pending.set(len(self._pending_actions))
             self._m_quarantined.set(len(self._quarantined))
+            self._m_shadow.set(len(self.shadow_rules()))
             self._m_state_size.set(self.total_state_size())
+        return {"added": added, "dropped": dropped, "changed": changed}
 
     # ------------------------------------------------------------------
     # Introspection

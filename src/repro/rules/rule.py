@@ -74,6 +74,11 @@ class Rule:
     #: Evaluation/execution order within one state: higher runs first;
     #: ties break by registration order.
     priority: int = 0
+    #: Shadow deployment: the condition evaluates (building temporal
+    #: state) and firings are recorded/traced, but the action never runs
+    #: and nothing enters the executed store.
+    #: :meth:`~repro.rules.manager.RuleManager.promote_rule` flips it live.
+    shadow: bool = False
 
     @property
     def is_integrity_constraint(self) -> bool:
@@ -91,6 +96,9 @@ class FiringRecord:
     bindings: tuple[tuple[str, Any], ...]
     state_index: int
     timestamp: int
+    #: True when the rule was in shadow mode: the firing was recorded but
+    #: its action was suppressed.
+    shadow: bool = False
 
     @property
     def binding_dict(self) -> dict:

@@ -228,15 +228,24 @@ class TestShardedManager:
         # Gating must not lose firings.
         assert [f.rule for f in manager.firings] == ["on_go", "on_go"]
 
-    def test_post_seal_registration_rejected(self):
+    def test_post_seal_registration_goes_live(self):
+        """Hot add/remove on a sealed manager reaches the resident
+        workers: the late rule fires only for post-registration states,
+        and a removed rule stops firing."""
         adb = make_engine()
         manager = ShardedRuleManager(adb, shards=2, runtime="thread")
         manager.add_trigger("spike", "price > 50", RecordingAction())
         drive(adb, OPS[:3])  # first flush seals
-        with pytest.raises(RuleError):
-            manager.add_trigger("late", "@go", RecordingAction())
-        with pytest.raises(RuleError):
-            manager.remove_rule("spike")
+        manager.add_trigger("late", "@go", RecordingAction())
+        assert manager.shard_of("late") in (0, 1)
+        drive(adb, [("ev", "go"), ("set", "price", 80)])
+        manager.flush()
+        assert [f.rule for f in manager.firings if f.rule == "late"] == ["late"]
+        manager.remove_rule("spike")
+        before = len(manager.firings)
+        drive(adb, [("set", "price", 90)])
+        manager.flush()
+        assert [f.rule for f in manager.firings[before:]] == []
 
     def test_rewrite_aggregates_rejected_up_front(self):
         adb = make_engine()

@@ -166,7 +166,7 @@ def assert_vector_matches_nodes(chain, interp_plan_state):
     """The chain's slot vector must mirror, label for label, the temporal
     node states the *interpreted* twin holds after the same commit."""
     by_label: dict = {}
-    for label, _prune, encoded in interp_plan_state["temporal"]:
+    for label, _prune, _birth, encoded in interp_plan_state["temporal"]:
         by_label.setdefault(label, []).append(encoded)
     for kind, label, snap in chain.slot_values():
         assert kind in ("since", "last")
