@@ -150,12 +150,72 @@ def run_fpass(rules, history, compiled):
                 )
                 e.last_top = top
                 e.result = fire_result(top, state, e.ctx)
-            for node, prune_set in plan._temporal:
+            for node, prune_set, _ in plan._temporal:
                 if prune_set:
                     node.prune(state.timestamp, prune_set)
         return total
     finally:
         set_ptl_compile(prev)
+
+
+def sparse_history(n_ticks=None, idle_run=5):
+    """Price ticks separated by runs of idle commits that touch no STOCK
+    rows: the idle states wrap the *same* relation object and carry an
+    empty write-set, so :class:`~repro.query.plan.DeltaGate` may legally
+    reuse memoized atom values (the delta-skip path)."""
+    from repro.datamodel import FLOAT, STRING, Relation, Schema
+    from repro.events.model import transaction_commit, user_event
+    from repro.history.history import SystemHistory
+    from repro.history.state import SystemState
+    from repro.storage.snapshot import DatabaseState
+
+    n_ticks = n_ticks or (10 if SMOKE else 40)
+    schema = Schema.of(name=STRING, price=FLOAT)
+    history = SystemHistory()
+    ts = 0
+    commit = 0
+    for price, _ in random_walk_trace(seed=19, n=n_ticks):
+        rel = Relation.from_values(schema, [("IBM", float(price))])
+        ts += 1
+        commit += 1
+        history.append(
+            SystemState(
+                DatabaseState({"STOCK": rel}),
+                [transaction_commit(commit), user_event("update_stocks")],
+                ts,
+                delta=frozenset({"STOCK"}),
+            )
+        )
+        for _ in range(idle_run):
+            ts += 1
+            commit += 1
+            history.append(
+                SystemState(
+                    DatabaseState({"STOCK": rel}),
+                    [transaction_commit(commit)],
+                    ts,
+                    delta=frozenset(),
+                )
+            )
+    return history
+
+
+def run_sparse(rules, history):
+    """The sparse-update phase: both backends replayed over the idle-heavy
+    history with delta skipping live, counting the atom evaluations the
+    write-set gating avoided.  Returns (trace_interp, trace_compiled,
+    atoms_skipped)."""
+    from repro.query.plan import STATS, set_delta_skip
+
+    prev_skip = set_delta_skip(True)
+    try:
+        _, trace_i = fired_trace(rules, history, False)
+        before = STATS.atoms_skipped
+        _, trace_c = fired_trace(rules, history, True)
+        skipped = STATS.atoms_skipped - before
+    finally:
+        set_delta_skip(prev_skip)
+    return trace_i, trace_c, skipped
 
 
 def run_steps(rules, history, compiled):
@@ -207,6 +267,19 @@ def compute():
         t_step_c = min(
             t_step_c, time_once(lambda: run_steps(rules, history, True))
         )
+
+    # Sparse-update phase: idle-heavy history with write-set gating live;
+    # the compiled chain must agree with the interpreter here too, and the
+    # delta-skip path must actually engage.
+    sparse = sparse_history()
+    strace_i, strace_c, atoms_skipped = run_sparse(rules, sparse)
+    assert strace_c == strace_i, (
+        "compiled backend changed rule behaviour on the sparse workload"
+    )
+    assert atoms_skipped != 0, (
+        "sparse-update phase never took the delta-skip path"
+    )
+
     return {
         "registry": registry,
         "fired": fired,
@@ -215,6 +288,7 @@ def compute():
         "distinct_nodes": distinct,
         "fpass": (t_fpass_i, t_fpass_c),
         "step": (t_step_i, t_step_c),
+        "sparse": {"states": len(sparse), "atoms_skipped": atoms_skipped},
     }
 
 
@@ -273,9 +347,11 @@ def test_e18_compiled_recurrences_speedup(benchmark):
                 "fingerprint": r["fingerprint"],
             },
             "total_firings": r["fired"],
+            "sparse": r["sparse"],
         },
         registry=r["registry"],
     )
+    assert r["sparse"]["atoms_skipped"] > 0
 
     # Acceptance: the lowering must cut per-state recurrence-evaluation
     # overhead by >=3x on the overlapping 50-rule workload.  The smoke

@@ -1,0 +1,388 @@
+"""E20 — compiled aggregate maintenance + chain patching under churn.
+
+Two claims from the compiled backend's second extension round:
+
+* **aggregate maintenance** — windowed log append/expire and running
+  sum/count/min/max deltas are lowered into the generated chain function,
+  so an aggregate-heavy rule base (windowed ``sum``/``count``, running
+  ``avg``/``max``) no longer pays per-state interpreted
+  ``_MaintainedAggregate.step`` dispatch.  The **maintenance+recurrence
+  pass** (aggregate stepping plus the F_{g,i} sweep — exactly the work
+  the lowering replaces) must run >=2x faster compiled; end-to-end
+  ``plan.step`` is reported alongside for honesty.  Firings *and
+  bindings* are differential-checked state-by-state before any timing.
+
+* **chain patching** — hot add/remove on a warm plan patches the
+  resident chain (appending the new rule's unshared suffix / refcounting
+  slots out) instead of rebuilding it.  The per-op cost is measured at
+  two rule-base sizes against (a) the interpreted hot path (plain
+  ``add_rule``/``remove_rule``, no chain work) and (b) a forced full
+  rebuild at the same size.  Patching must stay well under the rebuild —
+  the rebuild is what grows with the rule count — and
+  ``plan_chain_patches_total`` must confirm the patch path actually ran.
+"""
+
+import random
+import statistics
+import time
+
+from conftest import report
+
+from repro.bench import (
+    Table,
+    emit_bench_json,
+    per_update_micros,
+    smoke_mode,
+    time_once,
+)
+from repro.events.model import transaction_commit, user_event
+from repro.history.state import SystemState
+from repro.obs import MetricsRegistry
+from repro.ptl import EvalContext, SharedPlan, parse_formula, set_ptl_compile
+from repro.ptl.plan import fire_result
+from repro.storage.snapshot import DatabaseState
+
+SMOKE = smoke_mode()
+N_RULES = 12 if SMOKE else 40
+N_STATES = 60 if SMOKE else 300
+REPEAT_PASS = 3 if SMOKE else 5
+REPEAT_STEP = 2 if SMOKE else 3
+CHURN_SIZES = (8, 24) if SMOKE else (20, 80)
+CHURN_OPS = 4 if SMOKE else 10
+
+#: Aggregate-heavy condition shapes: two windowed (log append + monotone
+#: expiry run inside the chain) and two running (pure delta updates).
+AGG_SHAPES = (
+    "[u := time] (sum(price; time <= u - {w}; @go) > {t})",
+    "[u := time] (count(price; time <= u - {w}; @go) >= {c})",
+    "avg(price; time >= 0; @go) > {t}",
+    "max(price; time >= 0; @go) > {t}",
+)
+
+
+def build_rules(n, prefix="r", seed=23):
+    rng = random.Random(seed)
+    rules = []
+    for i in range(n):
+        shape = AGG_SHAPES[i % len(AGG_SHAPES)]
+        text = shape.format(
+            w=rng.randint(3, 8),
+            t=rng.randint(40, 70) * (3 if "sum" in shape else 1),
+            c=rng.randint(2, 5),
+        )
+        rules.append((f"{prefix}{i}", parse_formula(text, None, {"price"})))
+    return rules
+
+
+def make_history(n, seed=31):
+    """Every state is a sampled tick (``@go``), so aggregate maintenance
+    runs on every single state — the workload the lowering targets."""
+    rng = random.Random(seed)
+    price = 50.0
+    states = []
+    for i in range(n):
+        price = max(1.0, price + rng.uniform(-4.0, 4.0))
+        states.append(
+            SystemState(
+                DatabaseState({"price": price}),
+                [transaction_commit(i + 1), user_event("go")],
+                i + 1,
+            )
+        )
+    return states
+
+
+def make_plan(rules, metrics=None):
+    plan = SharedPlan(EvalContext(), metrics=metrics)
+    for name, formula in rules:
+        plan.add_rule(name, formula)
+    return plan
+
+
+def fired_trace(rules, history, compiled, metrics=None):
+    """Full per-state (fired, bindings) trace — the equivalence oracle."""
+    prev = set_ptl_compile(compiled)
+    try:
+        plan = make_plan(rules, metrics=metrics)
+        out = []
+        for state in history:
+            plan.step(state)
+            out.append(
+                tuple(
+                    (
+                        name,
+                        plan.result_of(name).fired,
+                        tuple(
+                            sorted(
+                                tuple(sorted(b.items()))
+                                for b in plan.result_of(name).bindings
+                            )
+                        ),
+                    )
+                    for name, _ in rules
+                )
+            )
+        return plan, out
+    finally:
+        set_ptl_compile(prev)
+
+
+def run_apass(rules, history, compiled):
+    """Time only the maintenance+recurrence pass: aggregate stepping plus
+    the per-root evaluation sweep (interpreted) vs the single chain call
+    that subsumes both (compiled).  Fire extraction and pruning run
+    untimed so the stored formulas evolve exactly as in ``plan.step``."""
+    prev = set_ptl_compile(compiled)
+    try:
+        plan = make_plan(rules)
+        entries = list(plan._rules.values())
+        chain = plan._ensure_chain() if compiled else None
+        maintained = chain.maintained if chain is not None else None
+        aggs = list(plan._aggregates.values())
+        total = 0.0
+        for state in history:
+            plan._last_state = state
+            plan.epoch += 1
+            t0 = time.perf_counter()
+            for agg in aggs:
+                if maintained and id(agg) in maintained:
+                    continue
+                agg.step(state)
+            if chain is not None:
+                chain.run(state)
+            else:
+                for e in entries:
+                    e.root.compute(state)
+            total += time.perf_counter() - t0
+            for e in entries:
+                top = (
+                    chain.top_of(e.root)
+                    if chain is not None
+                    else e.root.compute(state)
+                )
+                e.last_top = top
+                e.result = fire_result(top, state, e.ctx)
+            for node, prune_set, _ in plan._temporal:
+                if prune_set:
+                    node.prune(state.timestamp, prune_set)
+        return total
+    finally:
+        set_ptl_compile(prev)
+
+
+def run_steps(rules, history, compiled):
+    prev = set_ptl_compile(compiled)
+    try:
+        plan = make_plan(rules)
+        step = plan.step
+        t0 = time.perf_counter()
+        for state in history:
+            step(state)
+        return time.perf_counter() - t0
+    finally:
+        set_ptl_compile(prev)
+
+
+def churn_costs(n_rules, history, compiled, registry=None):
+    """Median per-op seconds for hot add / hot remove on a warm plan of
+    ``n_rules`` aggregate rules.  Compiled ops include bringing the chain
+    back up to date (the patch); interpreted ops are the bare hot path."""
+    prev = set_ptl_compile(compiled)
+    try:
+        plan = make_plan(build_rules(n_rules), metrics=registry)
+        for state in history:
+            plan.step(state)
+        extras = build_rules(CHURN_OPS, prefix=f"x{n_rules}_", seed=41)
+        costs = []
+        for name, formula in extras:
+            t0 = time.perf_counter()
+            plan.add_rule(name, formula)
+            if compiled:
+                plan._ensure_chain()
+            costs.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            plan.remove_rule(name)
+            if compiled:
+                plan._ensure_chain()
+            costs.append(time.perf_counter() - t0)
+        patches, builds = plan.chain_patches, plan.chain_builds
+        rebuild = None
+        if compiled:
+            # Forced full rebuild at the same size — the patch's
+            # comparison point (counted separately from the churn ops).
+            roots = [
+                root
+                for entry in plan._rules.values()
+                for root in entry.roots()
+            ]
+            t0 = time.perf_counter()
+            plan._build_chain(roots)
+            rebuild = time.perf_counter() - t0
+        return statistics.median(costs), rebuild, patches, builds
+    finally:
+        set_ptl_compile(prev)
+
+
+def compute():
+    rules = build_rules(N_RULES)
+    history = make_history(N_STATES)
+
+    # Equivalence first: identical firings AND bindings, every state.
+    registry = MetricsRegistry()
+    plan_c, trace_c = fired_trace(rules, history, True, metrics=registry)
+    _, trace_i = fired_trace(rules, history, False)
+    assert trace_c == trace_i, "compiled backend changed rule behaviour"
+    fired = sum(1 for per_state in trace_c for (_, f, _) in per_state if f)
+    prev = set_ptl_compile(True)
+    try:
+        chain = plan_c._ensure_chain()
+        n_maintained = len(chain.maintained)
+        compiled_ops = plan_c.compiled_ops()
+    finally:
+        set_ptl_compile(prev)
+    assert n_maintained > 0, "no aggregate maintenance was compiled"
+
+    # Interleaved best-of-N: both modes see the same machine conditions.
+    t_pass_i = t_pass_c = float("inf")
+    for _ in range(REPEAT_PASS):
+        t_pass_i = min(t_pass_i, run_apass(rules, history, False))
+        t_pass_c = min(t_pass_c, run_apass(rules, history, True))
+    t_step_i = t_step_c = float("inf")
+    for _ in range(REPEAT_STEP):
+        t_step_i = min(
+            t_step_i, time_once(lambda: run_steps(rules, history, False))
+        )
+        t_step_c = min(
+            t_step_c, time_once(lambda: run_steps(rules, history, True))
+        )
+
+    # Churn: per-op lifecycle cost at two rule-base sizes.
+    warm = history[: max(20, N_STATES // 10)]
+    churn = {}
+    churn_registry = MetricsRegistry()
+    for size in CHURN_SIZES:
+        reg = churn_registry if size == CHURN_SIZES[-1] else None
+        t_interp, _, _, _ = churn_costs(size, warm, False)
+        t_patch, t_rebuild, patches, builds = churn_costs(
+            size, warm, True, registry=reg
+        )
+        churn[size] = {
+            "interpreted_op_us": t_interp * 1e6,
+            "compiled_op_us": t_patch * 1e6,
+            "rebuild_us": t_rebuild * 1e6,
+            "patches": patches,
+            "builds": builds,
+        }
+        assert patches >= 2 * CHURN_OPS, (
+            "lifecycle ops did not take the patch path"
+        )
+        assert builds == 1, "a lifecycle op rebuilt the chain"
+    patches_metric = churn_registry.value("plan_chain_patches_total")
+    assert patches_metric and patches_metric >= 2 * CHURN_OPS
+
+    return {
+        "registry": registry,
+        "fired": fired,
+        "compiled_ops": compiled_ops,
+        "maintained": n_maintained,
+        "apass": (t_pass_i, t_pass_c),
+        "step": (t_step_i, t_step_c),
+        "churn": churn,
+    }
+
+
+def test_e20_aggregate_maintenance_and_churn(benchmark):
+    r = benchmark.pedantic(compute, rounds=1, iterations=1)
+    t_pass_i, t_pass_c = r["apass"]
+    t_step_i, t_step_c = r["step"]
+    pass_speedup = t_pass_i / t_pass_c
+    step_speedup = t_step_i / t_step_c
+
+    table = Table(
+        "E20: compiled aggregate maintenance "
+        f"({N_RULES} aggregate rules, {N_STATES} sampled updates)",
+        ["pass", "interp (s)", "compiled (s)", "us/update", "speedup"],
+    )
+    table.add_row(
+        "maintenance+recurrences",
+        t_pass_i,
+        t_pass_c,
+        round(per_update_micros(t_pass_c, N_STATES), 1),
+        round(pass_speedup, 2),
+    )
+    table.add_row(
+        "end-to-end step",
+        t_step_i,
+        t_step_c,
+        round(per_update_micros(t_step_c, N_STATES), 1),
+        round(step_speedup, 2),
+    )
+    report(table)
+
+    churn_table = Table(
+        "E20b: hot add/remove per-op cost (median us)",
+        ["rules", "interp op", "patch op", "full rebuild", "patches"],
+    )
+    for size in CHURN_SIZES:
+        row = r["churn"][size]
+        churn_table.add_row(
+            size,
+            round(row["interpreted_op_us"], 1),
+            round(row["compiled_op_us"], 1),
+            round(row["rebuild_us"], 1),
+            row["patches"],
+        )
+    report(churn_table)
+
+    emit_bench_json(
+        "E20",
+        {
+            "rules": N_RULES,
+            "updates": N_STATES,
+            "maintained_aggregates": r["maintained"],
+            "compiled_ops": r["compiled_ops"],
+            "total_firings": r["fired"],
+            "aggregate_pass": {
+                "interpreted_seconds": t_pass_i,
+                "compiled_seconds": t_pass_c,
+                "speedup": pass_speedup,
+                "interpreted_us_per_update": per_update_micros(
+                    t_pass_i, N_STATES
+                ),
+                "compiled_us_per_update": per_update_micros(
+                    t_pass_c, N_STATES
+                ),
+            },
+            "step": {
+                "interpreted_seconds": t_step_i,
+                "compiled_seconds": t_step_c,
+                "speedup": step_speedup,
+            },
+            "churn": {str(k): v for k, v in r["churn"].items()},
+        },
+        registry=r["registry"],
+    )
+
+    # Acceptance: >=2x on the maintenance+recurrence pass at full size
+    # (smoke histories are too short for a stable ratio — floor only).
+    floor = 1.2 if SMOKE else 2.0
+    assert pass_speedup >= floor, (
+        f"expected >={floor}x aggregate-pass speedup, "
+        f"got {pass_speedup:.2f}x"
+    )
+    assert step_speedup > 1.0, (
+        f"end-to-end step got slower: {step_speedup:.2f}x"
+    )
+    # Patching must not degenerate into a per-op rebuild: at the large
+    # size a full rebuild costs a multiple of one patch, and the patch
+    # cost must not scale with the rule count the way the rebuild does.
+    small, large = CHURN_SIZES
+    if not SMOKE:
+        assert (
+            r["churn"][large]["compiled_op_us"]
+            < r["churn"][large]["rebuild_us"] / 2
+        ), "patching a rule costs as much as rebuilding the whole chain"
+        assert (
+            r["churn"][large]["compiled_op_us"]
+            < 3 * r["churn"][small]["compiled_op_us"] + 200
+        ), "per-op patch cost grows with the rule-base size"

@@ -118,7 +118,7 @@ def test_e3_scaling_table(benchmark, formula):
         history,
     )
     emit_bench_json(
-        "e3_incremental_vs_naive",
+        "E3",
         {
             "sizes": list(SIZES),
             "rows": [

@@ -111,7 +111,7 @@ def test_e4_state_size_vs_updates(benchmark):
     gauge = registry.value("evaluator_state_size", rule="sharp_increase")
     assert gauge == results["sharp+opt"][max(CHECKPOINTS)]
     emit_bench_json(
-        "e4_bounded_memory",
+        "E4",
         {
             "checkpoints": list(CHECKPOINTS),
             "state_sizes": {k: v for k, v in results.items()},

@@ -645,6 +645,13 @@ class ShardedRuleManager(RuleManager):
     def worker_rebuilds(self) -> int:
         return 0 if self.runtime is None else self.runtime.rebuilds
 
+    def chain_stats(self) -> list[dict]:
+        """Per-shard compiled-chain ``builds``/``patches`` counters from
+        the resident workers.  With the compiled backend pinned, admin
+        ops on a sealed rule base patch each affected shard's chain in
+        place — ``patches`` moves while ``builds`` stays at one."""
+        return [] if self.runtime is None else self.runtime.chain_stats()
+
     def shard_of(self, name: str) -> int:
         """Which shard evaluates ``name`` (seals the rule base first if
         needed so the layout is final)."""

@@ -29,6 +29,7 @@ from repro.errors import RecoveryError
 from repro.parallel.worker import (
     ShardWorker,
     _admin_worker,
+    _chain_stats_worker,
     _crash_worker,
     _init_worker,
     _snapshot_worker,
@@ -183,6 +184,17 @@ class ShardRuntime:
                 sizes.append(0)
         return sizes
 
+    def chain_stats(self) -> list[dict]:
+        """Per-shard compiled-chain counters (``builds``/``patches``)
+        from the resident workers; a dead worker reports zeros."""
+        stats = []
+        for shard in range(self.shards):
+            try:
+                stats.append(self._chain_stats_shard(shard))
+            except self._crash_exceptions:
+                stats.append({"builds": 0, "patches": 0})
+        return stats
+
     # -- subclass surface ---------------------------------------------------
 
     def _start_shard(self, shard: int, payload: dict) -> None:
@@ -201,6 +213,9 @@ class ShardRuntime:
         raise NotImplementedError
 
     def _state_size_shard(self, shard: int) -> int:
+        raise NotImplementedError
+
+    def _chain_stats_shard(self, shard: int) -> dict:
         raise NotImplementedError
 
     def kill_worker(self, shard: int) -> None:
@@ -260,6 +275,9 @@ class ProcessShardRuntime(ShardRuntime):
 
     def _state_size_shard(self, shard: int) -> int:
         return self._pools[shard].submit(_state_size_worker).result()
+
+    def _chain_stats_shard(self, shard: int) -> dict:
+        return self._pools[shard].submit(_chain_stats_worker).result()
 
     def kill_worker(self, shard: int) -> None:
         try:
@@ -326,6 +344,9 @@ class ThreadShardRuntime(ShardRuntime):
 
     def _state_size_shard(self, shard: int) -> int:
         return self._worker(shard).state_size()
+
+    def _chain_stats_shard(self, shard: int) -> dict:
+        return self._worker(shard).chain_stats()
 
     def kill_worker(self, shard: int) -> None:
         self._workers[shard] = None

@@ -347,6 +347,15 @@ class ShardWorker:
     def state_size(self) -> int:
         return self.plan.state_size() + len(self.executed)
 
+    def chain_stats(self) -> dict:
+        """Compiled-chain counters for this shard's plan: admin ops on a
+        sealed shard must *patch* the resident chain (``patches`` moves,
+        ``builds`` stays put), not rebuild it from scratch."""
+        return {
+            "builds": self.plan.chain_builds,
+            "patches": self.plan.chain_patches,
+        }
+
 
 # -- process-pool entry points ----------------------------------------------
 #
@@ -382,6 +391,12 @@ def _admin_worker(ops: list[dict]) -> None:
 
 def _state_size_worker() -> int:
     return 0 if _WORKER is None else _WORKER.state_size()
+
+
+def _chain_stats_worker() -> dict:
+    if _WORKER is None:
+        return {"builds": 0, "patches": 0}
+    return _WORKER.chain_stats()
 
 
 def _crash_worker() -> None:

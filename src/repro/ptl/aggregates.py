@@ -159,20 +159,63 @@ class _MaintainedAggregate:
         self.sample_eval.from_state(state["sample"])
 
 
+#: Sentinel: the lowering declined this executor — stay interpreted.
+_EXEC_NO_CHAIN = object()
+
+
 class AggregateExecutor:
-    """Steps every maintained aggregate and produces the overlay mapping."""
+    """Steps every maintained aggregate and produces the overlay mapping.
+
+    Under ``REPRO_PTL_COMPILE=1`` the r1/r2 maintenance of every
+    lowerable aggregate runs as one generated function (overlay writes
+    included); state authority stays in the ``_MaintainedAggregate``
+    objects, so checkpoints and the interpreted differential oracle are
+    unchanged."""
 
     def __init__(self) -> None:
         self._maintained: list[_MaintainedAggregate] = []
+        self._chain = None
 
     def add(self, maintained: _MaintainedAggregate) -> None:
         self._maintained.append(maintained)
+        self._chain = None
+
+    def _ensure_chain(self):
+        chain = self._chain
+        if chain is None:
+            from repro.ptl.compiled import try_lower_executor
+
+            chain = try_lower_executor(self._maintained)
+            self._chain = chain if chain is not None else _EXEC_NO_CHAIN
+        return self._chain
 
     def step(self, state: SystemState) -> dict[str, Any]:
+        from repro.ptl import compiled as _compiled
+
+        if self._maintained and _compiled._PTL_COMPILE:
+            chain = self._ensure_chain()
+            if chain is not _EXEC_NO_CHAIN:
+                chain.fn(state)
+                overlay = dict(chain.overlay)
+                for m in chain.uncompiled:
+                    overlay.update(m.step(state))
+                return overlay
         overlay: dict[str, Any] = {}
         for m in self._maintained:
             overlay.update(m.step(state))
         return overlay
+
+    def compiled_ops(self) -> int:
+        """Maintained aggregates running on generated code (0 when the
+        toggle is off or the lowering declined)."""
+        from repro.ptl import compiled as _compiled
+
+        if not _compiled._PTL_COMPILE:
+            return 0
+        chain = self._chain
+        if chain is None or chain is _EXEC_NO_CHAIN:
+            return 0
+        return chain.n_ops
 
     def __len__(self) -> int:
         return len(self._maintained)
@@ -359,12 +402,14 @@ class RewrittenEvaluator:
         return self.evaluator.state_size()
 
     def compiled_ops(self) -> int:
-        """Chain slots of the underlying evaluator when the compiled
-        recurrence backend is active (0 on the interpreted path).  The
-        aggregate-maintenance rules themselves are not lowered — they run
-        the same either way; only the aggregate-free rewritten condition
-        is chained."""
-        return self.evaluator.compiled_ops()
+        """Chain slots of the underlying evaluator plus maintained
+        aggregates lowered into the executor's generated function, when
+        the compiled recurrence backend is active (0 on the interpreted
+        path)."""
+        return (
+            self.evaluator.compiled_ops()
+            + self.rewrite.executor.compiled_ops()
+        )
 
     # -- serialization (recovery checkpoints) --------------------------------
 

@@ -10,31 +10,40 @@ dominated by interpretive overhead, exactly as the tree-walking query
 evaluator was before the compiled query plans (PR 3).
 
 This module lowers a rule set's node DAG (post-normalize, post-hash-consing,
-post common-subformula elimination) into **one generated Python function**,
-compiled once per :class:`~repro.ptl.plan.SharedPlan` (or per core
-evaluator) and reused across steps and shards:
+post common-subformula elimination) into generated Python step functions,
+compiled per :class:`~repro.ptl.plan.SharedPlan` (or per core evaluator)
+and reused across steps and shards:
 
-* every distinct subformula becomes one *slot* — a local variable assigned
-  in topological order, so shared subformulas are computed exactly once per
+* every distinct subformula becomes one *slot* — computed exactly once per
   state without any memoization machinery;
-* distinct ground queries are read **once per state** at the top of the
-  chain through a shared delta gate (the interpreter re-reads a query at
-  every atom that mentions it);
+* distinct ground queries are read **once per state** at the top of each
+  segment through a shared delta gate;
 * ground atoms compare raw query values with ``apply_comparison`` directly;
   symbolic atoms rebuild their constraint atom with the same smart
   constructors the interpreter uses, so the produced ``F_{g,i}`` formulas
   are structurally identical;
 * the ``Since``/``Lasttime`` recurrences become direct loads/stores of the
-  interpreted nodes' ``stored``/``started`` attributes.
+  interpreted nodes' ``stored``/``started`` attributes;
+* **aggregate maintenance** (window-log append/expire, running
+  sum/count/min/max deltas, overlay-item writes) is lowered into the same
+  step function, with state authority staying in the interpreted
+  ``_AggregateState`` / ``_MaintainedAggregate`` objects.
+
+Persistent (plan-owned) chains are built as **segments**: hot rule adds
+compile only the new rules' unshared suffix into a fresh segment appended
+to the run list; hot removes decrement per-slot refcounts mirroring the
+plan's memo refcounts, swap dead temporal slots to an inert sentinel, and
+drop whole segments once nothing in them is live.  The slot-layout
+fingerprint is *canonical* (order-independent over the live rows) so a
+patched chain and a freshly rebuilt chain for the same rule set agree, and
+checkpoint drift detection keeps refusing real mismatches.
 
 State authority stays with the node objects: the chain reads and writes the
 same per-node storage the interpreter uses, which keeps snapshot/restore,
 checkpointing, time-bound pruning, and ``stored_formulas`` introspection
 working unchanged — and makes the two backends freely switchable mid-run
-(the differential suite in ``tests/test_ptl_compile.py`` holds them together
-step-by-step).  The chain's *slot layout* (temporal and aggregate slots in
-chain order) is fingerprinted; checkpoints carry the fingerprint and restore
-refuses on drift.
+(the differential suite in ``tests/test_ptl_compile.py`` holds them
+together step-by-step).
 
 Toggle with ``REPRO_PTL_COMPILE=1`` (default off — the interpreted path is
 the differential oracle) or :func:`set_ptl_compile`.
@@ -81,6 +90,96 @@ class ChainLoweringError(PTLError):
 #: Sentinel: a term is not a compile-time constant.
 _DYN = object()
 
+#: Running-aggregate functions whose per-sample delta the lowering inlines.
+_RUNNING_FUNCS = ("sum", "avg", "count", "min", "max")
+
+
+class _DeadSlot:
+    """Inert stand-in swapped into a segment's globals when a temporal
+    slot is released: stores are dropped and loads are constants, so the
+    dead slot's still-emitted lines cost O(1) and its stored formula can
+    never grow."""
+
+    __slots__ = ()
+
+    @property
+    def started(self):
+        return True
+
+    @started.setter
+    def started(self, value):
+        pass
+
+    @property
+    def stored(self):
+        return cs.CFALSE
+
+    @stored.setter
+    def stored(self, value):
+        pass
+
+
+_DEAD = _DeadSlot()
+
+
+class _TemporalRow:
+    """One live temporal slot: the interpreted node plus the segment
+    global-name it is reachable through (for the dead-slot swap)."""
+
+    __slots__ = ("kind", "label", "prune", "node", "env", "name")
+
+    def __init__(self, kind, label, prune, node, env, name):
+        self.kind = kind
+        self.label = label
+        self.prune = prune
+        self.node = node
+        self.env = env
+        self.name = name
+
+
+class _MaintEntry:
+    """One aggregate whose maintenance is lowered into a segment; the
+    ``flag`` cell gates the generated block so releasing the last reader
+    turns maintenance off without regenerating code."""
+
+    __slots__ = ("agg", "flag", "term_str", "avail", "mode", "seg")
+
+    def __init__(self, agg, flag, term_str, avail, mode):
+        self.agg = agg
+        self.flag = flag
+        self.term_str = term_str
+        self.avail = avail
+        self.mode = mode
+        self.seg = None
+
+
+class _Slot:
+    """Refcount bookkeeping for one compiled node in a persistent chain."""
+
+    __slots__ = ("node", "seg", "children", "row", "aggs")
+
+    def __init__(self, node, children, row, aggs):
+        self.node = node
+        self.seg = None
+        self.children = children
+        self.row = row
+        self.aggs = aggs
+
+
+class _Segment:
+    """One generated step function covering a batch of slots (the initial
+    build, or one hot-add patch)."""
+
+    __slots__ = ("fn", "env", "source", "alive", "maints", "n_qslots")
+
+    def __init__(self, fn, env, source, alive, maints, n_qslots):
+        self.fn = fn
+        self.env = env
+        self.source = source
+        self.alive = alive
+        self.maints = maints
+        self.n_qslots = n_qslots
+
 
 # ---------------------------------------------------------------------------
 # The compiled chain
@@ -88,69 +187,252 @@ _DYN = object()
 
 
 class CompiledChain:
-    """One rule set's recurrences as a single generated step function.
+    """One rule set's recurrences as generated step functions.
 
-    ``run(state)`` executes the chain (updating the temporal nodes'
-    ``stored``/``started`` in place); ``top_of(root)`` reads a rule root's
-    value for the last state run.  The temporal slots of the state vector
-    are the interpreted nodes themselves, listed in chain order in
-    :attr:`temporal` with their ``(kind, label)`` rows in
-    :attr:`slot_layout`.
+    ``run(state)`` executes the segments in build order (updating the
+    temporal nodes' ``stored``/``started`` and the maintained aggregates'
+    state in place); ``top_of(root)`` reads a rule root's value for the
+    last state run.  Persistent chains (``persistent=True``, built by
+    :class:`~repro.ptl.plan.SharedPlan`) additionally support incremental
+    patching: :meth:`add_roots` compiles only the new rules' unshared
+    suffix into a fresh segment, :meth:`release_roots` refcounts slots
+    down exactly as the plan's memo table does.
     """
 
     __slots__ = (
-        "step_fn",
-        "source",
-        "roots",
+        "persistent",
+        "segments",
         "temporal",
-        "slot_layout",
-        "layout",
-        "fingerprint",
+        "maintained",
+        "maint_refs",
+        "node_slot",
+        "slots",
+        "slot_refs",
+        "dead_slots",
         "n_nodes",
-        "n_temporal",
         "n_query_slots",
-        "_results",
+        "fingerprint",
+        "layout",
+        "_agg_rows",
+        "_root_refs",
+        "_root_obj",
         "_root_slot",
+        "_V",
+        "_results",
     )
 
+    def __init__(self, persistent: bool):
+        self.persistent = persistent
+        self.segments: list[_Segment] = []
+        #: Live temporal rows, in lowering order.
+        self.temporal: list[_TemporalRow] = []
+        #: id(aggregate) -> _MaintEntry for aggregates maintained in-chain.
+        self.maintained: dict[int, _MaintEntry] = {}
+        #: id(aggregate) -> live reader-slot count (persistent chains).
+        self.maint_refs: dict[int, int] = {}
+        self.node_slot: dict[int, int] = {}
+        self.slots: list[Optional[_Slot]] = []
+        self.slot_refs: list[int] = []
+        self.dead_slots = 0
+        self.n_nodes = 0
+        self.n_query_slots = 0
+        self.fingerprint = ""
+        self.layout: list = []
+        self._agg_rows: list = []
+        self._root_refs: dict[int, int] = {}
+        self._root_obj: dict[int, Any] = {}
+        self._root_slot: dict[int, int] = {}
+        self._V: Optional[list] = [] if persistent else None
+        self._results: list = self._V if persistent else []
+
+    # -- execution -----------------------------------------------------------
+
     def run(self, state) -> None:
-        self.step_fn(state)
+        for seg in self.segments:
+            seg.fn(state)
 
     def top_of(self, root) -> cs.C:
         """The value computed for ``root`` by the last :meth:`run`."""
         return self._results[self._root_slot[id(root)]]
 
+    @property
+    def roots(self) -> list:
+        return list(self._root_obj.values())
+
+    @property
+    def n_temporal(self) -> int:
+        return len(self.temporal)
+
+    @property
+    def source(self) -> str:
+        return "\n".join(seg.source for seg in self.segments)
+
     def slot_values(self) -> list:
-        """Current contents of the temporal slots, in chain order:
+        """Current contents of the live temporal slots, in chain order:
         ``(kind, label, stored state)`` rows for the differential tests."""
         return [
-            (kind, label, node.get_state())
-            for (kind, label), node in zip(self.slot_layout, self.temporal)
+            (row.kind, row.label, row.node.get_state())
+            for row in self.temporal
         ]
 
     def layout_fingerprint(self) -> str:
         return self.fingerprint
 
+    # -- incremental patching (persistent chains) ----------------------------
+
+    def add_roots(self, roots, temporal_meta=None) -> None:
+        """Compile the unshared suffix of ``roots`` into a fresh segment
+        and take one root reference per occurrence.  Raises
+        :class:`ChainLoweringError` when some new node shape is
+        unsupported — the caller falls back to the interpreter wholesale."""
+        fresh = []
+        seen: set[int] = set()
+        for root in roots:
+            rid = id(root)
+            if rid in seen or rid in self.node_slot:
+                continue
+            seen.add(rid)
+            fresh.append(root)
+        if fresh:
+            _Lowering(
+                fresh, chain=self, temporal_meta=temporal_meta
+            ).build_segment()
+        for root in roots:
+            rid = id(root)
+            if rid in self._root_refs:
+                self._root_refs[rid] += 1
+            else:
+                self._root_refs[rid] = 1
+                self._root_obj[rid] = root
+                self._root_slot[rid] = self.node_slot[rid]
+            self.slot_refs[self.node_slot[rid]] += 1
+
+    def release_roots(self, roots) -> None:
+        """Drop one root reference per occurrence, freeing slots whose
+        refcount reaches zero (mirrors the plan's memo-table release)."""
+        for root in roots:
+            rid = id(root)
+            if rid not in self._root_refs:
+                continue
+            j = self._root_slot[rid]
+            n = self._root_refs[rid] - 1
+            if n:
+                self._root_refs[rid] = n
+            else:
+                del self._root_refs[rid]
+                del self._root_obj[rid]
+                del self._root_slot[rid]
+            self._deref(j)
+
+    def _deref(self, j: int) -> None:
+        self.slot_refs[j] -= 1
+        if self.slot_refs[j] <= 0 and self.slots[j] is not None:
+            self._kill(j)
+
+    def _kill(self, j: int) -> None:
+        slot = self.slots[j]
+        self.slots[j] = None
+        del self.node_slot[id(slot.node)]
+        self.n_nodes -= 1
+        self.dead_slots += 1
+        seg = slot.seg
+        seg.alive -= 1
+        row = slot.row
+        if row is not None:
+            # Stores become no-ops, loads constants: the dead recurrence
+            # can never grow its stored formula again.
+            row.env[row.name] = _DEAD
+            self.temporal.remove(row)
+        for agg in slot.aggs:
+            aid = id(agg)
+            refs = self.maint_refs.get(aid)
+            if refs is None:
+                continue
+            refs -= 1
+            if refs > 0:
+                self.maint_refs[aid] = refs
+                continue
+            del self.maint_refs[aid]
+            entry = self.maintained.pop(aid, None)
+            if entry is not None:
+                entry.flag[0] = False
+                self._maybe_drop_segment(entry.seg)
+        for cj in slot.children:
+            self._deref(cj)
+        self._maybe_drop_segment(seg)
+
+    def _maybe_drop_segment(self, seg: _Segment) -> None:
+        if seg.alive > 0 or any(e.flag[0] for e in seg.maints):
+            return
+        try:
+            self.segments.remove(seg)
+        except ValueError:
+            return
+        self.n_query_slots -= seg.n_qslots
+
+    def should_compact(self) -> bool:
+        """Whether enough released slots have accumulated that a full
+        rebuild (which the plan performs lazily) beats carrying them."""
+        return (
+            self.persistent
+            and self.dead_slots >= 64
+            and self.dead_slots >= self.n_nodes
+        )
+
+    # -- fingerprint ---------------------------------------------------------
+
+    def refingerprint(self) -> None:
+        """Recompute the canonical slot-layout fingerprint over the *live*
+        rows.  Rows are sorted, so a chain patched into a layout and a
+        chain rebuilt from scratch for the same rule set agree — which is
+        what lets checkpoints restore across differing patch histories
+        while still refusing real layout drift."""
+        rows: list = [
+            [row.kind, row.label, list(row.prune)] for row in self.temporal
+        ]
+        if self.persistent:
+            seen: set[int] = set()
+            for slot in self.slots:
+                if slot is None:
+                    continue
+                for agg in slot.aggs:
+                    if id(agg) in seen:
+                        continue
+                    seen.add(id(agg))
+                    rows.append(["agg", str(agg.term)])
+        else:
+            rows.extend(list(r) for r in self._agg_rows)
+        for entry in self.maintained.values():
+            rows.append(
+                ["maint", entry.term_str, list(entry.avail), entry.mode]
+            )
+        rows.sort(key=lambda r: json.dumps(r, separators=(",", ":")))
+        rows.append(["roots", len(self._root_slot)])
+        self.layout = rows
+        blob = json.dumps(rows, separators=(",", ":"))
+        self.fingerprint = hashlib.sha256(
+            blob.encode("utf-8")
+        ).hexdigest()[:16]
+
     # -- serialization (recovery checkpoints) --------------------------------
 
     def to_state(self) -> dict:
-        """The slot vector as a checkpoint section: the layout fingerprint
-        plus every temporal slot's stored state in chain order."""
-        from repro.ptl.incremental import _encode_node_state
-
+        """The chain's checkpoint section: the canonical layout
+        fingerprint plus the live temporal-slot count.  The slot *states*
+        are owned by the interpreted nodes and ride in the evaluator/plan
+        sections; the chain section only verifies layout on restore."""
         return {
-            "format": 1,
+            "format": 2,
             "fingerprint": self.fingerprint,
-            "slots": [
-                _encode_node_state(n.get_state()) for n in self.temporal
-            ],
+            "slots": len(self.temporal),
         }
 
     def from_state(self, payload: dict) -> None:
-        """Restore the slot vector; refuses on slot-layout drift."""
-        from repro.ptl.incremental import _decode_node_state
-
-        if payload.get("format") != 1:
+        """Verify a checkpoint section against this chain's layout;
+        refuses on slot-layout drift.  The temporal-node states themselves
+        are restored by the owning evaluator/plan (the slots alias those
+        same node objects)."""
+        if payload.get("format") != 2:
             raise RecoveryError(
                 f"unsupported compiled-chain state format: "
                 f"{payload.get('format')!r}"
@@ -161,14 +443,22 @@ class CompiledChain:
                 f"{payload.get('fingerprint')!r} does not match this "
                 f"chain's layout {self.fingerprint!r}"
             )
-        slots = payload["slots"]
-        if len(slots) != len(self.temporal):
+        slots = payload.get("slots")
+        if slots != len(self.temporal):
             raise RecoveryError(
-                f"checkpoint has {len(slots)} temporal slots; chain has "
+                f"checkpoint has {slots} temporal slots; chain has "
                 f"{len(self.temporal)}"
             )
-        for node, snap in zip(self.temporal, slots):
-            node.set_state(_decode_node_state(snap))
+
+
+class CompiledExecutor:
+    """Lowered :class:`~repro.ptl.aggregates.AggregateExecutor` step: the
+    r1/r2 maintenance of every supported ``_MaintainedAggregate`` inlined
+    into one generated function writing the shared ``overlay`` dict;
+    unsupported aggregates stay on the interpreted path and are merged in
+    by the executor."""
+
+    __slots__ = ("fn", "overlay", "uncompiled", "n_ops", "source")
 
 
 def _fast_subst(c, var, value):
@@ -351,20 +641,43 @@ def _specialization_agrees(builder, steps, op, fixed, dyn_on_left) -> bool:
     return True
 
 
-def try_lower(roots) -> Optional[CompiledChain]:
+def _collect_agg_terms(term, out) -> None:
+    if isinstance(term, ast.AggT):
+        out.append(term)
+    elif isinstance(term, ast.FuncT):
+        for a in term.args:
+            _collect_agg_terms(a, out)
+
+
+def try_lower(roots, persistent=False, temporal_meta=None):
     """Lower ``roots`` into a chain, or None when some node shape is
     unsupported — callers then fall back to the interpreted path wholesale
     (never a half-compiled mix)."""
     try:
-        return lower(roots)
+        return lower(roots, persistent, temporal_meta)
     except ChainLoweringError:
         return None
 
 
-def lower(roots) -> CompiledChain:
+def lower(roots, persistent=False, temporal_meta=None) -> CompiledChain:
     """Lower the node DAG reachable from ``roots`` (memo/timing wrappers
-    included) into a :class:`CompiledChain`."""
-    return _Lowering(list(roots)).build()
+    included) into a :class:`CompiledChain`.  ``persistent=True`` builds a
+    patchable segmented chain (the :class:`SharedPlan` shape);
+    ``temporal_meta`` maps ``id(inner temporal node)`` to its sorted
+    prune-variable tuple for the canonical layout rows."""
+    roots = list(roots)
+    if persistent:
+        chain = CompiledChain(True)
+        chain.add_roots(roots, temporal_meta)
+        chain.refingerprint()
+        return chain
+    return _Lowering(roots, temporal_meta=temporal_meta).build_static()
+
+
+def try_lower_executor(maintained) -> Optional[CompiledExecutor]:
+    """Lower an :class:`AggregateExecutor`'s maintained-aggregate list
+    into a :class:`CompiledExecutor`; None when nothing lowered."""
+    return _Lowering([]).build_executor(maintained)
 
 
 # ---------------------------------------------------------------------------
@@ -373,22 +686,70 @@ def lower(roots) -> CompiledChain:
 
 
 class _Lowering:
-    def __init__(self, roots):
-        self.roots = roots
-        #: Query-slot loads, emitted once at the top of the chain.
+    """Lowers a batch of roots into one generated step function — a whole
+    static chain, one persistent-chain segment, or an executor body."""
+
+    def __init__(self, roots, chain=None, temporal_meta=None):
+        from repro.ptl import incremental as inc
+        from repro.ptl.plan import _MemoNode
+
+        self._inc = inc
+        self._MemoNode = _MemoNode
+        self.roots = list(roots)
+        self.chain = chain
+        self.persistent = chain is not None and chain.persistent
+        self.temporal_meta = temporal_meta
+        #: Query-slot loads, emitted once at the top of the function.
         self.head: list[str] = []
         self.body: list[str] = []
-        #: Captured objects referenced by the generated code.
-        self.env: dict[str, Any] = {}
+        #: The exec globals of the generated function.  Temporal nodes are
+        #: reachable through names in this dict, so releasing a slot can
+        #: swap the interpreted node for the inert ``_DEAD`` sentinel.
+        self.env: dict[str, Any] = {
+            "_T": cs.CTRUE,
+            "_F": cs.CFALSE,
+            "_U": UNDEFINED,
+            "_not": cs.cnot,
+            "_and": cs.cand,
+            "_or": cs.cor,
+            "_and2": cs.cand2,
+            "_or2": cs.cor2,
+            "_catom": cs.catom,
+            "_subst": cs.substitute,
+            "_fs": _fast_subst,
+            "_SC": cs.SConst,
+            "_sapp": cs.sapp,
+            "_ii": cs._intify,
+            "_cmp": apply_comparison,
+            "_QEE": QueryEvaluationError,
+            "_gqv": inc.gated_query_value,
+            "_frs": inc.fire_result,
+        }
+        if self.persistent:
+            self.env["_V"] = chain._V
         #: id(node as referenced) -> expression for its value.
         self.expr: dict[int, str] = {}
         self._n = 0
         #: query -> local name of its per-state value slot.
         self._qslots: dict[Any, str] = {}
-        self.temporal: list = []
-        self.slot_layout: list = []
+        #: id(aggregate) -> local holding its value this state.  Rules
+        #: sharing an aggregate then share one ``.value()`` call per
+        #: body — windowed values walk the sample log, so the dedup
+        #: matters at fan-in.  Only unconditional node-code reads are
+        #: cached (never flag-gated maintenance code).
+        self._agg_vals: dict[int, str] = {}
+        self.temporal_rows: list[_TemporalRow] = []
         self.agg_layout: list = []
         self._agg_seen: set[int] = set()
+        #: Extra indentation applied by _emit (maintenance flag guards).
+        self._indent = 0
+        #: Inside aggregate-maintenance lowering: sub-evaluator nodes are
+        #: private to their aggregate — no slots, rows, or layout entries.
+        self._in_maint = False
+        self._maint_done: set[int] = set()
+        self._maints: list[_MaintEntry] = []
+        self._cur_row: Optional[_TemporalRow] = None
+        self._cur_aggs: list = []
 
     # -- helpers -------------------------------------------------------------
 
@@ -404,7 +765,7 @@ class _Lowering:
         return name
 
     def _emit(self, line: str, indent: int = 1) -> None:
-        self.body.append("    " * indent + line)
+        self.body.append("    " * (indent + self._indent) + line)
 
     # -- graph walk ----------------------------------------------------------
 
@@ -433,18 +794,27 @@ class _Lowering:
             return (inner.child,)
         return ()
 
-    def _toposort(self) -> list:
+    def _toposort(self, roots) -> list:
+        """Topological order of the *new* nodes reachable from ``roots``.
+        Nodes already compiled into the persistent chain are not recursed:
+        their expression becomes a read of their value-vector slot."""
+        chain = self.chain
+        known = chain.node_slot if self.persistent else None
         order: list = []
         seen: set[int] = set()
-        stack = [(n, False) for n in reversed(self.roots)]
+        stack = [(n, False) for n in reversed(roots)]
         while stack:
             node, processed = stack.pop()
             if processed:
                 order.append(node)
                 continue
-            if id(node) in seen:
+            nid = id(node)
+            if nid in seen:
                 continue
-            seen.add(id(node))
+            seen.add(nid)
+            if known is not None and nid in known:
+                self.expr[nid] = f"_V[{known[nid]}]"
+                continue
             stack.append((node, True))
             for child in reversed(self._children(node)):
                 if id(child) not in seen:
@@ -452,6 +822,16 @@ class _Lowering:
         return order
 
     # -- per-node lowering ---------------------------------------------------
+
+    def _add_row(self, kind: str, inner, name: str) -> None:
+        prune = ()
+        if self.temporal_meta is not None:
+            prune = self.temporal_meta.get(id(inner), ())
+        row = _TemporalRow(
+            kind, inner.label, tuple(prune), inner, self.env, name
+        )
+        self.temporal_rows.append(row)
+        self._cur_row = row
 
     def _lower_node(self, node) -> None:
         inc = self._inc
@@ -483,8 +863,8 @@ class _Lowering:
             v = self._local()
             self._emit(f"{v} = {n}.stored")
             self._emit(f"{n}.stored = {self.expr[id(inner.child)]}")
-            self.temporal.append(inner)
-            self.slot_layout.append(("last", inner.label))
+            if not self._in_maint:
+                self._add_row("last", inner, n)
             self.expr[key] = v
             return
         if isinstance(inner, inc._SinceNode):
@@ -499,8 +879,8 @@ class _Lowering:
             self._emit(f"{n}.started = True", 2)
             self._emit(f"{v} = {b}", 2)
             self._emit(f"{n}.stored = {v}")
-            self.temporal.append(inner)
-            self.slot_layout.append(("since", inner.label))
+            if not self._in_maint:
+                self._add_row("since", inner, n)
             self.expr[key] = v
             return
         if isinstance(inner, inc._AssignNode):
@@ -627,10 +1007,7 @@ class _Lowering:
         if isinstance(term, ast.QueryT):
             return self._query_slot(term.query), True
         if isinstance(term, ast.AggT):
-            agg = self._capture_agg(inner, term)
-            t = self._local()
-            self._emit(f"{t} = {agg}.value()")
-            return t, True
+            return self._agg_value(inner, term), True
         if isinstance(term, ast.FuncT):
             try:
                 from repro.query.functions import scalar_function
@@ -690,10 +1067,9 @@ class _Lowering:
             self._emit(f"{t} = None if {q} is _U else _SC({q})")
             return t, True
         if isinstance(term, ast.AggT):
-            agg = self._capture_agg(inner, term)
+            raw = self._agg_value(inner, term)
             t = self._local()
-            self._emit(f"{t} = {agg}.value()")
-            self._emit(f"{t} = None if {t} is _U else _SC({t})")
+            self._emit(f"{t} = None if {raw} is _U else _SC({raw})")
             return t, True
         if isinstance(term, ast.FuncT):
             parts = [self._sym_term(a, inner) for a in term.args]
@@ -756,9 +1132,7 @@ class _Lowering:
         if isinstance(dyn_term, ast.QueryT):
             q = self._query_slot(dyn_term.query)
         else:
-            agg = self._capture_agg(inner, dyn_term)
-            q = self._local()
-            self._emit(f"{q} = {agg}.value()")
+            q = self._agg_value(inner, dyn_term)
         mk = self._capture("A", builder)
         kf = self._capture("K", fixed)
         e = q
@@ -798,24 +1172,310 @@ class _Lowering:
 
     def _capture_agg(self, inner, term) -> str:
         agg = inner.evaluator._aggregates[term]
-        if id(agg) not in self._agg_seen:
-            self._agg_seen.add(id(agg))
-            self.agg_layout.append(("agg", str(term)))
+        if not self._in_maint:
+            if id(agg) not in self._agg_seen:
+                self._agg_seen.add(id(agg))
+                self.agg_layout.append(("agg", str(term)))
+            if self.persistent:
+                self._cur_aggs.append(agg)
         return self._capture("A", agg)
+
+    def _agg_value(self, inner, term) -> str:
+        """The aggregate's current value, read once per generated body."""
+        agg = inner.evaluator._aggregates[term]
+        cacheable = not self._in_maint and self._indent == 0
+        if cacheable:
+            cached = self._agg_vals.get(id(agg))
+            if cached is not None:
+                # Refcount/layout bookkeeping still runs per reader.
+                self._capture_agg(inner, term)
+                return cached
+        name = self._capture_agg(inner, term)
+        t = self._local()
+        self._emit(f"{t} = {name}.value()")
+        if cacheable:
+            self._agg_vals[id(agg)] = t
+        return t
+
+    # -- aggregate maintenance -----------------------------------------------
+
+    def _maint_prepass(self, order) -> None:
+        """Lower the maintenance of every aggregate read by this batch's
+        comparison nodes, ahead of the node code (the interpreter steps
+        aggregates before computing nodes; segment order preserves that
+        for cross-segment readers)."""
+        inc = self._inc
+        for node in order:
+            inner = self._peel(node)
+            if not isinstance(inner, inc._ComparisonNode):
+                continue
+            terms: list = []
+            _collect_agg_terms(inner.formula.left, terms)
+            _collect_agg_terms(inner.formula.right, terms)
+            for term in terms:
+                agg = inner.evaluator._aggregates.get(term)
+                if agg is not None:
+                    self._maybe_lower_maintenance(agg)
+
+    def _maybe_lower_maintenance(self, agg) -> None:
+        aid = id(agg)
+        if aid in self._maint_done:
+            return
+        self._maint_done.add(aid)
+        chain = self.chain
+        if chain is not None and aid in chain.maintained:
+            return  # an earlier segment already maintains it
+        mark = len(self.body)
+        flag = [True]
+        fl = self._capture("FL", flag)
+        self._emit(f"if {fl}[0]:")
+        self._indent += 1
+        try:
+            self._lower_agg_state(agg)
+        except ChainLoweringError:
+            self._indent -= 1
+            # Roll back the partial block: this aggregate stays on the
+            # interpreted step (its readers still work — value() reads
+            # whatever state the interpreter maintains).
+            del self.body[mark:]
+            return
+        self._indent -= 1
+        self._maints.append(
+            _MaintEntry(agg, flag, str(agg.term), sorted(agg.avail), agg.mode)
+        )
+
+    def _lower_agg_state(self, agg) -> None:
+        """Inline one ``_AggregateState.step`` (both modes), state
+        authority staying in the interpreted object."""
+        A = self._capture("A", agg)
+        self._emit(f"{A}.now = _ts")
+        qg = self._capture("QG", agg._qgate)
+        qq = self._capture("QQ", agg.term.query)
+        if agg.mode == "running":
+            if agg.agg.name not in _RUNNING_FUNCS:
+                raise ChainLoweringError(
+                    f"unsupported running aggregate {agg.agg.name!r}"
+                )
+            fs = self._lower_subeval(agg.start_eval)
+            ag = self._capture("G", agg.agg)
+            self._emit(f"if {fs}:")
+            self._emit(f"{ag}.reset()", 2)
+            self._emit(f"{A}.started = True", 2)
+            self._emit(f"{A}.poisoned = False", 2)
+            fv = self._lower_subeval(agg.sample_eval)
+            t = self._local()
+            self._emit(f"if {fv} and {A}.started:")
+            self._emit(f"{t} = _gqv({qg}, {qq}, state)", 2)
+            self._emit(f"if {t} is _U:", 2)
+            self._emit(f"{A}.poisoned = True", 3)
+            self._emit("else:", 2)
+            self._lower_running_add(ag, agg.agg.name, t, 3)
+            return
+        # windowed: record, then value() evaluates lazily at read time.
+        fv = self._lower_subeval(agg.sample_eval)
+        val = self._local()
+        t = self._local()
+        self._emit(f"{val} = None")
+        self._emit(f"if {fv}:")
+        self._emit(f"{t} = _gqv({qg}, {qq}, state)", 2)
+        self._emit(f"if {t} is _U:", 2)
+        self._emit(f"{A}.poisoned = True", 3)
+        self._emit("else:", 2)
+        self._emit(f"{val} = {t}", 3)
+        self._emit(f"{A}.log.append((_ts, {fv}, {val}))")
+        if agg.prunable:
+            self._lower_window_prune(agg, A)
+
+    def _lower_running_add(self, ag, name, t, indent) -> None:
+        """Inline ``RunningAggregate.add`` for one sample."""
+        self._emit(f"{ag}._count += 1", indent)
+        if name in ("sum", "avg"):
+            self._emit(f"{ag}._sum += {t}", indent)
+        elif name in ("min", "max"):
+            c = self._local()
+            self._emit(f"{c} = {ag}._extremum", indent)
+            self._emit(
+                f"{ag}._extremum = {t} if {c} is None else {name}({c}, {t})",
+                indent,
+            )
+        self._emit(f"{ag}._samples.append({t})", indent)
+
+    def _lower_window_prune(self, agg, A) -> None:
+        """Inline the monotone-window prune: drop log entries strictly
+        below the latest start index (same backward scan and same
+        ``j > 0`` guard as ``_AggregateState._prune``)."""
+        start = agg.term.start
+        right = start.right
+        if isinstance(right, ast.Var):
+            bound = "_ts"
+        else:
+            kc = self._capture("K", right.args[1].value)
+            sign = "-" if right.func == "-" else "+"
+            bound = f"(_ts {sign} {kc})"
+        L = self._local()
+        b = self._local()
+        k = self._local()
+        self._emit(f"{L} = {A}.log")
+        self._emit(f"if {L}:")
+        self._emit(f"{b} = {bound}", 2)
+        self._emit(f"{k} = len({L}) - 1", 2)
+        self._emit(f"while {k} >= 0 and not ({L}[{k}][0] {start.op} {b}):", 2)
+        self._emit(f"{k} -= 1", 3)
+        self._emit(f"if {k} > 0:", 2)
+        self._emit(f"del {L}[:{k}]", 3)
+
+    def _lower_subeval(self, ev) -> str:
+        """Inline one ``_CoreEvaluator.step`` over a private sub-formula
+        (aggregate start/sample): nested aggregates first, then the node
+        chain, bookkeeping, pruning, and the fired flag.  Returns the
+        local holding the boolean firedness."""
+        prev = self._in_maint
+        self._in_maint = True
+        try:
+            for sub in ev._aggregates.values():
+                self._lower_agg_state(sub)
+            order = self._toposort([ev._root])
+            for node in order:
+                self._lower_node(node)
+            E = self._capture("E", ev)
+            top = self.expr[id(ev._root)]
+            self._emit(f"{E}.last_top = {top}")
+            self._emit(f"{E}.steps += 1")
+            if ev.optimize and ev.time_vars:
+                tv = self._capture("TV", ev.time_vars)
+                for tn in ev._temporal_nodes:
+                    pr = self._capture("P", tn.prune)
+                    self._emit(f"{pr}(_ts, {tv})")
+            fv = self._local()
+            self._emit(f"if {top} is _T:")
+            self._emit(f"{fv} = True", 2)
+            self._emit(f"elif {top} is _F:")
+            self._emit(f"{fv} = False", 2)
+            self._emit("else:")
+            ec = self._capture("EC", ev.ctx)
+            self._emit(f"{fv} = _frs({top}, state, {ec}).fired", 2)
+            return fv
+        finally:
+            self._in_maint = prev
+
+    def _lower_maintained(self, m) -> None:
+        """Inline one ``_MaintainedAggregate.step`` (the paper's r1/r2
+        maintenance-rule pair), overlay-item writes included."""
+        func = m.term.func
+        if func not in _RUNNING_FUNCS:
+            raise ChainLoweringError(
+                f"unsupported maintained aggregate {func!r}"
+            )
+        M = self._capture("M", m)
+        names = m.names
+        qg = self._capture("QG", m._qgate)
+        qq = self._capture("QQ", m.term.query)
+        # r1: initialize on the starting formula.
+        fs = self._lower_subeval(m.start_eval)
+        self._emit(f"if {fs}:")
+        self._emit(f"{M}.started = True", 2)
+        self._emit(f"{M}.poisoned = False", 2)
+        if func in ("sum", "count"):
+            self._emit(f"{M}.values[{names[0]!r}] = 0", 2)
+        elif func == "avg":
+            self._emit(f"{M}.values[{names[0]!r}] = 0", 2)
+            self._emit(f"{M}.values[{names[1]!r}] = 0", 2)
+        else:  # min / max: undefined until the first sample
+            self._emit(f"{M}.values[{names[0]!r}] = None", 2)
+        # r2: update on the sampling formula.
+        fv = self._lower_subeval(m.sample_eval)
+        t = self._local()
+        self._emit(f"if {fv} and {M}.started and not {M}.poisoned:")
+        self._emit(f"{t} = _gqv({qg}, {qq}, state)", 2)
+        self._emit(f"if {t} is _U:", 2)
+        self._emit(f"{M}.poisoned = True", 3)
+        self._emit("else:", 2)
+        if func in ("sum", "avg"):
+            self._emit(f"{M}.values[{names[0]!r}] += {t}", 3)
+            if func == "avg":
+                self._emit(f"{M}.values[{names[1]!r}] += 1", 3)
+        elif func == "count":
+            self._emit(f"{M}.values[{names[0]!r}] += 1", 3)
+        else:
+            c = self._local()
+            self._emit(f"{c} = {M}.values[{names[0]!r}]", 3)
+            self._emit(
+                f"{M}.values[{names[0]!r}] = {t} if {c} is None "
+                f"else {func}({c}, {t})",
+                3,
+            )
+        self._emit(f"if not {M}.started or {M}.poisoned:")
+        for name in names:
+            self._emit(f"_OV[{name!r}] = None", 2)
+        self._emit("else:")
+        for name in names:
+            self._emit(f"_OV[{name!r}] = {M}.values[{name!r}]", 2)
 
     # -- assembly ------------------------------------------------------------
 
-    def build(self) -> CompiledChain:
-        from repro.ptl import incremental as inc
-        from repro.ptl.plan import _MemoNode
+    def _assemble(self, footer):
+        lines = ["def _chain_step(state):", "    _ts = state.timestamp"]
+        lines.extend(self.head)
+        lines.extend(self.body)
+        lines.extend(footer)
+        source = "\n".join(lines) + "\n"
+        code = compile(source, "<ptl-compiled-chain>", "exec")
+        exec(code, self.env)
+        return self.env["_chain_step"], source
 
-        self._inc = inc
-        self._MemoNode = _MemoNode
+    def build_segment(self) -> None:
+        """Compile this batch of new roots as one fresh segment appended
+        to the persistent chain (hot add patches: only the unshared suffix
+        is lowered; everything already compiled is read from ``_V``)."""
+        chain = self.chain
+        order = self._toposort(self.roots)
+        self._maint_prepass(order)
+        new_slots: list[_Slot] = []
+        for node in order:
+            self._cur_row = None
+            self._cur_aggs = []
+            self._lower_node(node)
+            j = len(chain.slots)
+            self._emit(f"_V[{j}] = {self.expr[id(node)]}")
+            slot = _Slot(node, [], self._cur_row, list(self._cur_aggs))
+            chain.slots.append(slot)
+            chain.slot_refs.append(0)
+            chain._V.append(cs.CFALSE)
+            chain.node_slot[id(node)] = j
+            chain.n_nodes += 1
+            new_slots.append(slot)
+        for slot in new_slots:
+            children = []
+            for child in self._children(slot.node):
+                cj = chain.node_slot[id(child)]
+                children.append(cj)
+                chain.slot_refs[cj] += 1
+            slot.children = children
+            for agg in slot.aggs:
+                aid = id(agg)
+                chain.maint_refs[aid] = chain.maint_refs.get(aid, 0) + 1
+        fn, source = self._assemble(())
+        seg = _Segment(
+            fn, self.env, source, len(new_slots), self._maints,
+            len(self._qslots),
+        )
+        for slot in new_slots:
+            slot.seg = seg
+        for entry in self._maints:
+            entry.seg = seg
+            chain.maintained[id(entry.agg)] = entry
+            chain.maint_refs.setdefault(id(entry.agg), 0)
+        chain.segments.append(seg)
+        chain.temporal.extend(self.temporal_rows)
+        chain.n_query_slots += len(self._qslots)
 
-        order = self._toposort()
+    def build_static(self) -> CompiledChain:
+        """Compile the whole root set as one non-patchable function (the
+        per-core-evaluator shape: built once, never churned)."""
+        order = self._toposort(self.roots)
+        self._maint_prepass(order)
         for node in order:
             self._lower_node(node)
-
         results: list = []
         root_slot: dict[int, int] = {}
         footer: list[str] = []
@@ -826,56 +1486,60 @@ class _Lowering:
             results.append(cs.CFALSE)
             root_slot[id(root)] = j
             footer.append(f"    _R[{j}] = {self.expr[id(root)]}")
-
-        lines = ["def _chain_step(state):"]
-        lines.extend(self.head)
-        lines.extend(self.body)
-        lines.extend(footer)
-        if len(lines) == 1:
-            lines.append("    pass")
-        source = "\n".join(lines) + "\n"
-
-        env: dict[str, Any] = {
-            "_T": cs.CTRUE,
-            "_F": cs.CFALSE,
-            "_U": UNDEFINED,
-            "_not": cs.cnot,
-            "_and": cs.cand,
-            "_or": cs.cor,
-            "_and2": cs.cand2,
-            "_or2": cs.cor2,
-            "_catom": cs.catom,
-            "_subst": cs.substitute,
-            "_fs": _fast_subst,
-            "_SC": cs.SConst,
-            "_sapp": cs.sapp,
-            "_ii": cs._intify,
-            "_cmp": apply_comparison,
-            "_QEE": QueryEvaluationError,
-            "_gqv": inc.gated_query_value,
-            "_R": results,
-        }
-        env.update(self.env)
-        code = compile(source, "<ptl-compiled-chain>", "exec")
-        exec(code, env)
-
-        chain = CompiledChain()
-        chain.step_fn = env["_chain_step"]
-        chain.source = source
-        chain.roots = list(self.roots)
-        chain.temporal = self.temporal
-        chain.slot_layout = list(self.slot_layout)
-        layout = [list(row) for row in self.slot_layout]
-        layout.extend(list(row) for row in self.agg_layout)
-        layout.append(["roots", len(results)])
-        chain.layout = layout
-        blob = json.dumps(layout, separators=(",", ":"))
-        chain.fingerprint = hashlib.sha256(
-            blob.encode("utf-8")
-        ).hexdigest()[:16]
+        self.env["_R"] = results
+        fn, source = self._assemble(footer)
+        chain = CompiledChain(False)
+        seg = _Segment(
+            fn, self.env, source, len(order), self._maints,
+            len(self._qslots),
+        )
+        for entry in self._maints:
+            entry.seg = seg
+            chain.maintained[id(entry.agg)] = entry
+        chain.segments.append(seg)
+        chain.temporal = self.temporal_rows
+        chain._agg_rows = [list(r) for r in self.agg_layout]
         chain.n_nodes = len(order)
-        chain.n_temporal = len(self.temporal)
         chain.n_query_slots = len(self._qslots)
         chain._results = results
         chain._root_slot = root_slot
+        for root in self.roots:
+            rid = id(root)
+            chain._root_refs[rid] = chain._root_refs.get(rid, 0) + 1
+            chain._root_obj[rid] = root
+        chain.refingerprint()
         return chain
+
+    def build_executor(self, maintained) -> Optional[CompiledExecutor]:
+        """Compile an executor's maintained-aggregate list; aggregates
+        whose shape declines lowering stay interpreted and are merged in
+        by the executor after the generated function runs."""
+        overlay: dict[str, Any] = {}
+        self.env["_OV"] = overlay
+        self.head.append("    _OV.clear()")
+        prev = self._in_maint
+        self._in_maint = True
+        compiled_ms = []
+        uncompiled = []
+        try:
+            for m in maintained:
+                mark = len(self.body)
+                try:
+                    self._lower_maintained(m)
+                except ChainLoweringError:
+                    del self.body[mark:]
+                    uncompiled.append(m)
+                    continue
+                compiled_ms.append(m)
+        finally:
+            self._in_maint = prev
+        if not compiled_ms:
+            return None
+        fn, source = self._assemble(())
+        ex = CompiledExecutor()
+        ex.fn = fn
+        ex.overlay = overlay
+        ex.uncompiled = uncompiled
+        ex.n_ops = len(compiled_ms)
+        ex.source = source
+        return ex

@@ -1032,10 +1032,21 @@ class _CoreEvaluator:
 
     def step(self, state: SystemState) -> FireResult:
         """Process one new system state; returns the firing result."""
-        for agg in self._aggregates.values():
-            agg.step(state)
+        chain = None
         if _compiled._PTL_COMPILE:
-            top = self._compiled_top(state)
+            chain = self._ensure_chain()
+            if chain is _NO_CHAIN:
+                chain = None
+        maintained = chain.maintained if chain is not None else None
+        for agg in self._aggregates.values():
+            # Aggregates whose maintenance is lowered into the chain are
+            # stepped by the generated code, not here.
+            if maintained and id(agg) in maintained:
+                continue
+            agg.step(state)
+        if chain is not None:
+            chain.run(state)
+            top = chain.top_of(self._root)
         else:
             top = self._root.compute(state)
         self.last_top = top

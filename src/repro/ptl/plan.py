@@ -229,10 +229,15 @@ class SharedPlan:
         self.compile_shared = 0
         #: Compiled recurrence chain over all rule roots (None = not yet
         #: built; _NO_CHAIN = lowering unsupported).  ``_layout_gen`` bumps
-        #: whenever the root set changes, invalidating the chain.
+        #: whenever the root set changes; a live chain is *patched* to the
+        #: new root set (full rebuilds only on first use, restore, or
+        #: lazy compaction).
         self._chain = None
         self._chain_gen = -1
         self._layout_gen = 0
+        #: Full chain compiles / incremental patches performed.
+        self.chain_builds = 0
+        self.chain_patches = 0
         if self._obs_on:
             self._m_rules = self.metrics.gauge("plan_rules")
             self._m_nodes = self.metrics.gauge("plan_distinct_nodes")
@@ -241,6 +246,12 @@ class SharedPlan:
             self._m_intern = self.metrics.gauge("plan_intern_hit_rate")
             self._m_compiled = self.metrics.gauge("plan_compiled")
             self._m_compiled_ops = self.metrics.gauge("plan_compiled_ops")
+            self._m_chain_build = self.metrics.histogram(
+                "plan_chain_build_seconds"
+            )
+            self._m_chain_patches = self.metrics.counter(
+                "plan_chain_patches_total"
+            )
 
     # ------------------------------------------------------------------
     # Registration / compilation
@@ -461,9 +472,14 @@ class SharedPlan:
         for entry in self._rules.values():
             if entry.qvars:
                 self._refresh_instances(entry, state)
-        for agg in self._aggregates.values():
-            agg.step(state)
         chain = self._ensure_chain() if _compiled._PTL_COMPILE else None
+        maintained = chain.maintained if chain is not None else None
+        for agg in self._aggregates.values():
+            # Aggregates whose maintenance is lowered into the chain are
+            # stepped by the generated code, not here.
+            if maintained and id(agg) in maintained:
+                continue
+            agg.step(state)
         if chain is not None:
             chain.run(state)
         for entry in self._rules.values():
@@ -532,22 +548,100 @@ class SharedPlan:
     # ------------------------------------------------------------------
 
     def _ensure_chain(self):
-        """The compiled chain over every rule root (and instance root),
-        rebuilt whenever the root set changed; None when the lowering
-        declined (evaluation stays interpreted).  Only *reachable* roots
-        are lowered — temporal nodes orphaned by ``remove_rule`` are not
-        stepped, exactly as in the interpreted path."""
-        if self._chain is None or self._chain_gen != self._layout_gen:
-            roots = [
-                root
-                for entry in self._rules.values()
-                for root in entry.roots()
-            ]
-            chain = _compiled.try_lower(roots)
-            self._chain = chain if chain is not None else _NO_CHAIN
-            self._chain_gen = self._layout_gen
+        """The compiled chain over every rule root (and instance root);
+        None when the lowering declined (evaluation stays interpreted).
+        Only *reachable* roots are lowered — temporal nodes orphaned by
+        ``remove_rule`` are not stepped, exactly as in the interpreted
+        path.
+
+        When the root set changed under a live chain, the chain is
+        *patched*: removed roots are refcounted out (dead temporal slots
+        go inert, whole segments drop once empty), new roots compile only
+        their unshared suffix into a fresh appended segment.  Full
+        rebuilds happen on first use, after a restore, when patching hits
+        an unlowerable shape, and lazily once enough dead slots pile up
+        (:meth:`CompiledChain.should_compact`)."""
+        chain = self._chain
+        if chain is not None and self._chain_gen == self._layout_gen:
+            return chain if chain is not _NO_CHAIN else None
+        roots = [
+            root
+            for entry in self._rules.values()
+            for root in entry.roots()
+        ]
+        if (
+            isinstance(chain, _compiled.CompiledChain)
+            and not chain.should_compact()
+        ):
+            self._patch_chain(chain, roots)
+            chain = self._chain
+            if (
+                isinstance(chain, _compiled.CompiledChain)
+                and chain.should_compact()
+            ):
+                # The patch just crossed the dead-slot threshold.
+                self._build_chain(roots)
+        else:
+            self._build_chain(roots)
+        self._chain_gen = self._layout_gen
         chain = self._chain
         return chain if chain is not _NO_CHAIN else None
+
+    def _temporal_meta(self) -> dict:
+        """Prune sets by temporal-node identity, for the chain's canonical
+        slot-layout fingerprint (birth epochs are deliberately excluded:
+        the fingerprint must be a function of the rule set alone so a
+        patched chain and a fresh rebuild agree)."""
+        return {
+            id(node): tuple(sorted(prune_set))
+            for node, prune_set, _ in self._temporal
+        }
+
+    def _build_chain(self, roots) -> None:
+        import time
+
+        start = time.perf_counter()
+        chain = _compiled.try_lower(
+            roots, persistent=True, temporal_meta=self._temporal_meta()
+        )
+        self._chain = chain if chain is not None else _NO_CHAIN
+        self.chain_builds += 1
+        if self._obs_on:
+            self._m_chain_build.observe(time.perf_counter() - start)
+
+    def _patch_chain(self, chain, roots) -> None:
+        """Diff the wanted root multiset against the chain's root refs and
+        apply release + append patches; falls back to ``_NO_CHAIN`` if the
+        added rules contain an unlowerable shape (the whole plan then runs
+        interpreted — mixed-mode stepping is not worth the complexity)."""
+        want: dict[int, int] = {}
+        by_id: dict[int, _Node] = {}
+        for root in roots:
+            rid = id(root)
+            want[rid] = want.get(rid, 0) + 1
+            by_id[rid] = root
+        releases = []
+        for rid, have in list(chain._root_refs.items()):
+            extra = have - want.get(rid, 0)
+            if extra > 0:
+                releases.extend([chain._root_obj[rid]] * extra)
+        adds = []
+        for rid, need in want.items():
+            have = chain._root_refs.get(rid, 0)
+            if need > have:
+                adds.extend([by_id[rid]] * (need - have))
+        if not releases and not adds:
+            return
+        chain.release_roots(releases)
+        try:
+            chain.add_roots(adds, self._temporal_meta())
+        except _compiled.ChainLoweringError:
+            self._chain = _NO_CHAIN
+            return
+        chain.refingerprint()
+        self.chain_patches += 1
+        if self._obs_on:
+            self._m_chain_patches.inc()
 
     def compiled_ops(self) -> int:
         """Slots in the plan's compiled chain (0 when interpreted).
@@ -880,6 +974,10 @@ class SharedPlan:
             entry = self._rules[name]
             entry.last_top = cs.from_payload(rec["last_top"])
             entry.result = _decode_fire_result(rec["result"])
+        # The replay above rebuilt every node object; a surviving chain
+        # would patch against stale identities — drop it and rebuild.
+        self._chain = None
+        self._chain_gen = -1
         self._layout_gen += 1
         compiled_section = payload.get("compiled")
         if (
