@@ -1,0 +1,256 @@
+"""E17 — tiered history spill: flat RSS under an unbounded-``Since`` run.
+
+The paper's bounded-operator optimization (E4) caps *evaluator* state,
+but the system history itself — which unbounded ``since`` conditions pin
+in full — grows with every committed state.  E17 measures the tiered
+history subsystem closing that gap:
+
+* **differential** — a spilling engine (tiny budget) and an all-in-RAM
+  engine drive the same unbounded-``Since`` workload; firings and final
+  state must be identical (the spill is observationally invisible);
+* **RSS trajectory** — each variant runs in a *subprocess* (clean
+  address space): the spilling run's resident-set growth must stay flat
+  while the in-RAM run grows linearly with history length, even though
+  the spilling run covers many times more states;
+* **latency** — spill/fault latency percentiles (segment write + fault
+  read, with transient I/O faults injected mid-run) from the store's
+  histograms.
+
+Full size via ``REPRO_E17_N`` (default 1,000,000 states; smoke: 4,000).
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from conftest import report
+
+from repro.bench import Table, emit_bench_json, smoke_mode
+
+SMOKE = smoke_mode()
+N = int(
+    os.environ.get("REPRO_E17_N", "4000" if SMOKE else "1000000")
+)
+#: The in-RAM control run is capped: its point is the growth *rate*.
+N_RAM = min(N, 4000 if SMOKE else 100_000)
+#: Differential run size (both variants, identical workload).
+N_DIFF = min(N, 4000 if SMOKE else 20_000)
+
+BUDGET = 400_000  # bytes: forces continuous spilling at any real N
+HOT_WINDOW = 512
+
+_CHILD = r"""
+import hashlib, json, os, resource, sys, tempfile
+
+variant, n, fault_every = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+
+from repro.engine import ActiveDatabase
+from repro.events import user_event
+from repro.history.spill import attach_tiered_history
+from repro.recovery.faultinject import FSYNC_FAIL, FaultInjector
+from repro.rules.actions import RecordingAction
+from repro.rules.rule import CouplingMode
+
+
+def rss_bytes():
+    with open("/proc/self/statm") as fp:
+        return int(fp.read().split()[1]) * os.sysconf("SC_PAGE_SIZE")
+
+
+adb = ActiveDatabase(metrics=True)
+adb.declare_item("price", 0)
+manager = adb.rule_manager()
+# unbounded since: the condition pins the whole history's worth of
+# temporal context; fires only while price stays high since a @go
+manager.add_trigger(
+    "spike", "price > 96 since @go", RecordingAction(),
+    coupling=CouplingMode.T_C_A,
+)
+injector = FaultInjector() if fault_every else None
+runtime = None
+if variant == "spill":
+    runtime = attach_tiered_history(
+        adb, tempfile.mkdtemp(prefix="e17-"),
+        budget_bytes=%(budget)d, hot_window=%(hot)d,
+        segment_records=4096, injector=injector,
+    )
+
+checkpoints = sorted({max(1, n * k // 8) for k in range(1, 9)})
+trajectory = []
+baseline = rss_bytes()
+fired = hashlib.sha256()
+for i in range(n):
+    if fault_every and i %% fault_every == 0 and injector is not None:
+        injector.arm_io(FSYNC_FAIL, times=1)
+    if i %% 50 == 0:
+        adb.post_event(user_event("go"))
+    adb.execute(lambda t, i=i: t.set_item("price", (i * 37) %% 101))
+    if i + 1 in checkpoints:
+        trajectory.append([i + 1, rss_bytes() - baseline])
+for f in manager.firings:
+    fired.update(repr((f.rule, f.bindings, f.state_index, f.timestamp)).encode())
+
+# deep-past reads fault sealed segments back in
+fault_reads = 0
+if variant == "spill" and adb.history.spilled_states:
+    for pos in range(0, adb.history.spilled_states, max(1, n // 16)):
+        adb.history[pos]
+        fault_reads += 1
+
+m = adb.metrics
+
+
+def q(name, qq):
+    h = m.histogram(name)
+    v = h.quantile(qq)
+    return None if v is None else v
+
+
+out = {
+    "variant": variant,
+    "n": n,
+    "states": adb.state_count,
+    "rss_trajectory": trajectory,
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "firings_sha": fired.hexdigest(),
+    "firings": len(manager.firings),
+    "final_price": adb.state.item("price"),
+    "hot_states": getattr(adb.history, "hot_states", len(adb.history)),
+    "spilled_states": getattr(adb.history, "spilled_states", 0),
+    "spilled_bytes": m.counter("history_spilled_bytes").value,
+    "segments": m.gauge("segments_total").value,
+    "io_retries": m.counter("io_retries_total").value,
+    "fault_reads": fault_reads,
+    "write_p50": q("segment_write_seconds", 0.5),
+    "write_p95": q("segment_write_seconds", 0.95),
+    "write_p99": q("segment_write_seconds", 0.99),
+    "load_p50": q("segment_load_seconds", 0.5),
+    "load_p95": q("segment_load_seconds", 0.95),
+    "degraded": adb.degraded,
+}
+print(json.dumps(out))
+""" % {"budget": BUDGET, "hot": HOT_WINDOW}
+
+
+def run_child(variant: str, n: int, fault_every: int = 0) -> dict:
+    src_dir = str(Path(__file__).resolve().parents[1] / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, variant, str(n), str(fault_every)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def growth_per_state(result: dict) -> float:
+    """RSS slope over the second half of the run (the first half absorbs
+    allocator warm-up and the hot window filling)."""
+    traj = result["rss_trajectory"]
+    mid = traj[len(traj) // 2]
+    last = traj[-1]
+    states = last[0] - mid[0]
+    return (last[1] - mid[1]) / max(1, states)
+
+
+def test_e17_tiered_history(benchmark):
+    results = {}
+
+    def compute():
+        results["spill"] = run_child("spill", N)
+        results["ram"] = run_child("ram", N_RAM)
+        results["spill_diff"] = run_child("spill", N_DIFF)
+        results["ram_diff"] = run_child("ram", N_DIFF)
+        results["spill_faults"] = run_child(
+            "spill", N_DIFF, fault_every=500
+        )
+        return results
+
+    benchmark.pedantic(compute, rounds=1, iterations=1)
+    spill, ram = results["spill"], results["ram"]
+
+    table = Table(
+        "E17: tiered history — unbounded-Since run, spill vs RAM",
+        [
+            "variant", "states", "RSS growth MB", "B/state",
+            "hot", "spilled", "segments", "write p95 ms",
+        ],
+    )
+    for key, r in (("spill", spill), ("ram", ram)):
+        table.add_row(
+            key,
+            r["states"],
+            r["rss_trajectory"][-1][1] / 1e6,
+            round(growth_per_state(r), 1),
+            r["hot_states"],
+            r["spilled_states"],
+            r["segments"],
+            (r["write_p95"] or 0) * 1e3,
+        )
+    report(table)
+
+    # -- differential: the spill is observationally invisible -----------
+    assert (
+        results["spill_diff"]["firings_sha"]
+        == results["ram_diff"]["firings_sha"]
+    ), "spilled engine fired differently from the in-RAM oracle"
+    assert (
+        results["spill_diff"]["final_price"]
+        == results["ram_diff"]["final_price"]
+    )
+    # ...including with transient I/O faults injected every 500 states
+    assert (
+        results["spill_faults"]["firings_sha"]
+        == results["ram_diff"]["firings_sha"]
+    ), "spilled engine diverged under injected transient faults"
+    assert results["spill_faults"]["io_retries"] > 0
+    assert not results["spill_faults"]["degraded"]
+
+    # -- memory: hot window bounded, RSS flat ---------------------------
+    assert spill["spilled_states"] > 0, "budget never tripped"
+    # Hot residency is bounded by the byte budget plus the hot window —
+    # a constant independent of N (64 B is a floor on encoded state size).
+    assert spill["hot_states"] <= HOT_WINDOW + BUDGET // 64
+    assert spill["hot_states"] < spill["states"]
+    assert spill["spilled_bytes"] > 0
+    assert spill["fault_reads"] > 0  # deep-past reads exercised
+    if not SMOKE:
+        # The spilling run covers N states; the RAM run only N_RAM, yet
+        # the spilling run's per-state RSS slope must be a small fraction
+        # of the in-RAM run's (flat vs linear growth).
+        assert growth_per_state(spill) < 0.25 * growth_per_state(ram), (
+            f"spill RSS not flat: {growth_per_state(spill):.1f} B/state "
+            f"vs RAM {growth_per_state(ram):.1f} B/state"
+        )
+
+    emit_bench_json(
+        "E17",
+        {
+            "n": N,
+            "n_ram": N_RAM,
+            "budget_bytes": BUDGET,
+            "hot_window": HOT_WINDOW,
+            "spill": spill,
+            "ram": ram,
+            "diff": {
+                "firings": results["spill_diff"]["firings"],
+                "identical": results["spill_diff"]["firings_sha"]
+                == results["ram_diff"]["firings_sha"],
+            },
+            "faulted": {
+                "io_retries": results["spill_faults"]["io_retries"],
+                "write_p50": results["spill_faults"]["write_p50"],
+                "write_p95": results["spill_faults"]["write_p95"],
+                "write_p99": results["spill_faults"]["write_p99"],
+                "load_p50": spill["load_p50"],
+                "load_p95": spill["load_p95"],
+            },
+        },
+    )

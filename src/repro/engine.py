@@ -34,6 +34,7 @@ from repro.errors import (
     HistoryError,
     QueueFullError,
     ReproError,
+    StorageDegradedError,
     TransactionAborted,
 )
 from repro.events import model as ev
@@ -98,8 +99,21 @@ class ActiveDatabase:
         #: batch is durable.
         self.in_batch = False
         #: A durability provider (the WAL when attached) offering
-        #: begin_group()/end_group(); None when nothing durable is wired.
+        #: begin_group()/end_group() and prepare(); None when nothing
+        #: durable is wired.
         self.durability = None
+        #: Tiered-history runtime (see :mod:`repro.history.spill`) when
+        #: :func:`~repro.history.spill.attach_tiered_history` is wired.
+        self.tiered = None
+        # -- degraded read-only mode ---------------------------------------
+        #: True once a disk stayed unwritable past bounded retries: every
+        #: state append (commit, event, tick) is refused with
+        #: :class:`~repro.errors.StorageDegradedError` until
+        #: :meth:`exit_degraded` verifies the disk recovered.  Reads,
+        #: queries, and rule evaluation over committed states continue.
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        self._m_degraded = self.metrics.gauge("storage_degraded")
         #: Called (no args) after each batch turns durable.
         self.batch_listeners: list[Callable[[], None]] = []
         self.max_queue = max(1, max_queue)
@@ -141,13 +155,7 @@ class ActiveDatabase:
         before it) — point-in-time querying over the kept history."""
         if self.history is None:
             raise HistoryError("as_of needs keep_history=True")
-        best = None
-        for state in self.history:
-            if state.timestamp <= timestamp:
-                best = state
-            else:
-                break
-        return best
+        return self.history.as_of(timestamp)
 
     @property
     def state_count(self) -> int:
@@ -195,6 +203,47 @@ class ActiveDatabase:
             return self.clock.now
         return self.clock.advance_by(1)
 
+    # -- degraded read-only mode ---------------------------------------------
+
+    def enter_degraded(self, reason: str) -> None:
+        """Switch to degraded read-only mode: the disk stayed unwritable
+        past bounded retries, so durable appends are refused cleanly
+        (typed :class:`StorageDegradedError`) instead of letting the
+        in-memory and durable histories diverge.  Idempotent."""
+        if not self.degraded:
+            self.degraded = True
+            self._m_degraded.set(1)
+        self.degraded_reason = reason
+
+    def exit_degraded(self) -> None:
+        """Leave degraded mode after probing that the disk writes again.
+        Each attached storage consumer (durability provider, tiered
+        store) is probed with a real write+fsync; an unhealthy disk
+        raises ``OSError`` and the engine stays degraded."""
+        if not self.degraded:
+            return
+        if self.durability is not None and hasattr(self.durability, "probe"):
+            self.durability.probe()
+        if self.tiered is not None:
+            self.tiered.probe()
+        self.degraded = False
+        self.degraded_reason = None
+        self._m_degraded.set(0)
+
+    def _prepare_durable(self, state: SystemState) -> None:
+        """Make ``state`` durable *before* it is installed anywhere.  In
+        degraded mode the append is refused outright; otherwise an I/O
+        failure in the provider surfaces here, leaving memory untouched."""
+        if self.degraded:
+            raise StorageDegradedError(
+                f"storage degraded ({self.degraded_reason}); refusing to "
+                f"append state at t={state.timestamp} — call "
+                "exit_degraded() once the disk recovers",
+                reason=self.degraded_reason or "",
+            )
+        if self.durability is not None and hasattr(self.durability, "prepare"):
+            self.durability.prepare(state)
+
     # -- state appends ----------------------------------------------------------------
 
     _NO_DELTA: frozenset = frozenset()
@@ -205,10 +254,13 @@ class ActiveDatabase:
         events: Iterable[ev.Event],
         ts: int,
         delta: Optional[frozenset] = _NO_DELTA,
+        prepared: bool = False,
     ) -> SystemState:
         state = SystemState(
             db_state, events, ts, index=self._state_count, delta=delta
         )
+        if not prepared:
+            self._prepare_durable(state)
         if self.history is not None:
             state = self.history.append(state)
         self._state_count += 1
@@ -389,16 +441,21 @@ class ActiveDatabase:
             )
             raise TransactionAborted(txn.id, "; ".join(violations))
 
-        # Durable point: the transaction is committed the moment the new
-        # database state is installed — before rule actions run.  An
-        # exception raised by an action (publication below) therefore
-        # surfaces as a typed ActionError with the transaction already
-        # COMMITTED, instead of masquerading as a transaction failure.
+        # Durable point: the commit record reaches the WAL *before* the
+        # new database state is installed — an unwritable disk refuses the
+        # commit cleanly (memory untouched, transaction still ACTIVE for
+        # the caller to abort) instead of leaving the in-memory and
+        # durable histories divergent.  Once installed, the transaction is
+        # COMMITTED before rule actions run: an exception raised by an
+        # action (publication below) surfaces as a typed ActionError with
+        # the commit already decided, instead of masquerading as a
+        # transaction failure.
+        self._prepare_durable(candidate)
         self.db._set_state(candidate_db)
         self.txns.finish(txn, TxnStatus.COMMITTED)
         if self._obs_on:
             self._m_commits.inc()
-        return self._append(candidate_db, events, ts, delta=delta)
+        return self._append(candidate_db, events, ts, delta=delta, prepared=True)
 
     def _abort(
         self, txn: Transaction, at_time: Optional[int], reason: str

@@ -89,6 +89,20 @@ class RecoveryError(StorageError):
     or a mismatch between the checkpoint and the re-registered rules."""
 
 
+class StorageDegradedError(StorageError):
+    """The engine is in degraded read-only mode: the disk stayed
+    unwritable after bounded retries, so actions that need durability
+    (commits, event appends, spills) are refused cleanly.  Reads, queries
+    and rule evaluation over already-committed states continue; call
+    :meth:`~repro.engine.ActiveDatabase.exit_degraded` once the disk is
+    healthy again."""
+
+    def __init__(self, message: str, reason: str = ""):
+        super().__init__(message)
+        #: The original failure that forced the engine into degraded mode.
+        self.reason = reason
+
+
 class TransactionError(ReproError):
     """Base class for transaction lifecycle errors."""
 

@@ -1,6 +1,21 @@
 """System states and histories (the paper's Section 2 model)."""
 
 from repro.history.history import SystemHistory
+from repro.history.spill import (
+    MemoryGovernor,
+    TieredHistory,
+    TieredRuntime,
+    attach_tiered_history,
+    restore_tiers,
+)
 from repro.history.state import SystemState
 
-__all__ = ["SystemState", "SystemHistory"]
+__all__ = [
+    "SystemState",
+    "SystemHistory",
+    "MemoryGovernor",
+    "TieredHistory",
+    "TieredRuntime",
+    "attach_tiered_history",
+    "restore_tiers",
+]

@@ -17,6 +17,7 @@ access and slicing.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Iterable, Iterator, Optional
 
 from repro.errors import ClockError, HistoryError
@@ -119,6 +120,12 @@ class SystemHistory:
         (Section 8: 'a commit point in a history h is a state that contains
         the commit transaction event')."""
         return [i for i, s in enumerate(self._states) if s.is_commit_point()]
+
+    def as_of(self, timestamp: int) -> Optional[SystemState]:
+        """Latest state at or before ``timestamp`` (binary search —
+        timestamps strictly increase)."""
+        i = bisect_right(self._states, timestamp, key=lambda s: s.timestamp)
+        return self._states[i - 1] if i else None
 
     def state_at_time(self, timestamp: int) -> Optional[SystemState]:
         for s in self._states:

@@ -1,0 +1,679 @@
+"""Tiered history: a memory governor + transparent spill to segments.
+
+ROADMAP item 3: bounded-memory pruning handles time-bounded operators,
+but the engine's :class:`~repro.history.history.SystemHistory`, the
+``executed`` store, auxiliary-relation versions, and unbounded-``Since``
+storage still grow in RAM forever.  This module splits each into a *hot*
+recent window kept in memory and an *archival* past spilled to the
+checksummed segments of :class:`~repro.storage.tiers.SegmentStore`:
+
+* :class:`MemoryGovernor` — tracks estimated bytes per account against a
+  configurable budget;
+* :class:`TieredHistory` — a drop-in ``SystemHistory`` whose cold prefix
+  lives in segments, faulted back transparently (and lazily) on
+  deep-past reads (``as_of``, iteration, ``explain_firing`` walks);
+* :class:`TieredRuntime` / :func:`attach_tiered_history` — wires a live
+  engine: accounts every appended state, spills when over budget, enters
+  the engine's degraded read-only mode when the disk stays unwritable,
+  and archives everything at checkpoint time so
+  :func:`restore_tiers` can rebuild a spilled run bit-identically.
+
+Unbounded-``Since`` stored formulas are *accounted* (they are consulted
+at every step, so spilling them would just move the hot loop to disk);
+history states, executed records, and auxiliary-relation versions are
+*spilled*.
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_right
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.errors import HistoryError, StorageError
+from repro.events.model import Event
+from repro.history.history import SystemHistory
+from repro.history.state import SystemState
+from repro.obs.metrics import as_registry
+from repro.storage.persist import _decode_item, _encode_item, _encode_value
+from repro.storage.snapshot import DatabaseState
+from repro.storage.tiers import SegmentStore
+
+PathLike = Union[str, Path]
+
+TIERS_FORMAT = 1
+#: Default budget before spilling begins (64 MiB of estimated bytes).
+DEFAULT_BUDGET = 64 * 1024 * 1024
+#: Default number of recent states kept hot in memory.
+DEFAULT_HOT_WINDOW = 256
+#: Conventional segment subdirectory inside a recovery directory.
+SEGMENT_DIR_NAME = "segments"
+
+#: Initial per-unit byte estimates, refined from real segment sizes.
+_EST_STATE_BYTES = 512
+_EST_EXECUTED_BYTES = 120
+_EST_FORMULA_BYTES = 80
+
+
+# -- state codec (delta chain, self-contained per segment) -----------------
+
+
+def _encode_state(state: SystemState, prev_db) -> dict:
+    rec = {
+        "i": state.index,
+        "ts": state.timestamp,
+        "events": [
+            [e.name, [_encode_value(p) for p in e.params]]
+            for e in sorted(state.events, key=str)
+        ],
+        "delta": None if state.delta is None else sorted(state.delta),
+    }
+    if prev_db is None:
+        rec["items"] = {
+            name: _encode_item(state.db.raw_item(name))
+            for name in state.db.item_names()
+        }
+    else:
+        rec["changes"] = {
+            name: _encode_item(state.db.raw_item(name))
+            for name in state.db.changed_items(prev_db)
+        }
+    return rec
+
+
+def _decode_states(records: list) -> list[SystemState]:
+    db = None
+    out = []
+    for rec in records:
+        if "items" in rec:
+            db = DatabaseState(
+                {n: _decode_item(v) for n, v in rec["items"].items()}
+            )
+        else:
+            changes = {
+                n: _decode_item(v) for n, v in rec["changes"].items()
+            }
+            if changes:
+                db = db.with_updates(changes)
+        events = [Event(n, tuple(p)) for n, p in rec["events"]]
+        delta = (
+            None if rec["delta"] is None else frozenset(rec["delta"])
+        )
+        out.append(
+            SystemState(db, events, rec["ts"], index=rec["i"], delta=delta)
+        )
+    return out
+
+
+# -- the governor ----------------------------------------------------------
+
+
+class MemoryGovernor:
+    """Byte-budget accounting across the growable stores.
+
+    Accounts are callables returning an *estimated* byte figure; the
+    governor sums them against ``budget_bytes`` and the runtime spills
+    while :meth:`over_budget`.  Estimates are deliberately cheap (counts
+    times a learned average) — the point is a stable trigger, not an
+    allocator-grade measurement."""
+
+    def __init__(self, budget_bytes: int = DEFAULT_BUDGET, metrics=None):
+        self.budget_bytes = max(0, int(budget_bytes))
+        self._accounts: dict[str, Callable[[], int]] = {}
+        self.metrics = as_registry(metrics)
+        self._m_bytes = self.metrics.gauge("governor_bytes")
+        self._m_budget = self.metrics.gauge("governor_budget_bytes")
+        self._m_budget.set(self.budget_bytes)
+
+    def register(self, name: str, estimate: Callable[[], int]) -> None:
+        self._accounts[name] = estimate
+
+    def unregister(self, name: str) -> None:
+        self._accounts.pop(name, None)
+
+    def usage(self) -> dict[str, int]:
+        return {name: int(fn()) for name, fn in self._accounts.items()}
+
+    def total(self) -> int:
+        total = sum(int(fn()) for fn in self._accounts.values())
+        self._m_bytes.set(total)
+        return total
+
+    def over_budget(self) -> bool:
+        return self.total() > self.budget_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryGovernor({self.total()}/{self.budget_bytes} bytes, "
+            f"accounts={sorted(self._accounts)})"
+        )
+
+
+# -- the tiered history ----------------------------------------------------
+
+
+class TieredHistory(SystemHistory):
+    """A system history whose cold prefix lives in on-disk segments.
+
+    Positions ``[0, archived)`` are covered by sealed segments (the
+    *catalog*); positions ``[mem_start, total)`` are in memory.  The two
+    ranges may overlap after :meth:`archive` (checkpoint flush): reads
+    prefer memory, and a later spill advances ``mem_start`` without
+    rewriting anything.  The invariant ``mem_start <= archived or
+    archived <= mem_start <= archived`` reduces to: no gap — every
+    position is in at least one tier.
+
+    ``base_index`` keeps the parent-class meaning (index of the first
+    *in-memory* state) and is advanced as states are dropped, so
+    :meth:`SystemHistory.append` assigns globally consistent indices
+    unchanged."""
+
+    def __init__(
+        self,
+        store: SegmentStore,
+        hot_window: int = DEFAULT_HOT_WINDOW,
+        validate_transaction_time: bool = True,
+        metrics=None,
+        segment_records: int = 2048,
+    ):
+        super().__init__((), validate_transaction_time)
+        self._store = store
+        self.hot_window = max(1, int(hot_window))
+        self.segment_records = max(16, int(segment_records))
+        #: Segment descriptors, in position order; meta carries
+        #: first_index/first_ts/last_ts for targeted faulting.
+        self._catalog: list[dict] = []
+        self._archived = 0  # positions covered by the catalog
+        self._mem_start = 0  # position of self._states[0]
+        self._cache: Optional[tuple[int, list[SystemState]]] = None
+        self._avg_state_bytes = float(_EST_STATE_BYTES)
+        self.metrics = as_registry(metrics)
+        self._m_spilled_bytes = self.metrics.counter("history_spilled_bytes")
+        self._m_spilled = self.metrics.gauge("history_spilled_states")
+        self._m_hot = self.metrics.gauge("history_hot_states")
+        self._m_faults = self.metrics.counter("history_faults_total")
+
+    # -- sizing ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._mem_start + len(self._states)
+
+    @property
+    def hot_states(self) -> int:
+        return len(self._states)
+
+    @property
+    def spilled_states(self) -> int:
+        return self._mem_start
+
+    def estimated_hot_bytes(self) -> int:
+        return int(len(self._states) * self._avg_state_bytes)
+
+    # -- access ------------------------------------------------------------
+
+    def _norm(self, index: int) -> int:
+        total = len(self)
+        if index < 0:
+            index += total
+        if not 0 <= index < total:
+            raise IndexError(index)
+        return index
+
+    def _segment_for(self, position: int) -> int:
+        firsts = [info["meta"]["first_pos"] for info in self._catalog]
+        seg = bisect_right(firsts, position) - 1
+        if seg < 0:
+            raise HistoryError(
+                f"position {position} precedes the segment catalog"
+            )
+        return seg
+
+    def _segment_states(self, seg: int) -> list[SystemState]:
+        if self._cache is not None and self._cache[0] == seg:
+            return self._cache[1]
+        records = self._store.load_segment(self._catalog[seg])
+        states = _decode_states(records)
+        self._m_faults.inc()
+        self._cache = (seg, states)
+        return states
+
+    def _state_at(self, position: int) -> SystemState:
+        if position >= self._mem_start:
+            return self._states[position - self._mem_start]
+        seg = self._segment_for(position)
+        states = self._segment_states(seg)
+        return states[position - self._catalog[seg]["meta"]["first_pos"]]
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            rng = range(*index.indices(len(self)))
+            return SystemHistory(
+                (self._state_at(i) for i in rng),
+                validate_transaction_time=False,
+            )
+        return self._state_at(self._norm(index))
+
+    def __iter__(self):
+        for seg, info in enumerate(self._catalog):
+            if info["meta"]["first_pos"] >= self._mem_start:
+                break
+            for state, pos in zip(
+                self._segment_states(seg),
+                itertools.count(info["meta"]["first_pos"]),
+            ):
+                if pos >= self._mem_start:
+                    break
+                yield state
+        yield from self._states
+
+    @property
+    def states(self) -> list[SystemState]:
+        return list(self)
+
+    @property
+    def last(self) -> Optional[SystemState]:
+        if self._states:
+            return self._states[-1]
+        if not self._catalog:
+            return None
+        # Freshly restored: the hot window is empty and the newest state
+        # lives at the end of the final segment.
+        return self._segment_states(len(self._catalog) - 1)[-1]
+
+    def as_of(self, timestamp: int) -> Optional[SystemState]:
+        """Latest state at or before ``timestamp``; faults at most one
+        segment — the transparent deep-past read path."""
+        if self._states and timestamp >= self._states[0].timestamp:
+            i = bisect_right(
+                self._states, timestamp, key=lambda s: s.timestamp
+            )
+            return self._states[i - 1] if i else None
+        if not self._catalog:
+            return None
+        firsts = [info["meta"]["first_ts"] for info in self._catalog]
+        seg = bisect_right(firsts, timestamp) - 1
+        if seg < 0:
+            return None
+        states = self._segment_states(seg)
+        i = bisect_right(states, timestamp, key=lambda s: s.timestamp)
+        return states[i - 1] if i else None
+
+    def up_to_time(self, timestamp: int) -> SystemHistory:
+        return SystemHistory(
+            itertools.takewhile(
+                lambda s: s.timestamp <= timestamp, iter(self)
+            ),
+            validate_transaction_time=False,
+        )
+
+    def state_at_time(self, timestamp: int) -> Optional[SystemState]:
+        state = self.as_of(timestamp)
+        return state if state is not None and state.timestamp == timestamp else None
+
+    def commit_points(self) -> list[int]:
+        return [i for i, s in enumerate(self) if s.is_commit_point()]
+
+    # -- spilling ----------------------------------------------------------
+
+    def _archive_to(self, position: int) -> None:
+        """Extend catalog coverage to ``position`` (exclusive)."""
+        while self._archived < position:
+            count = min(
+                position - self._archived, self.segment_records
+            )
+            start = self._archived - self._mem_start
+            chunk = self._states[start : start + count]
+            records = []
+            prev_db = None
+            for state in chunk:
+                records.append(_encode_state(state, prev_db))
+                prev_db = state.db
+            info = self._store.write_segment(
+                "history",
+                records,
+                meta={
+                    "first_pos": self._archived,
+                    "first_index": chunk[0].index,
+                    "first_ts": chunk[0].timestamp,
+                    "last_ts": chunk[-1].timestamp,
+                },
+            )
+            self._catalog.append(info)
+            self._archived += count
+            self._m_spilled_bytes.inc(info["bytes"])
+            self._avg_state_bytes = (
+                0.5 * self._avg_state_bytes
+                + 0.5 * (info["bytes"] / max(1, count))
+            )
+
+    def spill(self, keep_hot: Optional[int] = None) -> int:
+        """Move cold states to segments, keeping the ``keep_hot`` (default
+        ``hot_window``) most recent in memory.  Atomic: segments are
+        sealed and fsynced before anything leaves memory — an I/O error
+        mid-spill loses nothing.  Returns how many states were dropped
+        from memory."""
+        keep = self.hot_window if keep_hot is None else max(0, keep_hot)
+        target = max(0, len(self) - keep)
+        if target <= self._mem_start:
+            return 0
+        self._archive_to(target)
+        dropped = target - self._mem_start
+        del self._states[: dropped]
+        self._mem_start = target
+        self.base_index += dropped
+        self._m_spilled.set(self._mem_start)
+        self._m_hot.set(len(self._states))
+        return dropped
+
+    def archive(self) -> dict:
+        """Seal *everything* into segments without evicting the hot
+        window — the checkpoint flush that makes a spilled run fully
+        restorable — and return the tier descriptor for the checkpoint."""
+        self._archive_to(len(self))
+        return self.tier_state()
+
+    def tier_state(self) -> dict:
+        return {
+            "format": TIERS_FORMAT,
+            "segments": [dict(info) for info in self._catalog],
+            "archived": self._archived,
+            "hot": [self._mem_start, len(self)],
+            "hot_window": self.hot_window,
+            # Global index of position 0: positions are local to this
+            # history (an engine recovered mid-run keeps only a suffix),
+            # so restore() needs the offset to keep indices consistent.
+            "index_base": self.base_index - self._mem_start,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        store: SegmentStore,
+        tier_state: dict,
+        hot_window: Optional[int] = None,
+        metrics=None,
+        verify: bool = True,
+    ) -> "TieredHistory":
+        """Rebuild a tiered history from a checkpoint descriptor.
+
+        With ``verify`` (the default) every referenced segment is loaded
+        and checked against its fingerprint before use; anything missing
+        or mismatched raises :class:`~repro.errors.RecoveryError`, and
+        unreferenced segment files (crash debris) are quarantined."""
+        if tier_state.get("format") != TIERS_FORMAT:
+            raise StorageError(
+                f"unsupported tier format {tier_state.get('format')!r}"
+            )
+        history = cls(
+            store,
+            hot_window=hot_window or tier_state.get(
+                "hot_window", DEFAULT_HOT_WINDOW
+            ),
+            metrics=metrics,
+        )
+        history._catalog = [dict(info) for info in tier_state["segments"]]
+        history._archived = tier_state["archived"]
+        history._mem_start = history._archived
+        history.base_index = (
+            tier_state.get("index_base", 0) + history._mem_start
+        )
+        if verify:
+            for info in history._catalog:
+                store.verify(info)
+        history._m_spilled.set(history._mem_start)
+        return history
+
+
+# -- the runtime glue ------------------------------------------------------
+
+
+class TieredRuntime:
+    """Wires a live engine to the governor and the segment store.
+
+    Subscribed on the event bus *behind* the WAL and the rule manager:
+    by the time a spill decision runs, the state is durable and the
+    temporal component has seen it.  A spill that keeps failing after
+    bounded retries puts the engine into degraded read-only mode instead
+    of raising into the committing transaction — the commit that
+    triggered the spill is already durable; only *future* durable work
+    is refused."""
+
+    def __init__(
+        self,
+        engine,
+        store: SegmentStore,
+        governor: MemoryGovernor,
+        history: TieredHistory,
+        manager=None,
+        spill_check_every: int = 8,
+    ):
+        self.engine = engine
+        self.store = store
+        self.governor = governor
+        self.history = history
+        self.manager = None
+        self.spill_check_every = max(1, spill_check_every)
+        self._since_check = 0
+        self._aux_stores: list = []
+        governor.register("history", history.estimated_hot_bytes)
+        if manager is not None:
+            self.adopt_manager(manager)
+        self._subscription = engine.bus.subscribe(self._on_state)
+        engine.tiered = self
+
+    # -- wiring ------------------------------------------------------------
+
+    def adopt_manager(self, manager) -> None:
+        """Register the temporal component's growable stores with the
+        governor and enable executed-record spilling on it."""
+        self.manager = manager
+        executed = getattr(manager, "executed", None)
+        if executed is not None and hasattr(executed, "enable_spill"):
+            executed.enable_spill(self.store)
+            pending = getattr(self, "_pending_executed", None)
+            if pending:
+                executed.restore_tier(pending)
+                self._pending_executed = None
+            self.governor.register(
+                "executed",
+                lambda: len(executed) * _EST_EXECUTED_BYTES,
+            )
+        if hasattr(manager, "total_state_size"):
+            self.governor.register(
+                "since",
+                lambda: manager.total_state_size() * _EST_FORMULA_BYTES,
+            )
+
+    def track_aux(self, aux_store) -> None:
+        """Account (and spill) an auxiliary-relation store's versions."""
+        self._aux_stores.append(aux_store)
+        self.governor.register(
+            f"aux:{id(aux_store):x}",
+            lambda: aux_store.total_rows() * _EST_EXECUTED_BYTES,
+        )
+
+    def detach(self) -> None:
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+        if getattr(self.engine, "tiered", None) is self:
+            self.engine.tiered = None
+
+    # -- spill policy ------------------------------------------------------
+
+    def _on_state(self, state) -> None:
+        self._since_check += 1
+        if self._since_check < self.spill_check_every:
+            return
+        self._since_check = 0
+        self.maybe_spill()
+
+    def _pinned_rules(self) -> frozenset:
+        """Rules referenced by ``executed`` atoms in live conditions:
+        their records are consulted every step and must stay hot."""
+        from repro.ptl.ast import ExecutedAtom, walk
+
+        manager = self.manager
+        if manager is None or not hasattr(manager, "_rules"):
+            return frozenset()
+        pinned = set()
+        for reg in list(manager._rules.values()):
+            condition = getattr(getattr(reg, "rule", None), "condition", None)
+            if condition is None:
+                continue
+            for sub in walk(condition):
+                if isinstance(sub, ExecutedAtom):
+                    pinned.add(sub.rule)
+        return frozenset(pinned)
+
+    def maybe_spill(self) -> int:
+        """Spill cold data while over budget; returns states spilled.
+
+        ``OSError`` surviving the store's retry loop flips the engine to
+        degraded read-only mode (nothing is lost — the in-memory copy is
+        kept); a :class:`SimulatedCrash` tears through like a real
+        crash."""
+        if getattr(self.engine, "degraded", False):
+            return 0
+        if not self.governor.over_budget():
+            return 0
+        spilled = 0
+        try:
+            spilled = self.history.spill()
+            horizon = (
+                self.history._states[0].timestamp
+                if self.history._states
+                else None
+            )
+            executed = getattr(self.manager, "executed", None)
+            if (
+                horizon is not None
+                and executed is not None
+                and hasattr(executed, "spill_cold")
+            ):
+                executed.set_pinned(self._pinned_rules())
+                executed.spill_cold(horizon)
+            for aux in self._aux_stores:
+                if horizon is not None and hasattr(aux, "spill_cold"):
+                    aux.spill_cold(horizon, self.store)
+        except OSError as exc:
+            self.engine.enter_degraded(f"history spill failed: {exc}")
+        return spilled
+
+    # -- checkpoint integration -------------------------------------------
+
+    def archive(self) -> dict:
+        """Flush every tier to sealed segments and return the checkpoint
+        descriptor (segment names + fingerprints)."""
+        desc = {
+            "format": TIERS_FORMAT,
+            "history": self.history.archive(),
+            "config": {
+                "budget_bytes": self.governor.budget_bytes,
+                "hot_window": self.history.hot_window,
+            },
+        }
+        executed = getattr(self.manager, "executed", None)
+        if executed is not None and hasattr(executed, "tier_state"):
+            executed_state = executed.tier_state()
+            if executed_state is not None:
+                desc["executed"] = executed_state
+        return desc
+
+    def probe(self) -> None:
+        self.store.probe()
+
+
+def attach_tiered_history(
+    engine,
+    directory: PathLike,
+    budget_bytes: int = DEFAULT_BUDGET,
+    hot_window: int = DEFAULT_HOT_WINDOW,
+    manager=None,
+    injector=None,
+    fsync: bool = True,
+    retries: int = 3,
+    backoff: float = 0.002,
+    spill_check_every: int = 8,
+    segment_records: int = 2048,
+) -> TieredRuntime:
+    """Put ``engine.history`` behind the memory governor.
+
+    Existing states migrate into the hot window of a new
+    :class:`TieredHistory`; from here on the runtime spills cold data to
+    ``directory`` whenever the governor's budget is exceeded.  Returns
+    the :class:`TieredRuntime` (also reachable as ``engine.tiered`` —
+    checkpoints use that hook to archive and reference segments)."""
+    if engine.history is None:
+        raise HistoryError(
+            "tiered history needs an engine with keep_history=True"
+        )
+    store = SegmentStore(
+        directory,
+        fsync=fsync,
+        injector=injector,
+        metrics=engine.metrics,
+        retries=retries,
+        backoff=backoff,
+    )
+    history = TieredHistory(
+        store,
+        hot_window=hot_window,
+        validate_transaction_time=engine.history.validate_transaction_time,
+        metrics=engine.metrics,
+        segment_records=segment_records,
+    )
+    history.base_index = engine.history.base_index
+    history._states = list(engine.history._states)
+    engine.history = history
+    governor = MemoryGovernor(budget_bytes, metrics=engine.metrics)
+    return TieredRuntime(
+        engine,
+        store,
+        governor,
+        history,
+        manager=manager,
+        spill_check_every=spill_check_every,
+    )
+
+
+def restore_tiers(
+    engine,
+    tiers: dict,
+    directory: PathLike,
+    injector=None,
+    verify: bool = True,
+) -> TieredRuntime:
+    """Rebuild the tiered runtime from a checkpoint's ``tiers`` section
+    (fingerprint-verified).  The engine's history becomes a
+    :class:`TieredHistory` whose archive is the checkpointed segment set;
+    call :meth:`TieredRuntime.adopt_manager` once the rule manager is
+    restored to re-link spilled executed records."""
+    if tiers.get("format") != TIERS_FORMAT:
+        raise StorageError(
+            f"unsupported checkpoint tier format {tiers.get('format')!r}"
+        )
+    config = tiers.get("config", {})
+    store = SegmentStore(
+        directory, injector=injector, metrics=engine.metrics
+    )
+    live = [info["name"] for info in tiers["history"]["segments"]]
+    executed_state = tiers.get("executed")
+    if executed_state:
+        live += [info["name"] for info in executed_state["segments"]]
+    history = TieredHistory.restore(
+        store,
+        tiers["history"],
+        hot_window=config.get("hot_window"),
+        metrics=engine.metrics,
+        verify=verify,
+    )
+    store.quarantine_orphans(live)
+    engine.history = history
+    governor = MemoryGovernor(
+        config.get("budget_bytes", DEFAULT_BUDGET), metrics=engine.metrics
+    )
+    runtime = TieredRuntime(engine, store, governor, history)
+    runtime._pending_executed = executed_state
+    return runtime

@@ -19,11 +19,16 @@ makes it durable:
 from repro.recovery.checkpoint import read_checkpoint, write_checkpoint
 from repro.recovery.faultinject import (
     CRASH_POINTS,
+    DISK_FULL,
+    FSYNC_FAIL,
+    IO_POINTS,
     MID_CHECKPOINT,
     MID_GROUP_COMMIT,
+    MID_SEGMENT_WRITE,
     MID_WAL,
     POST_COMMIT,
     PRE_COMMIT,
+    TORN_SEGMENT,
     FaultInjector,
     SimulatedCrash,
 )
@@ -32,11 +37,16 @@ from repro.recovery.wal import WriteAheadLog, load_wal
 
 __all__ = [
     "CRASH_POINTS",
+    "DISK_FULL",
+    "FSYNC_FAIL",
+    "IO_POINTS",
     "MID_CHECKPOINT",
     "MID_GROUP_COMMIT",
+    "MID_SEGMENT_WRITE",
     "MID_WAL",
     "POST_COMMIT",
     "PRE_COMMIT",
+    "TORN_SEGMENT",
     "FaultInjector",
     "RecoveryManager",
     "RecoveryReport",

@@ -53,6 +53,12 @@ def write_checkpoint(
         "manager": None if manager is None else manager.to_state(),
         "manager_kind": None if manager is None else type(manager).__name__,
     }
+    tiered = getattr(engine, "tiered", None)
+    if tiered is not None:
+        # Seal the tiered history's in-memory tail into segments and
+        # reference every live segment by (name, sha256) fingerprint:
+        # recovery restores the spilled run bit-identically or refuses.
+        payload["tiers"] = tiered.archive()
     text = json.dumps(payload, sort_keys=True)
     before_replace = None
     if injector is not None:

@@ -23,9 +23,34 @@ the distinct durability windows of the commit protocol:
     even be on disk) but the commit marker is not.  Recovery must drop
     the whole batch — an unmarked group is all-or-nothing, never a
     replayed prefix.
+``mid-segment-write``
+    Crash after a history spill segment's header and part of its payload
+    reach the disk, before the segment is sealed.  The segment must be
+    quarantined on load, never half-read; the spilled states stay in
+    memory (a spill is atomic: seal, then drop).
+``torn-segment``
+    Torn segment write: a byte-level prefix of the final record reaches
+    the disk before the crash.  Segment load must truncate the torn tail,
+    detect the header/payload mismatch, and refuse the segment.
+
+Beyond crashes, the injector simulates *I/O errors* — the disk staying
+alive but refusing writes — at two points:
+
+``disk-full``
+    ``OSError(ENOSPC)`` on a write.  Not transient: retry must not paper
+    over it; the engine enters degraded read-only mode.
+``fsync-fail``
+    ``OSError(EIO)`` on an fsync.  Transient by default (armed with a
+    finite count): bounded retry-with-backoff must absorb it.
+
+``arm_io(point, times=n)`` injects the error ``n`` times then heals;
+``times=None`` keeps failing until :meth:`FaultInjector.disarm` — the
+deterministic way to drive (and then exit) degraded mode.
 """
 
 from __future__ import annotations
+
+import errno as _errno
 
 #: Crash before the WAL append — the state is lost.
 PRE_COMMIT = "pre-commit"
@@ -37,10 +62,25 @@ MID_WAL = "mid-wal-append"
 MID_CHECKPOINT = "mid-checkpoint"
 #: Crash after a batch's WAL records but before its commit marker.
 MID_GROUP_COMMIT = "mid-group-commit"
+#: Crash mid spill: segment header + partial payload on disk, not sealed.
+MID_SEGMENT_WRITE = "mid-segment-write"
+#: Torn spill: a byte-level prefix of a segment record hits the disk.
+TORN_SEGMENT = "torn-segment"
 
 CRASH_POINTS = (
-    PRE_COMMIT, POST_COMMIT, MID_WAL, MID_CHECKPOINT, MID_GROUP_COMMIT
+    PRE_COMMIT, POST_COMMIT, MID_WAL, MID_CHECKPOINT, MID_GROUP_COMMIT,
+    MID_SEGMENT_WRITE, TORN_SEGMENT,
 )
+
+#: Injected OSError on a write: the disk is full (ENOSPC, not transient).
+DISK_FULL = "disk-full"
+#: Injected OSError on an fsync: transient EIO the retry loop can absorb.
+FSYNC_FAIL = "fsync-fail"
+
+IO_POINTS = (DISK_FULL, FSYNC_FAIL)
+
+#: Default errno injected per I/O point.
+_IO_ERRNO = {DISK_FULL: _errno.ENOSPC, FSYNC_FAIL: _errno.EIO}
 
 
 class SimulatedCrash(BaseException):
@@ -67,7 +107,9 @@ class FaultInjector:
 
     def __init__(self) -> None:
         self._armed: dict[str, int] = {}
-        #: Points that have fired, in order.
+        #: Armed I/O faults: point -> [errno, remaining or None].
+        self._io_armed: dict[str, list] = {}
+        #: Points that have fired, in order (crashes and I/O faults).
         self.fired: list[str] = []
 
     def arm(self, point: str, after: int = 0) -> None:
@@ -75,8 +117,36 @@ class FaultInjector:
             raise ValueError(f"unknown crash point {point!r}")
         self._armed[point] = max(0, after)
 
+    def arm_io(self, point: str, times=1, err: int = None) -> None:
+        """Arm an I/O fault: the next ``times`` passes through ``point``
+        raise ``OSError(err)`` (per-point default errno), then the disk
+        "heals".  ``times=None`` fails every pass until :meth:`disarm` —
+        a disk that stays broken."""
+        if point not in IO_POINTS:
+            raise ValueError(f"unknown I/O fault point {point!r}")
+        if times is not None and times <= 0:
+            return
+        self._io_armed[point] = [err or _IO_ERRNO[point], times]
+
     def disarm(self, point: str) -> None:
         self._armed.pop(point, None)
+        self._io_armed.pop(point, None)
+
+    def io_check(self, point: str) -> None:
+        """Raise the armed :class:`OSError` for ``point`` if due.  Called
+        from inside retried I/O, so a finite ``times`` exercises the
+        retry-with-backoff path and ``times=None`` exhausts it."""
+        armed = self._io_armed.get(point)
+        if armed is None:
+            return
+        err, remaining = armed
+        if remaining is not None:
+            if remaining <= 1:
+                del self._io_armed[point]
+            else:
+                armed[1] = remaining - 1
+        self.fired.append(point)
+        raise OSError(err, f"injected {point} fault: {_errno.errorcode.get(err, err)}")
 
     def pending(self, point: str) -> bool:
         """Whether the next :meth:`hit` of ``point`` will crash."""

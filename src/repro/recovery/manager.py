@@ -137,6 +137,7 @@ class RecoveryManager:
 
         checkpoint = read_checkpoint(self.checkpoint_path)
         records, truncated = load_wal(self.wal_path)
+        runtime = None
         base = None
         if records and records[0].get("seq") is None:
             base = records[0]
@@ -149,7 +150,19 @@ class RecoveryManager:
             self._restore_items(engine, checkpoint["items"])
             self._restore_queries(engine, checkpoint["queries"])
             engine._state_count = checkpoint["state_count"]
-            if engine.history is not None:
+            if checkpoint.get("tiers") is not None:
+                # The run was spilling to tiered segments: restore the
+                # full history (fingerprint-verified segments + empty hot
+                # window) instead of a bare suffix.
+                from repro.history.spill import SEGMENT_DIR_NAME, restore_tiers
+
+                runtime = restore_tiers(
+                    engine,
+                    checkpoint["tiers"],
+                    self.directory / SEGMENT_DIR_NAME,
+                    injector=self.injector,
+                )
+            elif engine.history is not None:
                 # The recovered history is the post-checkpoint suffix;
                 # keep its state indices globally consistent.
                 engine.history.base_index = checkpoint["state_count"]
@@ -185,6 +198,10 @@ class RecoveryManager:
                     "manager kind (and shard layout) it was taken with"
                 )
             rule_drift = manager.from_state(manager_state, strict=strict_rules)
+        if runtime is not None and manager is not None:
+            # Re-link the restored executed store to its spilled segments
+            # and put the manager's stores back under the governor.
+            runtime.adopt_manager(manager)
 
         start_seq = engine.state_count
         tail = [r for r in states if r["seq"] >= start_seq]

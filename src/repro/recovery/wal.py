@@ -33,14 +33,17 @@ import os
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.errors import RecoveryError
+from repro.errors import RecoveryError, StorageDegradedError
 from repro.recovery.faultinject import (
+    DISK_FULL,
+    FSYNC_FAIL,
     MID_GROUP_COMMIT,
     MID_WAL,
     POST_COMMIT,
     PRE_COMMIT,
 )
-from repro.storage.persist import _encode_item, _encode_value
+from repro.storage.persist import _encode_item, _encode_value, fsync_dir
+from repro.storage.tiers import retry_io
 
 PathLike = Union[str, Path]
 
@@ -53,10 +56,14 @@ class WriteAheadLog:
         path: PathLike,
         fsync: bool = True,
         injector=None,
+        retries: int = 3,
+        backoff: float = 0.002,
     ):
         self.path = Path(path)
         self.fsync = fsync
         self.injector = injector
+        self.retries = retries
+        self.backoff = backoff
         self.records_written = 0
         self._prev = None
         self._fp = None
@@ -64,6 +71,11 @@ class WriteAheadLog:
         self._m_records = None
         self._m_bytes = None
         self._m_groups = None
+        self._m_retries = None
+        #: Index of the state most recently written via :meth:`prepare`
+        #: (the engine's pre-install durability hook); the bus
+        #: subscription skips it to avoid double-logging.
+        self._last_prepared: Optional[int] = None
         #: Active group id (None outside a group) and whether the group
         #: has written any record yet (empty groups skip the marker).
         self._group: Optional[int] = None
@@ -109,6 +121,11 @@ class WriteAheadLog:
                     },
                 }
             )
+        if fresh:
+            # Make the log file's *name* durable too: a crash right after
+            # creation must not lose the base record to an unsynced
+            # directory entry.
+            fsync_dir(wal.path.parent if str(wal.path.parent) else ".")
         wal._subscription = engine.bus.subscribe(wal._on_state, front=True)
         wal._engine = engine
         if hasattr(engine, "durability"):
@@ -120,11 +137,27 @@ class WriteAheadLog:
             wal._m_records = registry.counter("wal_records_total")
             wal._m_bytes = registry.gauge("wal_bytes")
             wal._m_groups = registry.counter("wal_group_commits_total")
+            wal._m_retries = registry.counter("io_retries_total")
         return wal
 
     # -- appending ---------------------------------------------------------
 
+    def prepare(self, state) -> None:
+        """Write ``state``'s record durably *before* the engine installs
+        it (called from the commit path via
+        :meth:`~repro.engine.ActiveDatabase._prepare_durable`).  The bus
+        subscription then recognizes the already-prepared state and skips
+        it, so every state is logged exactly once either way."""
+        self._log_state(state)
+        self._last_prepared = state.index
+
     def _on_state(self, state) -> None:
+        if state.index == self._last_prepared:
+            # Already durable via prepare(); nothing to log.
+            return
+        self._log_state(state)
+
+    def _log_state(self, state) -> None:
         if self.injector is not None:
             self.injector.hit(PRE_COMMIT)
         record = {
@@ -149,6 +182,56 @@ class WriteAheadLog:
         if self.injector is not None:
             self.injector.hit(POST_COMMIT)
 
+    def _durable_write(self, text: str, sync: bool) -> None:
+        """Append ``text`` (and optionally fsync) with bounded
+        retry-with-backoff on transient ``OSError``.  A failed attempt is
+        rewound (seek + truncate back to its start offset) so a retry —
+        or any later record — never duplicates bytes.  Exhaustion and
+        non-transient errors (ENOSPC above all) flip the engine into
+        degraded read-only mode and surface as
+        :class:`~repro.errors.StorageDegradedError`."""
+
+        def attempt() -> None:
+            if self.injector is not None:
+                self.injector.io_check(DISK_FULL)
+            start = self._fp.tell()
+            try:
+                self._fp.write(text)
+                self._fp.flush()
+                if sync:
+                    if self.injector is not None:
+                        self.injector.io_check(FSYNC_FAIL)
+                    os.fsync(self._fp.fileno())
+            except OSError:
+                try:
+                    self._fp.seek(start)
+                    self._fp.truncate(start)
+                except OSError:
+                    pass
+                raise
+
+        def note(exc: OSError, _attempt: int) -> None:
+            if self._m_retries is not None:
+                self._m_retries.inc()
+
+        try:
+            retry_io(
+                attempt,
+                retries=self.retries,
+                backoff=self.backoff,
+                on_retry=note,
+            )
+        except OSError as exc:
+            if self._engine is not None and hasattr(
+                self._engine, "enter_degraded"
+            ):
+                self._engine.enter_degraded(f"WAL append failed: {exc}")
+            raise StorageDegradedError(
+                f"WAL append to {str(self.path)!r} failed after "
+                f"{self.retries} retries: {exc}",
+                reason=str(exc),
+            ) from exc
+
     def _write_line(self, record: dict) -> None:
         line = json.dumps(record, sort_keys=True) + "\n"
         if self.injector is not None and self.injector.due(MID_WAL):
@@ -159,15 +242,12 @@ class WriteAheadLog:
             self._fp.flush()
             os.fsync(self._fp.fileno())
             self.injector.hit(MID_WAL)
-        self._fp.write(line)
-        self._fp.flush()
+        # Group commit defers durability to the single fsync in
+        # end_group(); the record is still flushed (visible to load_wal
+        # for inspection) but not yet guaranteed on disk.
+        self._durable_write(line, sync=self._group is None and self.fsync)
         if self._group is not None:
-            # Group commit: durability is deferred to the single fsync in
-            # end_group().  The record is flushed (visible to load_wal for
-            # inspection) but not yet guaranteed on disk.
             self._group_dirty = True
-        elif self.fsync:
-            os.fsync(self._fp.fileno())
         self.records_written += 1
         if self._m_records is not None:
             self._m_records.inc()
@@ -197,13 +277,20 @@ class WriteAheadLog:
         if self.injector is not None:
             self.injector.hit(MID_GROUP_COMMIT)
         marker = json.dumps({"g": group, "end": True}) + "\n"
-        self._fp.write(marker)
-        self._fp.flush()
-        if self.fsync:
-            os.fsync(self._fp.fileno())
+        self._durable_write(marker, sync=self.fsync)
         if self._m_groups is not None:
             self._m_groups.inc()
             self._m_bytes.set(self._fp.tell())
+
+    def probe(self) -> None:
+        """Verify the log is writable again (degraded-mode exit): flush
+        and fsync the descriptor.  Raises ``OSError`` while the disk is
+        still unhealthy."""
+        if self.injector is not None:
+            self.injector.io_check(DISK_FULL)
+            self.injector.io_check(FSYNC_FAIL)
+        self._fp.flush()
+        os.fsync(self._fp.fileno())
 
     def detach(self) -> None:
         if self._subscription is not None:

@@ -2,13 +2,16 @@
 
 from repro.storage.database import Database
 from repro.storage.snapshot import DatabaseState, IndexedItem
+from repro.storage.tiers import SegmentStore, retry_io
 from repro.storage.transactions import Transaction, TransactionManager, TxnStatus
 
 __all__ = [
     "Database",
     "DatabaseState",
     "IndexedItem",
+    "SegmentStore",
     "Transaction",
     "TransactionManager",
     "TxnStatus",
+    "retry_io",
 ]

@@ -26,6 +26,23 @@ PathLike = Union[str, Path]
 _FORMAT_VERSION = 1
 
 
+def fsync_dir(path: PathLike) -> None:
+    """fsync a directory so a rename or file creation inside it survives a
+    crash — ``os.replace`` makes the swap atomic but only a directory
+    fsync makes it durable.  A no-op on platforms/filesystems that refuse
+    to open directories."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_text(
     path: PathLike,
     text: str,
@@ -33,7 +50,8 @@ def atomic_write_text(
     before_replace: Optional[Callable[[str], None]] = None,
 ) -> None:
     """Durably replace ``path`` with ``text``: write a sibling temp file,
-    flush (and by default fsync) it, then ``os.replace`` over the target.
+    flush (and by default fsync) it, ``os.replace`` over the target, then
+    fsync the parent directory so the rename itself survives a crash.
     A crash at any point leaves either the old file or the new one — never
     a truncated mix.  ``before_replace`` is a fault-injection hook called
     with the temp path after the write but before the rename."""
@@ -52,6 +70,8 @@ def atomic_write_text(
         if before_replace is not None:
             before_replace(tmp)
         os.replace(tmp, target)
+        if fsync:
+            fsync_dir(target.parent if str(target.parent) else ".")
     except BaseException:
         try:
             os.unlink(tmp)

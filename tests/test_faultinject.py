@@ -25,14 +25,17 @@ from contextlib import contextmanager
 import pytest
 
 from repro.engine import ActiveDatabase
-from repro.errors import ActionError, RecoveryError
+from repro.errors import ActionError, RecoveryError, StorageDegradedError
 from repro.events import user_event
 from repro.recovery import (
+    DISK_FULL,
     MID_CHECKPOINT,
     MID_GROUP_COMMIT,
+    MID_SEGMENT_WRITE,
     MID_WAL,
     POST_COMMIT,
     PRE_COMMIT,
+    TORN_SEGMENT,
     FaultInjector,
     RecoveryManager,
     SimulatedCrash,
@@ -639,6 +642,101 @@ class TestActionFailureIsolation:
         # the durable point was reached before the action ran
         assert adb.state.item("price") == 20
         assert not adb.txns.active
+
+
+def _attach_tiers(adb, directory, manager=None, injector=None):
+    from repro.history.spill import attach_tiered_history
+
+    return attach_tiered_history(
+        adb,
+        directory,
+        budget_bytes=1_500,
+        hot_window=4,
+        segment_records=16,
+        spill_check_every=1,
+        manager=manager,
+        injector=injector,
+    )
+
+
+class TestTieredStorageFaults:
+    """The tiered-history rows of the crash/fault matrix: a crash or
+    torn write mid-spill never corrupts what recovery loads, and a full
+    disk degrades the engine instead of diverging memory from the WAL."""
+
+    LONG_OPS = [("set", (i * 31) % 97) for i in range(40)] + [("ev", "go")]
+
+    @pytest.mark.parametrize(
+        "point",
+        [MID_SEGMENT_WRITE, TORN_SEGMENT],
+        ids=["mid-segment", "torn-segment"],
+    )
+    def test_crash_mid_spill_differential(self, tmp_path, point):
+        oracle_adb = make_engine()
+        oracle_m = setup_rules(oracle_adb)
+        drive(oracle_adb, self.LONG_OPS)
+
+        injector = FaultInjector()
+        rm = RecoveryManager(tmp_path, injector=injector)
+        adb = make_engine()
+        rm.start(adb)
+        manager = setup_rules(adb)
+        _attach_tiers(adb, tmp_path / "segments", manager, injector)
+        injector.arm(point, after=1)
+        with pytest.raises(SimulatedCrash):
+            drive(adb, self.LONG_OPS)
+        rm.stop()
+        assert point in injector.fired
+
+        report = RecoveryManager(tmp_path).recover(
+            setup=lambda e: setup_rules(e)
+        )
+        # finish on a fresh tiered attachment: the partial segment left
+        # by the crash is never loaded as data
+        _attach_tiers(report.engine, tmp_path / "segments", report.manager)
+        drive(report.engine, self.LONG_OPS[report.engine.state_count :])
+        assert firing_sig(report.manager) == firing_sig(oracle_m)
+        assert (
+            report.engine.state.item("price")
+            == oracle_adb.state.item("price")
+        )
+        assert len(report.engine.history) == len(oracle_adb.history)
+        for pos in (0, 7, 23, -1):
+            assert (
+                report.engine.history[pos].db.item("price")
+                == oracle_adb.history[pos].db.item("price")
+            )
+
+    def test_disk_full_degrades_and_recovers_clean(self, tmp_path):
+        """DISK_FULL on the WAL: the commit is refused (memory and log
+        stay consistent), and what recovery rebuilds matches everything
+        the engine acknowledged before degrading."""
+        injector = FaultInjector()
+        rm = RecoveryManager(tmp_path, injector=injector)
+        adb = make_engine()
+        manager = setup_rules(adb)
+        rm.start(adb)
+        drive(adb, OPS[:5])
+        acknowledged = adb.state_count
+        price = adb.state.item("price")
+        firings = firing_sig(manager)
+        injector.arm_io(DISK_FULL, times=None)
+        with pytest.raises(StorageDegradedError):
+            drive(adb, OPS[5:])
+        assert adb.degraded
+        assert adb.state_count == acknowledged
+        assert adb.state.item("price") == price
+        rm.stop()
+
+        report = RecoveryManager(tmp_path).recover(
+            setup=lambda e: setup_rules(e)
+        )
+        assert report.engine.state_count == acknowledged
+        assert report.engine.state.item("price") == price
+        assert firing_sig(report.manager) == firings
+        # the recovered engine is healthy and keeps running
+        assert not report.engine.degraded
+        drive(report.engine, OPS[5:])
 
 
 class TestFaultInjector:

@@ -1,0 +1,735 @@
+"""Tiered history spill: the memory governor, checksummed segments,
+transparent deep-past faulting, I/O fault hardening, and degraded mode.
+
+The headline property is a differential one: an engine whose history
+spills to disk under a tiny memory budget — including with transient I/O
+faults injected mid-run — must be observationally identical to an
+all-in-RAM oracle: same firings (rule, bindings, state index,
+timestamp), same states under random access / ``as_of`` / iteration,
+same executed store.  On top of that: no torn or corrupted segment is
+ever loaded (fingerprints), a disk that stays broken flips the engine
+into degraded read-only mode deterministically (and back out), and a
+checkpoint of a spilled run recovers bit-identically across the
+serial / shared-plan / sharded and interpreted / compiled backends.
+"""
+
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ActiveDatabase
+from repro.errors import RecoveryError, StorageDegradedError
+from repro.events import user_event
+from repro.history.history import SystemHistory
+from repro.history.spill import (
+    MemoryGovernor,
+    TieredHistory,
+    attach_tiered_history,
+)
+from repro.ptl.compiled import set_ptl_compile
+from repro.recovery import (
+    DISK_FULL,
+    FSYNC_FAIL,
+    MID_SEGMENT_WRITE,
+    TORN_SEGMENT,
+    FaultInjector,
+    RecoveryManager,
+    SimulatedCrash,
+)
+from repro.rules.actions import RecordingAction
+from repro.rules.rule import CouplingMode, FireMode
+from repro.storage.tiers import SegmentStore, retry_io
+
+
+# -- shared workload ---------------------------------------------------------
+
+
+def make_engine(metrics=False):
+    adb = ActiveDatabase(metrics=metrics)
+    adb.declare_item("price", 0)
+    return adb
+
+
+def setup_rules(adb, shared=True):
+    manager = adb.rule_manager(shared_plan=shared)
+    manager.add_trigger(
+        "rising",
+        "price > 50 & lasttime price <= 50",
+        RecordingAction(),
+        fire_mode=FireMode.RISING_EDGE,
+    )
+    manager.add_trigger(
+        "watch",
+        "price > 10 since @go",
+        RecordingAction(),
+        coupling=CouplingMode.T_C_A,
+    )
+    return manager
+
+
+def sharded_rules(adb):
+    from repro.parallel import ShardedRuleManager
+
+    manager = ShardedRuleManager(adb, shards=2, runtime="thread")
+    manager.add_trigger(
+        "rising",
+        "price > 50 & lasttime price <= 50",
+        RecordingAction(),
+        fire_mode=FireMode.RISING_EDGE,
+    )
+    manager.add_trigger(
+        "watch",
+        "price > 10 since @go",
+        RecordingAction(),
+        coupling=CouplingMode.T_C_A,
+    )
+    return manager
+
+
+def drive(adb, ops):
+    for kind, val in ops:
+        if kind == "set":
+            adb.execute(lambda t, v=val: t.set_item("price", v))
+        else:
+            adb.post_event(user_event(str(val)))
+
+
+def firing_sig(manager):
+    return [
+        (f.rule, f.bindings, f.state_index, f.timestamp)
+        for f in manager.firings
+    ]
+
+
+def long_ops(n=120):
+    ops = []
+    for i in range(n):
+        ops.append(("set", (i * 37) % 97))
+        if i % 7 == 0:
+            ops.append(("ev", "go"))
+    return ops
+
+
+def attach(adb, directory, manager=None, injector=None, **kw):
+    kw.setdefault("budget_bytes", 2_000)
+    kw.setdefault("hot_window", 8)
+    kw.setdefault("segment_records", 16)
+    kw.setdefault("spill_check_every", 1)
+    return attach_tiered_history(
+        adb, directory, manager=manager, injector=injector, **kw
+    )
+
+
+# -- SegmentStore ------------------------------------------------------------
+
+
+class TestSegmentStore:
+    def test_roundtrip_and_fingerprint(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        rows = [{"i": i, "v": "x" * i} for i in range(10)]
+        info = store.write_segment("history", rows, meta={"first_pos": 0})
+        assert info["count"] == 10
+        assert store.load_segment(info) == rows
+        assert store.load_segment(info["name"]) == rows  # header self-check
+
+    def test_tampered_payload_refused(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        info = store.write_segment("history", [{"i": 1}, {"i": 2}])
+        path = store.segment_path(info["name"])
+        lines = path.read_text().splitlines()
+        lines[1] = '{"i": 999}'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(RecoveryError, match="verification"):
+            store.load_segment(info)
+
+    def test_torn_tail_refused_not_half_read(self, tmp_path):
+        """A crash mid-write leaves a torn final record: load truncates
+        it from the parse and then refuses the unsealed segment."""
+        store = SegmentStore(tmp_path)
+        info = store.write_segment("history", [{"i": 1}, {"i": 2}])
+        path = store.segment_path(info["name"])
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 6])  # tear the final record
+        with pytest.raises(RecoveryError):
+            store.load_segment(info)
+
+    def test_mid_file_corruption_refused(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        info = store.write_segment("history", [{"i": i} for i in range(3)])
+        path = store.segment_path(info["name"])
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(RecoveryError):
+            store.load_segment(info)
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        info = store.write_segment("history", [{"i": 1}])
+        stale = dict(info, sha256="0" * 64)
+        with pytest.raises(RecoveryError, match="fingerprint"):
+            store.load_segment(stale)
+
+    def test_quarantine_orphans(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        live = store.write_segment("history", [{"i": 1}])
+        (tmp_path / "seg-history-000099.jsonl").write_text("debris")
+        quarantined = store.quarantine_orphans([live["name"]])
+        assert quarantined == ["seg-history-000099.jsonl"]
+        assert (tmp_path / "seg-history-000099.jsonl.orphan").exists()
+        assert store.load_segment(live) == [{"i": 1}]
+
+    def test_transient_fault_retried(self, tmp_path):
+        injector = FaultInjector()
+        store = SegmentStore(
+            tmp_path, injector=injector, metrics=True, sleep=lambda s: None
+        )
+        injector.arm_io(FSYNC_FAIL, times=2)
+        info = store.write_segment("history", [{"i": 1}])
+        assert store.load_segment(info) == [{"i": 1}]
+        assert store.metrics.counter("io_retries_total").value == 2
+
+    def test_disk_full_not_retried(self, tmp_path):
+        injector = FaultInjector()
+        store = SegmentStore(
+            tmp_path, injector=injector, metrics=True, sleep=lambda s: None
+        )
+        injector.arm_io(DISK_FULL, times=None)
+        with pytest.raises(OSError):
+            store.write_segment("history", [{"i": 1}])
+        # ENOSPC is non-transient: exactly one attempt, no partial file
+        assert injector.fired.count(DISK_FULL) == 1
+        assert list(tmp_path.glob("seg-*.jsonl")) == []
+        assert store.metrics.counter("segment_faults_total").value >= 1
+
+    def test_retry_exhaustion_propagates(self, tmp_path):
+        injector = FaultInjector()
+        store = SegmentStore(
+            tmp_path,
+            injector=injector,
+            retries=2,
+            sleep=lambda s: None,
+        )
+        injector.arm_io(FSYNC_FAIL, times=None)
+        with pytest.raises(OSError):
+            store.write_segment("history", [{"i": 1}])
+        assert injector.fired.count(FSYNC_FAIL) == 3  # 1 try + 2 retries
+
+    def test_retry_io_backoff_doubles(self):
+        sleeps = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 4:
+                import errno
+
+                raise OSError(errno.EIO, "transient")
+            return "ok"
+
+        assert (
+            retry_io(flaky, retries=3, backoff=1.0, sleep=sleeps.append)
+            == "ok"
+        )
+        assert sleeps == [1.0, 2.0, 4.0]
+
+
+# -- TieredHistory vs the in-RAM oracle -------------------------------------
+
+
+class TestTieredHistoryEquivalence:
+    def _pair(self, tmp_path, ops):
+        oracle = make_engine()
+        oracle_m = setup_rules(oracle)
+        drive(oracle, ops)
+
+        adb = make_engine()
+        manager = setup_rules(adb)
+        attach(adb, tmp_path / "segments", manager=manager)
+        drive(adb, ops)
+        return oracle, oracle_m, adb, manager
+
+    def test_spilled_run_matches_oracle(self, tmp_path):
+        ops = long_ops()
+        oracle, oracle_m, adb, manager = self._pair(tmp_path, ops)
+        assert adb.history.spilled_states > 0, "budget never tripped"
+        assert firing_sig(manager) == firing_sig(oracle_m)
+        assert len(adb.history) == len(oracle.history)
+        # iteration covers the spilled prefix transparently
+        assert [
+            (s.index, s.timestamp, s.db.item("price"))
+            for s in adb.history
+        ] == [
+            (s.index, s.timestamp, s.db.item("price"))
+            for s in oracle.history
+        ]
+        # random access faults segments as needed
+        for pos in (0, 1, len(ops) // 2, len(adb.history) - 1, -1):
+            a, b = adb.history[pos], oracle.history[pos]
+            assert (a.index, a.timestamp) == (b.index, b.timestamp)
+            assert a.db.item("price") == b.db.item("price")
+        assert adb.history.commit_points() == oracle.history.commit_points()
+
+    def test_as_of_and_up_to_time(self, tmp_path):
+        ops = long_ops()
+        oracle, _, adb, _ = self._pair(tmp_path, ops)
+        for ts in (0, 1, 5, 17, 60, oracle.history.last.timestamp + 10):
+            a, b = adb.as_of(ts), oracle.as_of(ts)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert (a.index, a.timestamp) == (b.index, b.timestamp)
+        cut = oracle.history[40].timestamp
+        assert len(adb.history.up_to_time(cut)) == len(
+            oracle.history.up_to_time(cut)
+        )
+
+    def test_hot_window_bounds_memory(self, tmp_path):
+        adb = make_engine()
+        attach(adb, tmp_path / "segments", hot_window=8)
+        peak = 0
+        for i in range(200):
+            adb.execute(lambda t, i=i: t.set_item("price", i % 90))
+            peak = max(peak, adb.history.hot_states)
+        # spill checks run per state: hot states never exceed the window
+        # by more than the states appended between two checks
+        assert peak <= 8 + 2
+        assert adb.history.spilled_states >= 190
+        assert len(adb.history) == 200
+
+    def test_slicing_and_prefix(self, tmp_path):
+        ops = long_ops(60)
+        oracle, _, adb, _ = self._pair(tmp_path, ops)
+        a = [s.index for s in adb.history[10:20]]
+        b = [s.index for s in oracle.history[10:20]]
+        assert a == b
+        assert len(adb.history.prefix(15)) == 15
+
+    def test_metrics_exported(self, tmp_path):
+        adb = ActiveDatabase(metrics=True)
+        adb.declare_item("price", 0)
+        attach(adb, tmp_path / "segments")
+        for i in range(120):
+            adb.execute(lambda t, i=i: t.set_item("price", i))
+        m = adb.metrics
+        assert m.counter("history_spilled_bytes").value > 0
+        assert m.gauge("history_spilled_states").value > 0
+        assert m.gauge("governor_bytes").value >= 0
+        assert m.gauge("governor_budget_bytes").value == 2_000
+        assert m.gauge("segments_total").value > 0
+        # deep-past read faults at least one segment
+        adb.history[0]
+        assert m.counter("history_faults_total").value >= 1
+
+
+class TestGovernor:
+    def test_accounts_and_budget(self):
+        gov = MemoryGovernor(budget_bytes=100)
+        gov.register("a", lambda: 60)
+        assert not gov.over_budget()
+        gov.register("b", lambda: 50)
+        assert gov.over_budget()
+        assert gov.usage() == {"a": 60, "b": 50}
+        gov.unregister("b")
+        assert not gov.over_budget()
+
+
+# -- hypothesis differential: spill + mid-run transient faults ---------------
+
+
+OP = st.one_of(
+    st.tuples(st.just("set"), st.integers(0, 100)),
+    st.tuples(st.just("ev"), st.just("go")),
+)
+
+
+class TestSpillDifferential:
+    @settings(max_examples=25)
+    @given(
+        ops=st.lists(OP, min_size=5, max_size=50),
+        budget=st.integers(200, 4_000),
+        hot=st.integers(1, 12),
+        fault_at=st.one_of(st.none(), st.integers(0, 40)),
+        fault_times=st.integers(1, 3),
+    )
+    def test_spilled_engine_matches_ram_oracle(
+        self, ops, budget, hot, fault_at, fault_times
+    ):
+        """The tentpole property: tiny budget, arbitrary workload,
+        transient I/O faults injected mid-run — the spilled engine is
+        observationally identical to the all-in-RAM oracle."""
+        oracle = make_engine()
+        oracle_m = setup_rules(oracle)
+        drive(oracle, ops)
+
+        directory = tempfile.mkdtemp(prefix="tiers-hyp-")
+        try:
+            injector = FaultInjector()
+            adb = make_engine()
+            manager = setup_rules(adb)
+            attach(
+                adb,
+                directory,
+                manager=manager,
+                injector=injector,
+                budget_bytes=budget,
+                hot_window=hot,
+            )
+            for i, op in enumerate(ops):
+                if fault_at == i:
+                    injector.arm_io(FSYNC_FAIL, times=fault_times)
+                drive(adb, [op])
+            assert not adb.degraded
+            assert firing_sig(manager) == firing_sig(oracle_m)
+            assert adb.state.item("price") == oracle.state.item("price")
+            assert [
+                (s.index, s.timestamp, s.db.item("price"))
+                for s in adb.history
+            ] == [
+                (s.index, s.timestamp, s.db.item("price"))
+                for s in oracle.history
+            ]
+            key = lambda r: (r.time, r.rule, r.params)
+            assert sorted(manager.executed.records(), key=key) == sorted(
+                oracle_m.executed.records(), key=key
+            )
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+
+# -- degraded read-only mode -------------------------------------------------
+
+
+class TestDegradedMode:
+    def _spilling_engine(self, tmp_path, injector):
+        adb = ActiveDatabase(metrics=True)
+        adb.declare_item("price", 0)
+        rm = RecoveryManager(tmp_path, injector=injector)
+        rm.start(adb)
+        manager = setup_rules(adb)
+        attach(
+            adb, tmp_path / "segments", manager=manager, injector=injector
+        )
+        return adb, manager, rm
+
+    def test_wal_disk_full_refuses_commit_cleanly(self, tmp_path):
+        injector = FaultInjector()
+        adb, manager, rm = self._spilling_engine(tmp_path, injector)
+        drive(adb, long_ops(30))
+        count = adb.state_count
+        price = adb.state.item("price")
+        injector.arm_io(DISK_FULL, times=None)
+        with pytest.raises(StorageDegradedError):
+            adb.execute(lambda t: t.set_item("price", 7))
+        # memory untouched: the refused commit never half-applied
+        assert adb.degraded
+        assert adb.state_count == count
+        assert adb.state.item("price") == price
+        assert adb.metrics.gauge("storage_degraded").value == 1
+        # reads and rule evaluation over committed states still work
+        assert adb.as_of(adb.last_state.timestamp).index == count - 1
+        assert len(list(adb.history)) == count
+        rm.stop()
+
+    def test_spill_failure_degrades_not_raises(self, tmp_path):
+        """An OSError surviving the spill's retries must not surface in
+        the committing transaction (already durable) — it degrades."""
+        injector = FaultInjector()
+        adb = ActiveDatabase(metrics=True)
+        adb.declare_item("price", 0)
+        runtime = attach(
+            adb, tmp_path / "segments", injector=injector, hot_window=4
+        )
+        for i in range(30):
+            adb.execute(lambda t, i=i: t.set_item("price", i))
+        assert adb.history.spilled_states > 0
+        injector.arm_io(DISK_FULL, times=None)
+        # the commit that trips the governor still succeeds...
+        for i in range(12):
+            if adb.degraded:
+                break
+            adb.execute(lambda t, i=i: t.set_item("price", 50 + i))
+        assert adb.degraded
+        assert "spill failed" in adb.degraded_reason
+        # ...and nothing was lost: the in-memory copy is authoritative
+        assert len(adb.history) == adb.state_count
+
+    def test_deterministic_exit_and_reentry(self, tmp_path):
+        injector = FaultInjector()
+        adb, manager, rm = self._spilling_engine(tmp_path, injector)
+        drive(adb, long_ops(20))
+        injector.arm_io(DISK_FULL, times=None)
+        with pytest.raises(StorageDegradedError):
+            adb.execute(lambda t: t.set_item("price", 7))
+        # exit is refused while the disk is still sick
+        with pytest.raises(OSError):
+            adb.exit_degraded()
+        assert adb.degraded
+        # disk heals: probe passes, appends flow again
+        injector.disarm(DISK_FULL)
+        adb.exit_degraded()
+        assert not adb.degraded
+        assert adb.metrics.gauge("storage_degraded").value == 0
+        adb.execute(lambda t: t.set_item("price", 7))
+        assert adb.state.item("price") == 7
+        rm.stop()
+
+    def test_degraded_entry_is_deterministic(self, tmp_path):
+        """Same workload, same fault schedule -> degraded mode entered at
+        the same state count, twice."""
+        counts = []
+        for run in range(2):
+            directory = tmp_path / f"run{run}"
+            injector = FaultInjector()
+            adb, manager, rm = self._spilling_engine(directory, injector)
+            drive(adb, long_ops(15))
+            injector.arm_io(DISK_FULL, times=None)
+            with pytest.raises(StorageDegradedError):
+                drive(adb, long_ops(15))
+            counts.append(adb.state_count)
+            rm.stop()
+        assert counts[0] == counts[1]
+
+
+# -- crash-mid-spill: no corrupted segment is ever loaded --------------------
+
+
+class TestSpillCrash:
+    @pytest.mark.parametrize("point", [MID_SEGMENT_WRITE, TORN_SEGMENT])
+    def test_crash_mid_spill_never_loads_partial_segment(
+        self, tmp_path, point
+    ):
+        oracle = make_engine()
+        oracle_m = setup_rules(oracle)
+        ops = long_ops(60)
+        drive(oracle, ops)
+
+        injector = FaultInjector()
+        rm = RecoveryManager(tmp_path, injector=injector)
+        adb = make_engine()
+        rm.start(adb)
+        manager = setup_rules(adb)
+        attach(
+            adb, tmp_path / "segments", manager=manager, injector=injector
+        )
+        injector.arm(point, after=2)
+        with pytest.raises(SimulatedCrash):
+            drive(adb, ops)
+        rm.stop()
+
+        # the partial segment the crash left behind must never be loaded:
+        # recovery replays the WAL, reattaches fresh tiers, and the
+        # spilled run still matches the oracle
+        report = RecoveryManager(tmp_path).recover(
+            setup=lambda e: setup_rules(e)
+        )
+        adb2, manager2 = report.engine, report.manager
+        runtime = attach(
+            adb2, tmp_path / "segments", manager=manager2
+        )
+        drive(adb2, ops[adb2.state_count :])
+        assert firing_sig(manager2) == firing_sig(oracle_m)
+        assert adb2.state.item("price") == oracle.state.item("price")
+        # deep-past reads only ever touch sealed, verified segments
+        for pos in (0, 10, 30, len(adb2.history) - 1):
+            assert (
+                adb2.history[pos].db.item("price")
+                == oracle.history[pos].db.item("price")
+            )
+
+    def test_checkpoint_quarantines_crash_debris(self, tmp_path):
+        """After a crash mid-spill, a checkpointed restore quarantines
+        the unreferenced partial segment file."""
+        injector = FaultInjector()
+        rm = RecoveryManager(tmp_path, injector=injector)
+        adb = make_engine()
+        rm.start(adb)
+        manager = setup_rules(adb)
+        attach(
+            adb, tmp_path / "segments", manager=manager, injector=injector
+        )
+        ops = long_ops(60)
+        injector.arm(MID_SEGMENT_WRITE, after=2)
+        with pytest.raises(SimulatedCrash):
+            drive(adb, ops)
+        rm.stop()
+        debris = sorted(p.name for p in (tmp_path / "segments").glob("*.jsonl"))
+
+        report = RecoveryManager(tmp_path).recover(
+            setup=lambda e: setup_rules(e)
+        )
+        adb2, manager2 = report.engine, report.manager
+        rm2 = RecoveryManager(tmp_path)
+        rm2.start(adb2)
+        attach(adb2, tmp_path / "segments", manager=manager2)
+        drive(adb2, ops[adb2.state_count :])
+        manager2.flush()
+        rm2.checkpoint(adb2, manager2)
+        rm2.stop()
+
+        report2 = RecoveryManager(tmp_path).recover(
+            setup=lambda e: setup_rules(e)
+        )
+        orphans = list((tmp_path / "segments").glob("*.orphan"))
+        live = {
+            info["name"]
+            for info in report2.engine.history.tier_state()["segments"]
+        }
+        assert all(p.name.removesuffix(".orphan") not in live for p in orphans)
+        # every pre-crash debris file either became live (rewritten name)
+        # or is quarantined — none is silently loadable as data
+        for name in debris:
+            seg = tmp_path / "segments" / name
+            assert seg.name in live or not seg.exists()
+
+
+# -- checkpoint + recovery of a spilled run across backends ------------------
+
+
+class TestSpilledRecovery:
+    KINDS = ["shared", "perrule", "sharded"]
+
+    def _setup_for(self, kind):
+        if kind == "sharded":
+            return sharded_rules
+        return lambda e: setup_rules(e, shared=(kind == "shared"))
+
+    @pytest.mark.parametrize(
+        "compiled", [False, True], ids=["interp", "compiled"]
+    )
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_spilled_checkpoint_recovers_bit_identically(
+        self, tmp_path, kind, compiled
+    ):
+        prev = set_ptl_compile(compiled)
+        try:
+            self._run(tmp_path, kind)
+        finally:
+            set_ptl_compile(prev)
+
+    def _run(self, tmp_path, kind):
+        ops = long_ops(80)
+        oracle = make_engine()
+        oracle_m = self._setup_for(kind)(oracle)
+        drive(oracle, ops)
+        oracle_m.flush()
+
+        rm = RecoveryManager(tmp_path)
+        adb = make_engine()
+        rm.start(adb)
+        manager = self._setup_for(kind)(adb)
+        attach(adb, tmp_path / "segments", manager=manager)
+        cut = 60
+        drive(adb, ops[:cut])
+        assert adb.history.spilled_states > 0, "checkpoint must cover spill"
+        manager.flush()
+        ck = rm.checkpoint(adb, manager)
+        assert ck.get("tiers"), "checkpoint must reference live segments"
+        drive(adb, ops[cut:])
+        manager.flush()
+        rm.stop()
+
+        report = RecoveryManager(tmp_path).recover(
+            setup=self._setup_for(kind)
+        )
+        adb2, manager2 = report.engine, report.manager
+        assert report.checkpoint_used
+        assert report.replayed_steps == len(adb2.history) - len(
+            adb.history
+        ) + (len(ops) - cut)
+        manager2.flush()
+        assert firing_sig(manager2)[-5:] == firing_sig(oracle_m)[-5:]
+        assert adb2.state.item("price") == oracle.state.item("price")
+        # the restored history covers the whole run bit-identically
+        assert len(adb2.history) == len(oracle.history)
+        for pos in (0, 1, 25, cut - 1, len(oracle.history) - 1):
+            a, b = adb2.history[pos], oracle.history[pos]
+            assert (a.index, a.timestamp) == (b.index, b.timestamp)
+            assert a.db.item("price") == b.db.item("price")
+        # ...and keeps running + spilling
+        drive(adb2, [("set", 60), ("set", 40)])
+        assert len(adb2.history) == len(oracle.history) + 2
+
+
+# -- executed-store + auxiliary-relation spilling ----------------------------
+
+
+class TestExecutedSpill:
+    def test_pinned_rules_stay_hot(self, tmp_path):
+        """Rules referenced by ``executed`` atoms back live conditions:
+        their records must not spill; everything else may."""
+        oracle = make_engine()
+        oracle_m = oracle.rule_manager()
+        oracle_m.add_trigger("base", "price > 20", RecordingAction())
+        oracle_m.add_trigger(
+            "chained", "executed(base, t) & time = t + 5", RecordingAction()
+        )
+
+        adb = make_engine()
+        manager = adb.rule_manager()
+        manager.add_trigger("base", "price > 20", RecordingAction())
+        manager.add_trigger(
+            "chained", "executed(base, t) & time = t + 5", RecordingAction()
+        )
+        attach(adb, tmp_path / "segments", manager=manager, budget_bytes=500)
+
+        ops = long_ops(80)
+        drive(oracle, ops)
+        drive(adb, ops)
+        assert firing_sig(manager) == firing_sig(oracle_m)
+        # the full executed record set is still reconstructable (spilled
+        # records fault back first, so compare time-sorted)
+        key = lambda r: (r.time, r.rule, r.params)
+        assert sorted(manager.executed.records(), key=key) == sorted(
+            oracle_m.executed.records(), key=key
+        )
+        assert len(manager.executed) == len(oracle_m.executed)
+
+    def test_discard_horizon_respected_after_spill(self, tmp_path):
+        from repro.ptl.context import ExecutedStore
+
+        store = SegmentStore(tmp_path)
+        ex = ExecutedStore()
+        ex.enable_spill(store)
+        for t in range(20):
+            ex.record("r", (t,), t)
+        assert ex.spill_cold(horizon=15) == 15
+        assert len(ex) == 20
+        ex.discard_before(10)
+        times = sorted(r.time for r in ex.records())
+        assert times == list(range(10, 20))  # spilled-but-discarded gone
+
+
+class TestAuxSpill:
+    def test_value_at_faults_spilled_versions(self, tmp_path):
+        from repro.ptl.auxrel import AuxiliaryRelation
+        from repro.query.parser import parse_query
+
+        store = SegmentStore(tmp_path)
+        rel = AuxiliaryRelation("v", parse_query("price"))
+
+        class FakeState:
+            def __init__(self, p):
+                self.p = p
+
+            def item(self, name):
+                return self.p
+
+            def raw_item(self, name):
+                return self.p
+
+        from repro.storage.snapshot import DatabaseState
+
+        adb = make_engine()
+        for t in range(10):
+            adb.execute(lambda t_, v=t: t_.set_item("price", v * 10))
+        for s in adb.history:
+            rel.observe(s.db, s.timestamp)
+        full = {t: rel.value_at(t) for t in range(1, 11)}
+        moved = rel.spill_cold(horizon=6, store=store)
+        assert moved > 0
+        assert len(rel) < 10
+        for t in range(1, 11):
+            assert rel.value_at(t) == full[t], f"t={t}"
