@@ -1,0 +1,281 @@
+"""E19 — multi-tenant serving: sustained states/sec and p99 latency.
+
+The serving layer (:mod:`repro.serve`) hosts many isolated tenant
+databases on one event loop, draining admitted transactions through the
+engine's WAL group commit.  This benchmark is the closed loop over that
+claim:
+
+* **load** — N concurrent sessions (one per tenant, ≥ 8) stream
+  pipelined transactions over a unix socket; the generator measures
+  sustained committed states/sec across all tenants and client-observed
+  send→durable-reply latency percentiles;
+* **isolation oracle** — after the run, every served tenant's firings
+  (rule, bindings, state index, timestamp) and committed price must be
+  bit-identical to a standalone engine replaying the same per-tenant
+  stream — concurrency must be observationally invisible.
+
+Sizes via ``REPRO_E19_TENANTS`` / ``REPRO_E19_TXNS`` (smoke: 8 tenants x
+30 transactions; full: 8 x 400).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import shutil
+import tempfile
+import time
+
+from conftest import report
+
+from repro.bench import Table, emit_bench_json, smoke_mode
+from repro.engine import ActiveDatabase
+from repro.errors import TransactionAborted
+from repro.serve import ReproServer, StockProfile, compile_statements
+from repro.serve.protocol import encode_frame
+
+SMOKE = smoke_mode()
+TENANTS = int(os.environ.get("REPRO_E19_TENANTS", "8"))
+TXNS = int(os.environ.get("REPRO_E19_TXNS", "30" if SMOKE else "400"))
+WINDOW = 16  # outstanding transactions per session (pipelining depth)
+
+#: One in eight updates doubles the price (SHARP-INCREASE fodder), one in
+#: sixteen goes negative (IC veto); the rest drift.
+def tenant_stream(tenant_index: int, n: int) -> list[float]:
+    rng = random.Random(7_901 + tenant_index)
+    prices, price = [], 50.0
+    for i in range(n):
+        roll = rng.random()
+        if roll < 1 / 16:
+            prices.append(-abs(price))
+            continue
+        if roll < 3 / 16:
+            price = round(price * 2.2, 2)
+        else:
+            price = round(max(5.0, price * rng.uniform(0.8, 1.2)), 2)
+        if price > 1e7:
+            price = 50.0
+        prices.append(price)
+    return prices
+
+
+def update_stmt(price: float) -> list:
+    return [["update", "STOCK", {"name": "IBM"}, {"price": price}]]
+
+
+def firing_sig(manager) -> list:
+    return [
+        (f.rule, f.bindings, f.state_index, f.timestamp)
+        for f in manager.firings
+    ]
+
+
+async def drive_tenant(sock: str, tenant_id: str, prices: list[float]):
+    """One session: open its tenant, stream the prices with a pipelining
+    window, record per-transaction latency."""
+    reader, writer = await asyncio.open_unix_connection(sock, limit=1 << 20)
+
+    async def recv_reply() -> dict:
+        while True:
+            frame = decode_reply(await reader.readline())
+            if "ev" not in frame:
+                return frame
+
+    def decode_reply(line: bytes) -> dict:
+        assert line, f"server closed on tenant {tenant_id}"
+        import json
+
+        return json.loads(line)
+
+    writer.write(encode_frame({"op": "open", "tenant": tenant_id, "id": 0}))
+    await writer.drain()
+    assert (await recv_reply())["ok"]
+
+    latencies, started, outstanding = [], {}, 0
+    commits = vetoes = 0
+    for i, price in enumerate(prices):
+        writer.write(
+            encode_frame(
+                {
+                    "op": "txn",
+                    "tenant": tenant_id,
+                    "id": i + 1,
+                    "stmts": update_stmt(price),
+                }
+            )
+        )
+        started[i + 1] = time.perf_counter()
+        await writer.drain()
+        outstanding += 1
+        while outstanding >= WINDOW:
+            reply = await recv_reply()
+            latencies.append(time.perf_counter() - started.pop(reply["id"]))
+            assert reply["ok"], reply
+            commits += reply["committed"]
+            vetoes += not reply["committed"]
+            outstanding -= 1
+    while outstanding:
+        reply = await recv_reply()
+        latencies.append(time.perf_counter() - started.pop(reply["id"]))
+        assert reply["ok"], reply
+        commits += reply["committed"]
+        vetoes += not reply["committed"]
+        outstanding -= 1
+    writer.close()
+    return {"latencies": latencies, "commits": commits, "vetoes": vetoes}
+
+
+def standalone_sig(prices: list[float]):
+    """The isolation oracle's standalone half for one tenant stream."""
+    profile = StockProfile()
+    engine = ActiveDatabase()
+    profile.catalog(engine)
+    manager = profile.rules(engine)
+    for price in prices:
+        try:
+            engine.execute(compile_statements(update_stmt(price)))
+        except TransactionAborted:
+            pass
+    manager.flush()
+    sig = (
+        firing_sig(manager),
+        engine.state_count,
+        engine.state.relation("STOCK").sorted_rows()[0].values,
+    )
+    manager.detach()
+    return sig
+
+
+async def run_load(root: str, streams: dict):
+    sock = os.path.join(root, "serve.sock")
+    server = ReproServer(
+        root,
+        StockProfile(),
+        unix_path=sock,
+        fsync=False,
+        sweep_interval=0,
+        max_queue=4 * WINDOW * TENANTS,
+    )
+    await server.start()
+    try:
+        t0 = time.perf_counter()
+        sessions = await asyncio.gather(
+            *(
+                drive_tenant(sock, tenant_id, prices)
+                for tenant_id, prices in streams.items()
+            )
+        )
+        elapsed = time.perf_counter() - t0
+        served = {
+            tenant_id: (
+                firing_sig(tenant.manager),
+                tenant.engine.state_count,
+                tenant.engine.state.relation("STOCK").sorted_rows()[0].values,
+            )
+            for tenant_id in streams
+            for tenant in [server.registry.resident_tenant(tenant_id)]
+        }
+        batch_hist = server.metrics.histogram("serve_drain_batch_txns")
+        stats = {
+            "elapsed": elapsed,
+            "sessions": sessions,
+            "served": served,
+            "notifications": server.metrics.counter(
+                "serve_notifications_total", kind="firing"
+            ).value,
+            "backpressure": server.metrics.counter(
+                "serve_backpressure_total"
+            ).value,
+            "mean_batch": batch_hist.mean,
+        }
+    finally:
+        await server.stop()
+    return stats
+
+
+def quantile(values: list, q: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def test_e19_serving(benchmark):
+    streams = {
+        f"tenant{i:02d}": tenant_stream(i, TXNS) for i in range(TENANTS)
+    }
+    results = {}
+
+    def compute():
+        root = tempfile.mkdtemp(prefix="e19-")
+        try:
+            results.update(asyncio.run(run_load(root, streams)))
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+        return results
+
+    benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    total_txns = TENANTS * TXNS
+    states_per_sec = total_txns / results["elapsed"]
+    latencies = [
+        lat for s in results["sessions"] for lat in s["latencies"]
+    ]
+    p50 = quantile(latencies, 0.50) * 1e3
+    p95 = quantile(latencies, 0.95) * 1e3
+    p99 = quantile(latencies, 0.99) * 1e3
+    commits = sum(s["commits"] for s in results["sessions"])
+    vetoes = sum(s["vetoes"] for s in results["sessions"])
+
+    # -- isolation oracle: served == standalone, every tenant ------------
+    identical = 0
+    for tenant_id, prices in streams.items():
+        assert results["served"][tenant_id] == standalone_sig(prices), (
+            f"served tenant {tenant_id} diverged from its standalone twin"
+        )
+        identical += 1
+    firings_total = sum(
+        len(sig[0]) for sig in results["served"].values()
+    )
+
+    table = Table(
+        f"E19: serving — {TENANTS} tenants x {TXNS} txns, "
+        f"window {WINDOW}",
+        [
+            "tenants", "txns", "states/s", "p50 ms", "p95 ms", "p99 ms",
+            "firings", "vetoes", "mean batch", "isolated",
+        ],
+    )
+    table.add_row(
+        TENANTS, total_txns, round(states_per_sec), round(p50, 2),
+        round(p95, 2), round(p99, 2), firings_total, vetoes,
+        round(results["mean_batch"] or 0, 1),
+        f"{identical}/{TENANTS}",
+    )
+    report(table)
+
+    assert TENANTS >= 8
+    assert commits + vetoes == total_txns
+    assert firings_total > 0, "load never tripped SHARP-INCREASE"
+    assert vetoes > 0, "load never tripped the positive-price IC"
+
+    emit_bench_json(
+        "E19",
+        {
+            "tenants": TENANTS,
+            "txns_per_tenant": TXNS,
+            "window": WINDOW,
+            "elapsed_seconds": results["elapsed"],
+            "states_per_sec": states_per_sec,
+            "latency_ms": {"p50": p50, "p95": p95, "p99": p99},
+            "commits": commits,
+            "vetoes": vetoes,
+            "firings": firings_total,
+            "firing_notifications": results["notifications"],
+            "backpressure_refusals": results["backpressure"],
+            "mean_drain_batch": results["mean_batch"],
+            "isolation": {
+                "tenants_checked": identical,
+                "identical": identical == TENANTS,
+            },
+        },
+    )

@@ -11,6 +11,9 @@ Subcommands
              leave a checkpoint behind in DIR.
 ``recover``  — rebuild the monitor system from a ``--wal DIR`` left by a
              previous (possibly crashed) run and print what was replayed.
+``serve``    — run the multi-tenant asyncio server (``--root DIR`` for the
+             durable tenant directories, ``--port``/``--unix`` to listen,
+             see docs/SERVING.md for the session protocol).
 ``version``  — print the package version.
 
 ``--metrics-json [PATH]`` writes the JSON document to PATH (or stdout when
@@ -193,6 +196,56 @@ def run_recover(wal, shards=None, tolerate_drift: bool = False) -> int:
     return 0
 
 
+def run_serve(
+    root,
+    host: str = "127.0.0.1",
+    port: int = 7923,
+    unix_path=None,
+    max_queue: int = 256,
+    max_batch: int = 64,
+    max_resident: int = 64,
+    idle_seconds=None,
+    tier_budget=None,
+) -> int:
+    """Run the multi-tenant serving layer until interrupted."""
+    import asyncio
+
+    from repro.serve import ReproServer, StockProfile
+
+    async def serve() -> None:
+        server = ReproServer(
+            root,
+            StockProfile(),
+            host=host,
+            port=port,
+            unix_path=unix_path,
+            max_queue=max_queue,
+            max_batch=max_batch,
+            max_resident=max_resident,
+            idle_seconds=idle_seconds,
+            tier_budget=tier_budget,
+            tenant_metrics=True,
+        )
+        await server.start()
+        where = unix_path if unix_path else f"{server.host}:{server.port}"
+        print(f"repro-serve listening on {where}")
+        print(f"tenant root: {root}  profile: stock  "
+              f"(newline-delimited JSON sessions; see docs/SERVING.md)")
+        try:
+            await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+            print("all tenants checkpointed; bye")
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -203,7 +256,7 @@ def main(argv=None) -> int:
         "command",
         nargs="?",
         default="demo",
-        choices=["demo", "monitor", "recover", "version"],
+        choices=["demo", "monitor", "recover", "serve", "version"],
     )
     parser.add_argument(
         "--metrics-json",
@@ -240,6 +293,39 @@ def main(argv=None) -> int:
         "live lifecycle (shadow add, promote, replace, remove)",
     )
     parser.add_argument(
+        "--root", metavar="DIR", default=None,
+        help="serve: root directory for per-tenant durable state "
+        "(<root>/tenants/<id>/)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="serve: TCP listen address"
+    )
+    parser.add_argument(
+        "--port", type=int, default=7923, help="serve: TCP listen port"
+    )
+    parser.add_argument(
+        "--unix", metavar="PATH", default=None,
+        help="serve: listen on a unix socket instead of TCP",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=256, metavar="N",
+        help="serve: per-tenant admission bound (backpressure past it)",
+    )
+    parser.add_argument(
+        "--max-resident", type=int, default=64, metavar="N",
+        help="serve: resident-tenant cap (oldest idle evicted past it)",
+    )
+    parser.add_argument(
+        "--idle-seconds", type=float, default=None, metavar="S",
+        help="serve: evict tenants idle for S seconds "
+        "(checkpoint-then-close)",
+    )
+    parser.add_argument(
+        "--tier-budget", type=int, default=None, metavar="BYTES",
+        help="serve: per-tenant history memory budget; cold states "
+        "spill to the tenant's segments/ directory",
+    )
+    parser.add_argument(
         "--tolerate-drift", action="store_true",
         help="recover: restore even if the registered rule set drifted "
         "from the checkpoint (the delta is reported)",
@@ -254,6 +340,16 @@ def main(argv=None) -> int:
         return run_recover(
             args.wal, shards=args.shards,
             tolerate_drift=args.tolerate_drift,
+        )
+    if args.command == "serve":
+        if args.root is None:
+            parser.error("serve requires --root DIR")
+        return run_serve(
+            args.root, host=args.host, port=args.port, unix_path=args.unix,
+            max_queue=args.max_queue, max_batch=args.batch
+            if args.batch > 1 else 64,
+            max_resident=args.max_resident, idle_seconds=args.idle_seconds,
+            tier_budget=args.tier_budget,
         )
     if args.command == "monitor" or args.metrics_json is not None:
         return run_monitor(

@@ -211,3 +211,28 @@ class RetroactiveLimitError(ValidTimeError):
 
 class EventExprError(ReproError):
     """Errors in the event-expression baseline (parse or compile)."""
+
+
+# --------------------------------------------------------------------------
+# Serving layer
+# --------------------------------------------------------------------------
+
+
+class ServingError(ReproError):
+    """Base class for multi-tenant serving-layer errors."""
+
+
+class ProtocolError(ServingError):
+    """A session frame was refused: malformed, oversized, invalid, or
+    rejected by admission control.  Carries the wire-level error ``type``
+    (see :mod:`repro.serve.protocol`) plus structured ``detail`` keys the
+    server echoes back in the typed error reply."""
+
+    def __init__(self, type: str, message: str, **detail):
+        super().__init__(message)
+        self.type = type
+        self.detail = dict(detail)
+
+
+class TenantError(ServingError):
+    """A tenant could not be opened, resolved, or evicted."""

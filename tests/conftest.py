@@ -17,6 +17,8 @@ Select with the ``HYPOTHESIS_PROFILE`` environment variable::
 See :mod:`tests.helpers` for how to replay a nightly failure.
 """
 
+import asyncio
+import inspect
 import os
 
 from hypothesis import HealthCheck, settings
@@ -34,3 +36,20 @@ settings.register_profile(
 )
 
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+
+
+def pytest_pyfunc_call(pyfuncitem):
+    """Run ``async def`` tests on a fresh event loop per test.
+
+    The container has no pytest-asyncio; this minimal hook covers the
+    serving suite (plain coroutine tests, no async fixtures).  Hypothesis
+    tests stay synchronous and call :func:`asyncio.run` per example."""
+    func = pyfuncitem.obj
+    if inspect.iscoroutinefunction(func):
+        kwargs = {
+            name: pyfuncitem.funcargs[name]
+            for name in pyfuncitem._fixtureinfo.argnames
+        }
+        asyncio.run(func(**kwargs))
+        return True
+    return None

@@ -85,3 +85,83 @@ def event_history(
 def run_evaluator(evaluator, history) -> list:
     """Step an evaluator through every state; returns FireResults."""
     return [evaluator.step(state) for state in history]
+
+
+# -- twin-engine replay oracle ------------------------------------------------
+#
+# Several suites (chain patching, tiered spill, the serving isolation
+# tests) share one differential shape: replay the same op stream on a
+# standalone twin engine and require identical observable outcomes —
+# firings (rule, bindings, state index, timestamp), executed-store
+# records, and committed store contents.  The helpers below are that
+# oracle's shared vocabulary.
+
+
+def apply_op(adb, op) -> None:
+    """Apply one ``("set", value)`` / ``("ev", name)`` op to an engine:
+    a committed ``price`` item write or a posted user event."""
+    if op[0] == "set":
+        adb.execute(lambda t, v=op[1]: t.set_item("price", v))
+    else:
+        adb.post_event(user_event(str(op[1])))
+
+
+def drive(adb, ops, manager=None) -> None:
+    """Replay ``ops`` through :func:`apply_op`; flush ``manager`` (so
+    deferred action rounds run) when one is given."""
+    for op in ops:
+        apply_op(adb, op)
+    if manager is not None:
+        manager.flush()
+
+
+def firing_sig(manager) -> list:
+    """The comparable firing signature: every recorded firing as
+    (rule, bindings, state index, timestamp)."""
+    return [
+        (f.rule, f.bindings, f.state_index, f.timestamp)
+        for f in manager.firings
+    ]
+
+
+def executed_sig(manager) -> list:
+    """The comparable executed-store signature, order-normalized."""
+    return sorted(
+        (r.time, r.rule, r.params, r.status)
+        for r in manager.executed.records()
+    )
+
+
+def store_sig(engine, relations: Sequence[str] = ()) -> dict:
+    """The committed store's comparable contents: every item plus the
+    sorted rows of the named relations."""
+    state = engine.state
+    sig = {"items": state.items_view()}
+    for name in relations:
+        sig[name] = [row.values for row in state.relation(name).sorted_rows()]
+    return sig
+
+
+def twin_replay(build, ops):
+    """Run the oracle half of a differential: a fresh standalone engine +
+    manager from ``build()`` replays ``ops`` and flushes.  Returns
+    ``(engine, manager)`` for signature comparison against the system
+    under test."""
+    adb, manager = build()
+    drive(adb, ops, manager=manager)
+    return adb, manager
+
+
+def replay_transactions(engine, manager, bodies) -> None:
+    """Standalone half of the serving isolation oracle: apply each
+    transaction body through :meth:`~repro.engine.ActiveDatabase.execute`,
+    swallowing integrity-constraint aborts exactly like the serving
+    drain does, then flush the manager."""
+    from repro.errors import TransactionAborted
+
+    for work in bodies:
+        try:
+            engine.execute(work)
+        except TransactionAborted:
+            pass
+    manager.flush()

@@ -36,11 +36,10 @@ from repro.rules.actions import RecordingAction
 from repro.rules.rule import FireMode
 from repro.rules.manager import RuleManager
 
+from tests.helpers import apply_op, drive, firing_sig
 from tests.test_ptl_compile import (
     TEMPLATES,
-    apply_op,
     assert_vector_matches_nodes,
-    firing_sig,
     make_manager,
     mode,
     strip_compiled,
@@ -68,12 +67,6 @@ def chain_of(plan) -> CompiledChain:
     return chain
 
 
-def drive(adb, manager, ops):
-    for op in ops:
-        apply_op(adb, op)
-    manager.flush()
-
-
 # ---------------------------------------------------------------------------
 # Patch mechanics
 # ---------------------------------------------------------------------------
@@ -83,14 +76,14 @@ class TestChainPatching:
     def test_hot_add_appends_a_segment(self):
         with mode(True):
             adb, manager = make_manager([(3, FireMode.ALWAYS), (6, FireMode.ALWAYS)])
-            drive(adb, manager, OPS[:5])
+            drive(adb, OPS[:5])
             plan = manager.plan
             chain = chain_of(plan)
             assert plan.chain_builds == 1 and plan.chain_patches == 0
             segs, nodes = len(chain.segments), chain.n_nodes
             fp_two = chain.fingerprint
             manager.add_trigger("dyn", TEMPLATES[4], RecordingAction())
-            drive(adb, manager, OPS[5:8])
+            drive(adb, OPS[5:8])
             assert plan.chain_patches == 1 and plan.chain_builds == 1
             assert chain_of(plan) is chain  # same object, patched
             assert len(chain.segments) == segs + 1
@@ -103,7 +96,7 @@ class TestChainPatching:
             # the patch history.
             adb2, m2 = make_manager([(3, FireMode.ALWAYS), (6, FireMode.ALWAYS)])
             m2.add_trigger("dyn", TEMPLATES[4], RecordingAction())
-            drive(adb2, m2, OPS[:1])
+            drive(adb2, OPS[:1])
             fresh = chain_of(m2.plan)
             assert m2.plan.chain_builds == 1
             assert fresh.fingerprint == chain.fingerprint
@@ -112,16 +105,16 @@ class TestChainPatching:
     def test_hot_remove_releases_and_drops_segment(self):
         with mode(True):
             adb, manager = make_manager([(3, FireMode.ALWAYS)])
-            drive(adb, manager, OPS[:3])
+            drive(adb, OPS[:3])
             plan = manager.plan
             chain = chain_of(plan)
             base = (len(chain.segments), chain.n_nodes, chain.n_query_slots)
             fp_one = chain.fingerprint
             manager.add_trigger("dyn", TEMPLATES[4], RecordingAction())
-            drive(adb, manager, OPS[3:6])
+            drive(adb, OPS[3:6])
             assert chain.n_temporal > 1
             manager.remove_rule("dyn")
-            drive(adb, manager, OPS[6:9])
+            drive(adb, OPS[6:9])
             # The dyn-only segment lost all its slots and was dropped;
             # the layout is back to the single-rule shape, fingerprint
             # included (remove + re-add of the same rule is a no-op for
@@ -146,12 +139,12 @@ class TestChainPatching:
                 "lasttime price <= 50 & previously[3] (price > 60)",
                 RecordingAction(),
             )
-            drive(adb, manager, [("set", 20), ("set", 70), ("set", 40)])
+            drive(adb, [("set", 20), ("set", 70), ("set", 40)])
             plan = manager.plan
             chain = chain_of(plan)
             nodes_before = chain.n_nodes
             manager.remove_rule("transient")
-            drive(adb, manager, [("set", 55)])
+            drive(adb, [("set", 55)])
             assert chain_of(plan) is chain
             assert chain.n_nodes < nodes_before
             assert chain.dead_slots > 0
@@ -170,13 +163,13 @@ class TestChainPatching:
                 manager.add_trigger(
                     f"bulk{i}", f"price > {100 + i}", RecordingAction()
                 )
-            drive(adb, manager, [("set", 60)])
+            drive(adb, [("set", 60)])
             plan = manager.plan
             chain = chain_of(plan)
             assert plan.chain_builds == 1
             for i in range(70):
                 manager.remove_rule(f"bulk{i}")
-            drive(adb, manager, [("set", 70)])
+            drive(adb, [("set", 70)])
             # 70 dead slots against 1 live one crosses the compaction
             # threshold: the next ensure is a fresh build, not a patch.
             assert plan.chain_builds == 2
@@ -275,14 +268,14 @@ class TestCompiledAggregateMaintenance:
         with mode(True):
             adb, manager = make_manager([(0, FireMode.ALWAYS)])
             manager.add_trigger("agg", AGG_TEMPLATES[0], RecordingAction())
-            drive(adb, manager, OPS[:4])
+            drive(adb, OPS[:4])
             plan = manager.plan
             chain = chain_of(plan)
             assert len(chain.maintained) == 1
             entry = next(iter(chain.maintained.values()))
             assert entry.flag[0] is True
             manager.remove_rule("agg")
-            drive(adb, manager, OPS[4:7])
+            drive(adb, OPS[4:7])
             assert chain_of(plan) is chain
             assert not chain.maintained
             assert entry.flag[0] is False
@@ -298,7 +291,7 @@ class TestCompiledAggregateMaintenance:
                 with mode(compiled):
                     adb, manager = make_manager([])
                     manager.add_trigger("m", text, RecordingAction())
-                    drive(adb, manager, OPS)
+                    drive(adb, OPS)
                     results[compiled] = (
                         firing_sig(manager),
                         strip_compiled(manager.plan.to_state()),

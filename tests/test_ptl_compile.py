@@ -33,7 +33,6 @@ from hypothesis import strategies as st
 
 from repro.engine import ActiveDatabase
 from repro.errors import RecoveryError
-from repro.events import user_event
 from repro.obs import MetricsRegistry
 from repro.ptl import EvalContext, IncrementalEvaluator, SharedPlan, parse_formula
 from repro.ptl.aggregates import RewrittenEvaluator
@@ -48,7 +47,13 @@ from repro.rules.actions import RecordingAction
 from repro.rules.manager import RuleManager
 from repro.rules.rule import FireMode
 
-from tests.helpers import run_evaluator, stock_history, stock_registry
+from tests.helpers import (
+    apply_op,
+    firing_sig,
+    run_evaluator,
+    stock_history,
+    stock_registry,
+)
 
 
 def strip_compiled(payload):
@@ -146,20 +151,6 @@ def make_manager(rules):
             fire_mode=fire_mode,
         )
     return adb, manager
-
-
-def apply_op(adb, op):
-    if op[0] == "set":
-        adb.execute(lambda t, v=op[1]: t.set_item("price", v))
-    else:
-        adb.post_event(user_event(op[1]))
-
-
-def firing_sig(manager):
-    return [
-        (f.rule, f.bindings, f.state_index, f.timestamp)
-        for f in manager.firings
-    ]
 
 
 def assert_vector_matches_nodes(chain, interp_plan_state):

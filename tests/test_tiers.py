@@ -22,7 +22,6 @@ from hypothesis import strategies as st
 
 from repro.engine import ActiveDatabase
 from repro.errors import RecoveryError, StorageDegradedError
-from repro.events import user_event
 from repro.history.history import SystemHistory
 from repro.history.spill import (
     MemoryGovernor,
@@ -42,6 +41,8 @@ from repro.recovery import (
 from repro.rules.actions import RecordingAction
 from repro.rules.rule import CouplingMode, FireMode
 from repro.storage.tiers import SegmentStore, retry_io
+
+from tests.helpers import drive, firing_sig
 
 
 # -- shared workload ---------------------------------------------------------
@@ -87,21 +88,6 @@ def sharded_rules(adb):
         coupling=CouplingMode.T_C_A,
     )
     return manager
-
-
-def drive(adb, ops):
-    for kind, val in ops:
-        if kind == "set":
-            adb.execute(lambda t, v=val: t.set_item("price", v))
-        else:
-            adb.post_event(user_event(str(val)))
-
-
-def firing_sig(manager):
-    return [
-        (f.rule, f.bindings, f.state_index, f.timestamp)
-        for f in manager.firings
-    ]
 
 
 def long_ops(n=120):
